@@ -1,0 +1,53 @@
+"""Ablation A2 — solution error versus op-amp open-loop gain (Section 4.2).
+
+The paper argues that the negative-resistor error is inversely proportional
+to the op-amp gain, so gains above ~1e3 have negligible impact.  This bench
+sweeps the gain with the finite-gain widget realisation and reports the error
+against the ideal (infinite-gain) solution.
+"""
+
+from __future__ import annotations
+
+from repro.analog import AnalogMaxFlowSolver
+from repro.bench import format_table
+from repro.config import NonIdealityModel
+from repro.graph import paper_example_graph, rmat_graph
+
+GAINS = [10.0, 100.0, 1e3, 1e4, 1e5]
+
+
+def _sweep_gain():
+    networks = [("fig5", paper_example_graph()), ("rmat", rmat_graph(25, 80, seed=6))]
+    rows = []
+    ideal = {
+        name: AnalogMaxFlowSolver(quantize=False).solve(network, vflow_v=6.0).flow_value
+        for name, network in networks
+    }
+    for gain in GAINS:
+        row = {"op-amp gain": f"{gain:g}"}
+        for name, network in networks:
+            solver = AnalogMaxFlowSolver(
+                quantize=False,
+                style="finite-gain",
+                nonideal=NonIdealityModel(opamp_gain=gain),
+            )
+            value = solver.solve(network, vflow_v=6.0).flow_value
+            row[f"{name}: deviation from ideal"] = f"{abs(value - ideal[name]) / ideal[name]:.3%}"
+        rows.append(row)
+    return rows
+
+
+def test_ablation_opamp_gain(benchmark):
+    rows = benchmark.pedantic(_sweep_gain, rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="Ablation A2: error vs op-amp open-loop gain"))
+
+    def deviation(row, name):
+        return float(row[f"{name}: deviation from ideal"].rstrip("%"))
+
+    # Gain of 1e3 or better keeps the deviation small (the Section 4.2 claim),
+    # and the deviation shrinks monotonically from the lowest gain.
+    for name in ("fig5", "rmat"):
+        assert deviation(rows[GAINS.index(1e4)], name) < 1.0
+        assert deviation(rows[-1], name) <= deviation(rows[0], name)

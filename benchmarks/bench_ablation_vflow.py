@@ -1,0 +1,56 @@
+"""Ablation A4 — flow accuracy versus the objective drive voltage Vflow.
+
+Table 1 lists Vflow = 3 V, but the substrate only reaches the true max flow
+once the drive is large enough for every binding capacity clamp to engage
+(the paper's own Fig. 15 example needs 19 V for capacities up to 4).  This
+bench sweeps the drive and reports the under-estimation, quantifying the
+finite-drive error that EXPERIMENTS.md documents as a reproduction finding.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analog import AnalogMaxFlowSolver
+from repro.bench import format_table
+from repro.flows import dinic
+from repro.graph import rmat_graph
+
+DRIVES = [1.5, 3.0, 6.0, 12.0, 24.0]
+SEEDS = [2, 4, 6]
+
+
+def _sweep_drive():
+    networks = [(seed, rmat_graph(40, 140, seed=seed)) for seed in SEEDS]
+    exact = {seed: dinic(network).flow_value for seed, network in networks}
+    rows = []
+    for drive in DRIVES:
+        ratios = []
+        for seed, network in networks:
+            result = AnalogMaxFlowSolver(quantize=True).solve(network, vflow_v=drive)
+            ratios.append(result.flow_value / exact[seed])
+        rows.append(
+            {
+                "Vflow (V)": drive,
+                "Vflow / Vdd": drive,
+                "mean fraction of optimum": f"{statistics.mean(ratios):.1%}",
+                "min fraction of optimum": f"{min(ratios):.1%}",
+            }
+        )
+    return rows
+
+
+def test_ablation_vflow_drive(benchmark):
+    rows = benchmark.pedantic(_sweep_drive, rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="Ablation A4: achieved flow vs drive voltage"))
+    print("Table 1's literal Vflow = 3 V under-drives typical instances; the "
+          "Fig. 10 harness therefore uses a 6 V drive with adaptive doubling "
+          "(see EXPERIMENTS.md).")
+
+    fractions = [float(row["mean fraction of optimum"].rstrip("%")) for row in rows]
+    # Monotone in the drive and essentially saturated at the largest drive.
+    assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] > 95.0
+    assert fractions[0] < fractions[-1]

@@ -1,0 +1,56 @@
+"""Ablation A1 — solution error versus the number of voltage levels N.
+
+Section 4.1 notes that N trades accuracy against circuit complexity (more
+levels means more shared clamp sources).  This bench sweeps N and reports the
+relative error of the analog solution, confirming that the Table 1 choice of
+N = 20 sits at a few percent of error and that the error shrinks roughly as
+1/N.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analog import AnalogMaxFlowSolver
+from repro.bench import format_table
+from repro.config import SubstrateParameters
+from repro.flows import dinic
+from repro.graph import rmat_graph
+
+LEVELS = [4, 8, 16, 20, 32, 64, 128]
+SEEDS = [3, 5, 7]
+
+
+def _sweep_levels():
+    networks = [(seed, rmat_graph(40, 140, seed=seed)) for seed in SEEDS]
+    exact = {seed: dinic(network).flow_value for seed, network in networks}
+    rows = []
+    for levels in LEVELS:
+        params = SubstrateParameters().with_voltage_levels(levels)
+        errors = []
+        for seed, network in networks:
+            solver = AnalogMaxFlowSolver(parameters=params, quantize=True, adaptive_drive=True)
+            result = solver.solve(network)
+            errors.append(abs(result.flow_value - exact[seed]) / exact[seed])
+        rows.append(
+            {
+                "voltage levels N": levels,
+                "mean rel. error": f"{statistics.mean(errors):.2%}",
+                "max rel. error": f"{max(errors):.2%}",
+                "worst-case bound C/N": f"{1.0 / levels:.2%} of C",
+            }
+        )
+    return rows
+
+
+def test_ablation_voltage_levels(benchmark):
+    rows = benchmark.pedantic(_sweep_levels, rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="Ablation A1: error vs number of voltage levels"))
+
+    errors = [float(row["mean rel. error"].rstrip("%")) for row in rows]
+    # Error decreases (weakly) with more levels and is a few percent at N=20.
+    assert errors[-1] <= errors[0] + 1e-9
+    n20 = errors[LEVELS.index(20)]
+    assert n20 < 8.0

@@ -1,0 +1,38 @@
+"""Fig. 10a — convergence time and relative error on *dense* R-MAT graphs.
+
+Regenerates the dense-regime comparison: substrate convergence time at
+GBW = 10 GHz and 50 GHz versus push-relabel on a conventional CPU, plus the
+relative error of the analog solution.  The workload scale is controlled by
+``REPRO_BENCH_SCALE`` (1.0 = the paper's |V| = 256..960 sweep).
+"""
+
+from __future__ import annotations
+
+from repro.bench import Fig10Runner, fig10_dense_suite, format_table
+from conftest import bench_scale
+
+
+def _run_dense_suite():
+    runner = Fig10Runner(transient_vertex_limit=40)
+    workloads = fig10_dense_suite(scale=bench_scale())
+    return runner.run_suite(workloads)
+
+
+def test_fig10a_dense(benchmark):
+    rows = benchmark.pedantic(_run_dense_suite, rounds=1, iterations=1)
+
+    print()
+    print(format_table([row.as_dict() for row in rows],
+                       title="Fig. 10a (dense R-MAT): regenerated series"))
+
+    errors = [row.relative_error for row in rows]
+    mean_error = sum(errors) / len(errors)
+    print(f"mean relative error: {mean_error:.2%} (paper: 3.7% for dense graphs)")
+
+    # Shape assertions mirroring the paper's qualitative claims.
+    assert all(row.speedup_10g > 1.0 for row in rows), "substrate must beat the CPU"
+    assert all(row.convergence_time_50g_s <= row.convergence_time_10g_s * 1.05 for row in rows)
+    assert mean_error < 0.10
+    # CPU time grows with instance size much faster than the convergence time,
+    # so the speedup of the largest instance exceeds that of the smallest.
+    assert rows[-1].speedup_10g >= rows[0].speedup_10g

@@ -1,0 +1,60 @@
+"""Fig. 15 / Section 6.5 — quasi-static trajectory through the feasible region.
+
+The paper ramps Vflow slowly on the three-variable example (capacities
+4, 1, 4) and shows that the node voltages travel through the *interior* of
+the feasible polytope: initially x1 = (2/9) Vflow and x2 = x3 = (1/9) Vflow,
+x2 saturates at Vflow = 9 V (point D = (2, 1, 1)) and the trajectory reaches
+the optimum (4, 1, 3) at Vflow = 19 V (point B).  The bench regenerates the
+trajectory and checks those breakpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog import QuasiStaticAnalyzer
+from repro.bench import format_series
+from repro.graph import quasistatic_example_graph
+
+
+def _trace():
+    analyzer = QuasiStaticAnalyzer(num_points=121, drive_factor=6.0)
+    return analyzer.trace(quasistatic_example_graph())
+
+
+def test_fig15_quasistatic_trajectory(benchmark):
+    trajectory = benchmark(_trace)
+
+    drive, x1 = trajectory.edge_trajectory(0)
+    _, x2 = trajectory.edge_trajectory(1)
+    _, x3 = trajectory.edge_trajectory(2)
+    stride = max(1, len(drive) // 12)
+    print()
+    print(
+        format_series(
+            [round(v, 2) for v in drive[::stride]],
+            {
+                "x1": [round(v, 3) for v in x1[::stride]],
+                "x2": [round(v, 3) for v in x2[::stride]],
+                "x3": [round(v, 3) for v in x3[::stride]],
+            },
+            x_label="Vflow (V)",
+            title="Fig. 15c: quasi-static trajectory (regenerated)",
+        )
+    )
+    print(f"breakpoints at Vflow = {[round(b, 2) for b in trajectory.breakpoints()]} "
+          f"(paper: 9 V and 19 V); final point = "
+          f"({trajectory.final.edge_flows[0]:.2f}, {trajectory.final.edge_flows[1]:.2f}, "
+          f"{trajectory.final.edge_flows[2]:.2f}) (paper: (4, 1, 3))")
+
+    # Early trajectory: x1 = 2/9 Vflow, x2 = x3 = 1/9 Vflow.
+    early = 5
+    assert np.isclose(x1[early], 2.0 * drive[early] / 9.0, rtol=0.05)
+    assert np.isclose(x2[early], drive[early] / 9.0, rtol=0.05)
+    # First breakpoint (x2 saturating) near 9 V, full saturation near 19 V.
+    assert abs(trajectory.breakpoints()[0] - 9.0) < 0.7
+    assert abs(trajectory.saturation_drive(1e-3) - 19.0) < 1.2
+    # Final point is the optimum (4, 1, 3).
+    assert abs(trajectory.final.edge_flows[0] - 4.0) < 0.02
+    assert abs(trajectory.final.edge_flows[1] - 1.0) < 0.02
+    assert abs(trajectory.final.edge_flows[2] - 3.0) < 0.02

@@ -1,0 +1,71 @@
+"""Section 5.2 — analytical power model and energy-efficiency comparison.
+
+Regenerates the two headline numbers of the power analysis (a 5 W budget
+supports about 1e4 active edges, 150 W about 3e5) and the energy-efficiency
+argument: the substrate's power is comparable to a CPU's but each solve
+finishes orders of magnitude faster, so the energy per solve is two to three
+orders of magnitude lower.
+"""
+
+from __future__ import annotations
+
+from repro.analog import ConvergenceTimeEstimator
+from repro.bench import format_table
+from repro.config import NonIdealityModel, SubstrateParameters
+from repro.flows import CpuCostModel, push_relabel
+from repro.graph import rmat_graph
+from repro.power import PowerModel, compare_energy
+
+
+def _run_power_analysis():
+    model = PowerModel()
+    budget_rows = [
+        {"power budget (W)": budget, "supported edges": model.max_edges_for_budget(budget),
+         "paper": paper}
+        for budget, paper in [(5.0, "1e4"), (150.0, "3e5")]
+    ]
+
+    estimator = ConvergenceTimeEstimator()
+    params = SubstrateParameters()
+    cpu_model = CpuCostModel()
+    energy_rows = []
+    for vertices, edges in [(128, 512), (256, 1024), (512, 3072)]:
+        network = rmat_graph(vertices, edges, seed=vertices)
+        baseline = push_relabel(network)
+        cpu = cpu_model.estimate(baseline)
+        power = PowerModel().estimate(network)
+        t_conv = estimator.estimate(
+            network, params, NonIdealityModel(parasitic_capacitance_f=20e-15)
+        )
+        comparison = compare_energy(power, t_conv, cpu)
+        energy_rows.append(
+            {
+                "|V|": vertices,
+                "|E|": network.num_edges,
+                "P_analog (W)": round(comparison.analog_power_w, 3),
+                "t_conv (s)": f"{comparison.analog_time_s:.2e}",
+                "E_analog (J)": f"{comparison.analog_energy_j:.2e}",
+                "t_cpu (s)": f"{comparison.cpu_time_s:.2e}",
+                "E_cpu (J)": f"{comparison.cpu_energy_j:.2e}",
+                "speedup": f"{comparison.speedup:.0f}x",
+                "energy eff.": f"{comparison.energy_efficiency:.0f}x",
+            }
+        )
+    return budget_rows, energy_rows
+
+
+def test_sec52_power_energy(benchmark):
+    budget_rows, energy_rows = benchmark(_run_power_analysis)
+
+    print()
+    print(format_table(budget_rows, title="Section 5.2: edges supported per power budget"))
+    print()
+    print(format_table(energy_rows, title="Section 5.2: energy per solve, substrate vs CPU"))
+
+    assert abs(budget_rows[0]["supported edges"] - 1e4) / 1e4 < 0.01
+    assert abs(budget_rows[1]["supported edges"] - 3e5) / 3e5 < 0.01
+    # Energy efficiency exceeds the raw speedup whenever the substrate's power
+    # is below the CPU's package power (the paper's qualitative argument).
+    for row in energy_rows:
+        assert float(row["speedup"].rstrip("x")) > 10
+        assert float(row["energy eff."].rstrip("x")) > float(row["speedup"].rstrip("x"))

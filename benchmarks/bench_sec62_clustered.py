@@ -1,0 +1,67 @@
+"""Section 6.2 / Fig. 11 — clustered island-style architectures.
+
+The paper proposes 1-D and 2-D clustered architectures to exploit sparsity
+and hypothesises a trade-off: the 1-D organisation is simpler but runs out of
+routing capacity sooner than the 2-D organisation.  The bench maps sparse
+R-MAT graphs onto both styles and reports island utilisation, channel
+congestion, routability and the cell-count savings over a monolithic
+crossbar, plus the memristor-vs-SRAM area advantage.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.crossbar import (
+    AreaModel,
+    ClusteredArchitecture,
+    place_network,
+    route_placement,
+)
+from repro.graph import sparse_random_graph
+
+
+def _run_clustered_study():
+    rows = []
+    for num_vertices in (64, 128, 192):
+        network = sparse_random_graph(num_vertices, 4.0, seed=num_vertices)
+        for style in ("1d", "2d"):
+            architecture = ClusteredArchitecture(
+                num_islands=8,
+                island_size=max(12, num_vertices // 8 + 4),
+                style=style,
+                channel_width=24,
+            )
+            placement = place_network(network, architecture, seed=1)
+            routing = route_placement(network, placement)
+            rows.append(
+                {
+                    "|V|": num_vertices,
+                    "style": style,
+                    "cut edges": placement.num_cut_edges,
+                    "cut fraction": f"{placement.cut_fraction:.1%}",
+                    "peak channel occupancy": routing.max_occupancy,
+                    "required width": routing.required_channel_width(),
+                    "routable@24": "yes" if routing.routable else "no",
+                    "cell savings vs crossbar": f"{architecture.cell_savings():.1f}x",
+                }
+            )
+    area = AreaModel()
+    return rows, area
+
+
+def test_sec62_clustered_architectures(benchmark):
+    rows, area = benchmark(_run_clustered_study)
+
+    print()
+    print(format_table(rows, title="Section 6.2: clustered 1-D vs 2-D architectures"))
+    print(f"memristor vs SRAM cell area advantage: {area.memristor_vs_sram_ratio():.1f}x")
+
+    # Same placement quality feeds both routers, so the 2-D fabric never needs
+    # more tracks than the 1-D bus (the paper's scalability hypothesis).
+    by_size = {}
+    for row in rows:
+        by_size.setdefault(row["|V|"], {})[row["style"]] = row
+    for size, styles in by_size.items():
+        assert styles["2d"]["required width"] <= styles["1d"]["required width"]
+    assert area.memristor_vs_sram_ratio() > 1.3
+    assert all(float(r["cell savings vs crossbar"].rstrip("x")) > 1.0 for r in rows)

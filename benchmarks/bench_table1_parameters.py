@@ -1,0 +1,30 @@
+"""Table 1 — design parameters of the max-flow computing substrate.
+
+Regenerates the parameter table and benchmarks the cost of instantiating and
+validating the full Table 1 configuration (a sanity benchmark: it also
+asserts every paper value).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.config import default_parameters
+
+
+def test_table1_parameters(benchmark):
+    params = benchmark(default_parameters)
+    params.validate()
+    table = params.as_table()
+
+    rows = [{"parameter": name, "value": value} for name, value in table.items()]
+    print()
+    print(format_table(rows, title="Table 1: design parameters (regenerated)"))
+
+    assert table["Memristor LRS resistance (kOhm)"] == 10
+    assert table["Memristor HRS resistance (kOhm)"] == 1000
+    assert table["Objective function voltage Vflow (V)"] == 3
+    assert table["Open loop gain of op-amp"] == 1e4
+    assert 10 <= table["Gain-bandwidth product of op-amp (GHz)"] <= 50
+    assert table["Number of rows in the crossbar"] == 1000
+    assert table["Number of columns in the crossbar"] == 1000
+    assert table["Number of voltage levels"] == 20

@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the regenerated rows/series (use ``pytest benchmarks/ --benchmark-only -s``
+to see them).  The ``REPRO_BENCH_SCALE`` environment variable scales the
+Fig. 10 sweeps: 1.0 reproduces the paper's sizes (minutes of runtime in pure
+Python), the default of 0.25 keeps the full harness in the minutes range
+while preserving the trends.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Workload scale factor for the Fig. 10 sweeps."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

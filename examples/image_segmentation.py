@@ -1,0 +1,101 @@
+"""Computer-vision graph cut on the analog substrate.
+
+The paper motivates max-flow with emerging applications such as computer
+vision [6]: foreground/background segmentation reduces to a minimum s-t cut
+on a grid graph whose terminal capacities encode per-pixel likelihoods and
+whose neighbour capacities encode smoothness.  This example builds such a
+graph for a small synthetic image, segments it exactly (max-flow/min-cut) and
+with the analog substrate, and prints both label maps side by side.
+
+Run with:  python examples/image_segmentation.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import AnalogMaxFlowSolver, FlowNetwork, min_cut, push_relabel
+
+WIDTH, HEIGHT = 12, 8
+SMOOTHNESS = 2.0
+CONTRAST = 6.0
+
+
+def synthetic_image(seed: int = 7):
+    """A noisy image with a bright disc (foreground) on a dark background."""
+    rng = random.Random(seed)
+    image = [[0.0] * WIDTH for _ in range(HEIGHT)]
+    cx, cy, radius = WIDTH * 0.45, HEIGHT * 0.5, min(WIDTH, HEIGHT) * 0.3
+    for y in range(HEIGHT):
+        for x in range(WIDTH):
+            inside = math.hypot(x - cx, y - cy) <= radius
+            base = 0.8 if inside else 0.2
+            image[y][x] = min(1.0, max(0.0, base + rng.gauss(0.0, 0.08)))
+    return image
+
+
+def segmentation_graph(image) -> FlowNetwork:
+    """Boykov-Kolmogorov style segmentation network."""
+    network = FlowNetwork(source="fg", sink="bg")
+
+    def pixel(x: int, y: int) -> str:
+        return f"p{x}_{y}"
+
+    for y in range(HEIGHT):
+        for x in range(WIDTH):
+            intensity = image[y][x]
+            # Terminal links: bright pixels are likely foreground.
+            network.add_edge("fg", pixel(x, y), CONTRAST * intensity)
+            network.add_edge(pixel(x, y), "bg", CONTRAST * (1.0 - intensity))
+            # Smoothness links to the right and bottom neighbours.
+            for dx, dy in ((1, 0), (0, 1)):
+                nx, ny = x + dx, y + dy
+                if nx < WIDTH and ny < HEIGHT:
+                    network.add_edge(pixel(x, y), pixel(nx, ny), SMOOTHNESS)
+                    network.add_edge(pixel(nx, ny), pixel(x, y), SMOOTHNESS)
+    return network
+
+
+def labels_from_cut(source_side) -> list:
+    grid = [["." for _ in range(WIDTH)] for _ in range(HEIGHT)]
+    for y in range(HEIGHT):
+        for x in range(WIDTH):
+            if f"p{x}_{y}" in source_side:
+                grid[y][x] = "#"
+    return grid
+
+
+def render(grid) -> str:
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    image = synthetic_image()
+    network = segmentation_graph(image)
+    print(f"segmentation graph: {network.num_vertices} vertices, {network.num_edges} edges")
+
+    exact_flow = push_relabel(network)
+    cut = min_cut(network, exact_flow)
+    print(f"exact min-cut energy: {cut.cut_value:.2f} (max flow {exact_flow.flow_value:.2f})")
+
+    analog = AnalogMaxFlowSolver(quantize=True, adaptive_drive=True).solve(network)
+    print(f"analog substrate flow value: {analog.flow_value:.2f} "
+          f"(error {abs(analog.flow_value - exact_flow.flow_value) / exact_flow.flow_value:.1%})")
+
+    print("\nexact segmentation ('#' = foreground):")
+    print(render(labels_from_cut(cut.source_side)))
+
+    # An approximate segmentation from the analog solution: pixels whose
+    # foreground terminal link is *not* saturated stay connected to the
+    # source side.
+    analog_side = {"fg"}
+    for edge in network.out_edges("fg"):
+        if analog.edge_flows.get(edge.index, 0.0) < edge.capacity * 0.98:
+            analog_side.add(edge.head)
+    print("\nanalog-substrate segmentation (saturation heuristic):")
+    print(render(labels_from_cut(analog_side)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Transportation-network capacity analysis on the analog substrate.
+
+Max-flow's oldest application is transportation planning [38]: given a road
+network with per-road capacities (vehicles/hour), how much traffic can move
+from a residential district to the business district, and which roads form
+the bottleneck (the min cut)?  This example builds a small synthetic city
+grid with arterial roads, answers both questions exactly and on the analog
+substrate, and then uses the quasi-static analyzer (Section 6.5) to show how
+the achievable throughput ramps up with the drive voltage — the hardware
+analog of progressively loading the network.
+
+Run with:  python examples/traffic_routing.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import AnalogMaxFlowSolver, FlowNetwork, QuasiStaticAnalyzer, min_cut, push_relabel
+
+
+def build_city(seed: int = 3) -> FlowNetwork:
+    """A 4x5 street grid with two fast arterial roads and capacity noise."""
+    rng = random.Random(seed)
+    rows, cols = 4, 5
+    network = FlowNetwork(source="residential", sink="downtown")
+
+    def junction(r: int, c: int) -> str:
+        return f"j{r}{c}"
+
+    for r in range(rows):
+        network.add_edge("residential", junction(r, 0), 1200.0)
+        network.add_edge(junction(r, cols - 1), "downtown", 1200.0)
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                base = 900.0 if r == 1 else 400.0  # row 1 is an arterial road
+                network.add_edge(junction(r, c), junction(r, c + 1), base * rng.uniform(0.8, 1.2))
+            if r + 1 < rows:
+                capacity = 300.0 * rng.uniform(0.8, 1.2)
+                network.add_edge(junction(r, c), junction(r + 1, c), capacity)
+                network.add_edge(junction(r + 1, c), junction(r, c), capacity)
+    return network
+
+
+def main() -> None:
+    network = build_city()
+    exact = push_relabel(network)
+    cut = min_cut(network, exact)
+    analog = AnalogMaxFlowSolver(quantize=True, adaptive_drive=True).solve(network)
+
+    print(f"road network: {network.num_vertices} junctions, {network.num_edges} road segments")
+    print(f"exact peak throughput  : {exact.flow_value:.0f} vehicles/hour")
+    print(f"analog substrate       : {analog.flow_value:.0f} vehicles/hour "
+          f"(error {abs(analog.flow_value - exact.flow_value) / exact.flow_value:.1%})")
+    print("bottleneck roads (min cut):")
+    for index in cut.cut_edges:
+        edge = network.edge(index)
+        print(f"  {edge.tail} -> {edge.head}  ({edge.capacity:.0f} veh/h)")
+
+    print("\nthroughput vs drive voltage (quasi-static ramp, Section 6.5):")
+    trajectory = QuasiStaticAnalyzer(num_points=25, drive_factor=8.0).trace(network)
+    for point in trajectory.points[:: max(1, len(trajectory.points) // 10)]:
+        bar = "#" * int(40 * point.flow_value / max(exact.flow_value, 1.0))
+        print(f"  Vflow {point.vflow_v:8.1f} V -> {point.flow_value:8.0f} veh/h {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The pinned offline environment ships a setuptools without wheel/bdist_wheel
+support, so PEP 517 editable installs fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

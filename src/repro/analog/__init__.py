@@ -1,0 +1,59 @@
+"""The paper's core contribution: the analog max-flow substrate.
+
+This package maps a :class:`~repro.graph.network.FlowNetwork` onto the analog
+circuit of Section 2 of the paper, solves the circuit with the simulator in
+:mod:`repro.circuit`, and reads the max-flow solution back out of the
+steady-state node voltages:
+
+* :mod:`~repro.analog.quantization` — voltage-level quantization of edge
+  capacities (Section 4.1);
+* :mod:`~repro.analog.widgets` — the edge-capacity clamp, flow-conservation
+  and objective circuit widgets (Sections 2.1-2.3), in three realisation
+  styles (ideal negative resistors, finite-gain corrected, and full op-amp
+  NIC devices);
+* :mod:`~repro.analog.compiler` — graph-to-circuit compilation;
+* :mod:`~repro.analog.readout` — recovering edge flows and the flow value
+  (Equation 7a) from a solved circuit;
+* :mod:`~repro.analog.solver` — the high-level :class:`AnalogMaxFlowSolver`;
+* :mod:`~repro.analog.convergence` — convergence-time measurement (transient
+  simulation) and the calibrated analytical estimator used for large graphs;
+* :mod:`~repro.analog.dynamics` — quasi-static trajectory analysis
+  (Section 6.5);
+* :mod:`~repro.analog.mincut_dual` — the min-cut dual analog formulation
+  (Section 6.3);
+* :mod:`~repro.analog.verification` — error metrics against exact solvers.
+"""
+
+from .quantization import VoltageQuantizer, QuantizationResult
+from .widgets import WidgetStyle
+from .compiler import CompiledMaxFlowCircuit, MaxFlowCircuitCompiler
+from .readout import FlowReadout
+from .solver import AnalogMaxFlowResult, AnalogMaxFlowSolver
+from .convergence import (
+    ConvergenceMeasurement,
+    ConvergenceTimeEstimator,
+    measure_convergence_time,
+)
+from .dynamics import QuasiStaticAnalyzer, TrajectoryPoint
+from .mincut_dual import AnalogMinCutSolver, AnalogMinCutResult
+from .verification import SolutionQuality, evaluate_solution
+
+__all__ = [
+    "VoltageQuantizer",
+    "QuantizationResult",
+    "WidgetStyle",
+    "CompiledMaxFlowCircuit",
+    "MaxFlowCircuitCompiler",
+    "FlowReadout",
+    "AnalogMaxFlowResult",
+    "AnalogMaxFlowSolver",
+    "ConvergenceMeasurement",
+    "ConvergenceTimeEstimator",
+    "measure_convergence_time",
+    "QuasiStaticAnalyzer",
+    "TrajectoryPoint",
+    "AnalogMinCutSolver",
+    "AnalogMinCutResult",
+    "SolutionQuality",
+    "evaluate_solution",
+]

@@ -1,0 +1,183 @@
+"""Quasi-static circuit dynamics (Section 6.5).
+
+When ``Vflow`` is a slow-varying drive, the circuit tracks its steady state
+at every instant (the quasi-static approximation).  Sweeping ``Vflow`` and
+solving the DC operating point at each value therefore traces the trajectory
+the node voltages follow through the feasible region of the max-flow LP —
+the paper's Fig. 15 shows that the trajectory moves through the *interior*
+of the feasible region and bends whenever a capacity constraint becomes
+active, and conjectures a connection to interior-point methods.
+
+:class:`QuasiStaticAnalyzer` reproduces that analysis for arbitrary
+instances: it reports the trajectory points, the drive values at which the
+active-constraint set changes (the "breakpoints"), and the final solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import NonIdealityModel, SubstrateParameters
+from ..errors import SimulationError
+from ..graph.network import FlowNetwork
+from ..circuit.analysis import dc_sweep
+from .compiler import MaxFlowCircuitCompiler
+from .readout import FlowReadout
+
+__all__ = ["TrajectoryPoint", "QuasiStaticTrajectory", "QuasiStaticAnalyzer"]
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """State of the substrate at one quasi-static drive level."""
+
+    vflow_v: float
+    edge_voltages: Dict[int, float]
+    edge_flows: Dict[int, float]
+    flow_value: float
+    saturated_edges: Tuple[int, ...]
+
+    def flow_of(self, edge_index: int) -> float:
+        """Flow on one edge at this drive level (0 for inactive edges)."""
+        return self.edge_flows.get(edge_index, 0.0)
+
+
+@dataclass
+class QuasiStaticTrajectory:
+    """The full swept trajectory plus convenience accessors."""
+
+    points: List[TrajectoryPoint]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def final(self) -> TrajectoryPoint:
+        """The last (highest-drive) trajectory point."""
+        if not self.points:
+            raise SimulationError("empty trajectory")
+        return self.points[-1]
+
+    def breakpoints(self) -> List[float]:
+        """Drive voltages at which the set of saturated edges changes."""
+        changes: List[float] = []
+        for previous, current in zip(self.points, self.points[1:]):
+            if previous.saturated_edges != current.saturated_edges:
+                changes.append(current.vflow_v)
+        return changes
+
+    def flow_curve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(vflow values, flow values)`` arrays for plotting/reporting."""
+        vflow = np.array([p.vflow_v for p in self.points])
+        flow = np.array([p.flow_value for p in self.points])
+        return vflow, flow
+
+    def edge_trajectory(self, edge_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(vflow values, flow on edge)`` arrays for one edge."""
+        vflow = np.array([p.vflow_v for p in self.points])
+        flow = np.array([p.flow_of(edge_index) for p in self.points])
+        return vflow, flow
+
+    def saturation_drive(self, tolerance: float = 1e-6) -> float:
+        """Smallest swept drive at which the flow value reaches its final value."""
+        final_value = self.final.flow_value
+        for point in self.points:
+            if point.flow_value >= final_value * (1.0 - tolerance):
+                return point.vflow_v
+        return self.final.vflow_v
+
+
+class QuasiStaticAnalyzer:
+    """Sweeps ``Vflow`` and records the steady-state trajectory.
+
+    Parameters
+    ----------
+    parameters:
+        Substrate parameters; the supply voltage is internally rescaled so
+        that clamp voltages equal the raw capacities (as in the paper's
+        Fig. 15 example, where node voltages are read directly in flow
+        units).
+    nonideal:
+        Non-ideality model (ideal by default).
+    num_points:
+        Number of sweep points between 0 and the maximum drive.
+    drive_factor:
+        The maximum drive is ``drive_factor`` times the largest capacity;
+        the Section 6.5 example needs ``Vflow ~ 4.75 * C``, so the default
+        of 6 leaves headroom.
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[SubstrateParameters] = None,
+        nonideal: Optional[NonIdealityModel] = None,
+        num_points: int = 60,
+        drive_factor: float = 6.0,
+        saturation_tolerance: float = 1e-9,
+    ) -> None:
+        self.parameters = parameters if parameters is not None else SubstrateParameters()
+        self.nonideal = nonideal if nonideal is not None else NonIdealityModel()
+        if num_points < 2:
+            raise SimulationError("a quasi-static sweep needs at least two points")
+        self.num_points = num_points
+        self.drive_factor = drive_factor
+        self.saturation_tolerance = saturation_tolerance
+
+    def trace(
+        self,
+        network: FlowNetwork,
+        vflow_values: Optional[Sequence[float]] = None,
+    ) -> QuasiStaticTrajectory:
+        """Sweep the drive and return the quasi-static trajectory."""
+        max_capacity = network.max_capacity()
+        if max_capacity <= 0:
+            raise SimulationError("the network has no finite positive capacity")
+        # Use the raw capacities as clamp voltages so trajectories read
+        # directly in flow units (scale factor 1).
+        parameters = replace(self.parameters, vdd_v=max_capacity)
+        compiler = MaxFlowCircuitCompiler(
+            parameters=parameters,
+            nonideal=self.nonideal,
+            quantize=False,
+            style="ideal",
+            prune=True,
+        )
+        if vflow_values is None:
+            vmax = self.drive_factor * max_capacity
+            vflow_values = np.linspace(0.0, vmax, self.num_points)
+        compiled = compiler.compile(network, vflow_v=float(np.max(vflow_values)))
+        readout = FlowReadout(compiled)
+        solutions = dc_sweep(compiled.circuit, compiled.vflow_source, list(vflow_values))
+
+        points: List[TrajectoryPoint] = []
+        for vflow, solution in zip(vflow_values, solutions):
+            edge_voltages = readout.edge_voltages(solution.voltages)
+            edge_flows = readout.edge_flows(solution.voltages)
+            flow_value = readout.flow_value_from_voltages(solution.voltages)
+            saturated = tuple(
+                sorted(
+                    index
+                    for index, voltage in edge_voltages.items()
+                    if index in compiled.quantization.voltage_of_edge
+                    and voltage
+                    >= compiled.quantization.voltage_of_edge[index]
+                    - max(self.saturation_tolerance, 1e-9)
+                    and voltage > 0
+                )
+            )
+            points.append(
+                TrajectoryPoint(
+                    vflow_v=float(vflow),
+                    edge_voltages=edge_voltages,
+                    edge_flows=edge_flows,
+                    flow_value=flow_value,
+                    saturated_edges=saturated,
+                )
+            )
+        return QuasiStaticTrajectory(points)

@@ -1,0 +1,229 @@
+"""Analog solver for the min-cut dual formulation (Section 6.3).
+
+The min-cut LP of Fig. 12 is
+
+    minimize    sum_{(i,j) in E} c_ij * d_ij
+    subject to  d_ij - p_i + p_j >= 0      for every edge (i, j)
+                p_s - p_t >= 1
+                p_i >= 0, d_ij >= 0
+
+where ``p_i`` indicates which side of the cut vertex ``i`` lies on and
+``d_ij`` indicates whether edge ``(i, j)`` crosses the cut.  The paper maps
+this LP onto a mesh of elementary analog cells (Fig. 13-14); here the cells
+are modelled with the generic analog-LP dynamical substrate of
+:mod:`repro.analoglp` (the Vichik-Borrelli model the paper builds on), which
+yields the same two observables: the analog objective value and the settled
+variable values.  Rounding ``p`` at 0.5 recovers a discrete cut whose
+capacity is compared against the exact minimum cut (equal to the max-flow
+value by strong duality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..analoglp import AnalogLPResult, AnalogLPSolver, LinearProgram
+from ..errors import AlgorithmError
+from ..flows.mincut import MinCutResult, min_cut
+from ..graph.network import FlowNetwork
+
+__all__ = ["AnalogMinCutSolver", "AnalogMinCutResult", "build_mincut_lp"]
+
+Vertex = Hashable
+
+
+def build_mincut_lp(
+    network: FlowNetwork,
+    box_bounds: bool = True,
+    infinite_capacity: Optional[float] = None,
+) -> Tuple[LinearProgram, List[Vertex], List[int]]:
+    """Build the Fig. 12 min-cut LP for ``network``.
+
+    Returns the LP plus the vertex order (for the ``p`` block) and the edge
+    index order (for the ``d`` block).
+
+    Parameters
+    ----------
+    box_bounds:
+        Additionally impose ``p_i <= 1`` and ``d_ij <= 1``.  The optimum of
+        the min-cut LP always has such a 0/1 solution, so the bounds do not
+        change the optimal value, but they keep the analog dynamics bounded —
+        the physical circuit obtains the same effect from its supply rails.
+    infinite_capacity:
+        Cost used for uncapacitated edges; defaults to the total finite
+        capacity plus one.
+    """
+    vertices = network.vertices()
+    edges = network.edges()
+    if not edges:
+        raise AlgorithmError("cannot build a min-cut LP for an edgeless network")
+    vertex_position = {v: i for i, v in enumerate(vertices)}
+    num_p = len(vertices)
+    num_d = len(edges)
+    n = num_p + num_d
+    big = infinite_capacity if infinite_capacity is not None else network.total_capacity() + 1.0
+
+    objective = np.zeros(n)
+    for k, edge in enumerate(edges):
+        objective[num_p + k] = edge.capacity if not edge.is_uncapacitated else big
+
+    # Inequalities in <= form:  p_i - p_j - d_ij <= 0  and  p_t - p_s <= -1.
+    rows = []
+    rhs = []
+    for k, edge in enumerate(edges):
+        row = np.zeros(n)
+        row[vertex_position[edge.tail]] = 1.0
+        row[vertex_position[edge.head]] = -1.0
+        row[num_p + k] = -1.0
+        rows.append(row)
+        rhs.append(0.0)
+    source_row = np.zeros(n)
+    source_row[vertex_position[network.source]] = -1.0
+    source_row[vertex_position[network.sink]] = 1.0
+    rows.append(source_row)
+    rhs.append(-1.0)
+
+    lower = np.zeros(n)
+    upper = np.ones(n) if box_bounds else np.full(n, np.inf)
+    names = [f"p[{v}]" for v in vertices] + [f"d[{e.tail}->{e.head}]" for e in edges]
+    problem = LinearProgram(
+        objective=objective,
+        inequality_matrix=np.vstack(rows),
+        inequality_rhs=np.asarray(rhs),
+        lower_bounds=lower,
+        upper_bounds=upper,
+        names=names,
+    )
+    return problem, vertices, [e.index for e in edges]
+
+
+@dataclass
+class AnalogMinCutResult:
+    """Result of the analog min-cut solve.
+
+    Attributes
+    ----------
+    lp_objective:
+        Objective value reached by the analog dynamics (the analog estimate
+        of the min-cut capacity).
+    cut_value:
+        Capacity of the *rounded* cut (always an upper bound on the true
+        minimum cut).
+    partition:
+        Rounded 0/1 label per vertex (1 = source side).
+    cut_edges:
+        Edge indices crossing the rounded cut.
+    p_values, d_values:
+        Raw analog variable values.
+    settling_time:
+        Settling time of the analog dynamics (model seconds).
+    exact_value:
+        Exact min-cut capacity (for the relative-error report).
+    """
+
+    lp_objective: float
+    cut_value: float
+    partition: Dict[Vertex, int]
+    cut_edges: Tuple[int, ...]
+    p_values: Dict[Vertex, float]
+    d_values: Dict[int, float]
+    settling_time: float
+    exact_value: Optional[float] = None
+    analog: AnalogLPResult = field(default=None, repr=False)
+
+    @property
+    def relative_error(self) -> float:
+        """Relative error of the analog objective against the exact min cut."""
+        if self.exact_value is None or self.exact_value == 0:
+            return 0.0
+        return abs(self.lp_objective - self.exact_value) / self.exact_value
+
+    @property
+    def rounded_relative_error(self) -> float:
+        """Relative error of the rounded cut against the exact min cut."""
+        if self.exact_value is None or self.exact_value == 0:
+            return 0.0
+        return abs(self.cut_value - self.exact_value) / self.exact_value
+
+    def source_side(self) -> FrozenSet[Vertex]:
+        """Vertices on the source side of the rounded cut."""
+        return frozenset(v for v, label in self.partition.items() if label == 1)
+
+
+class AnalogMinCutSolver:
+    """Solve the min-cut dual on the analog LP substrate.
+
+    Parameters
+    ----------
+    gain:
+        Constraint feedback gain of the analog dynamics; scaled internally by
+        the largest edge capacity so the penalty strength tracks the
+        objective's magnitude.
+    t_final:
+        Integration horizon of the dynamics.
+    compare_exact:
+        Also compute the exact min cut (via max-flow) for error reporting.
+    """
+
+    def __init__(
+        self,
+        gain: float = 300.0,
+        t_final: float = 60.0,
+        compare_exact: bool = True,
+        rounding_threshold: float = 0.5,
+    ) -> None:
+        self.gain = gain
+        self.t_final = t_final
+        self.compare_exact = compare_exact
+        self.rounding_threshold = rounding_threshold
+
+    def solve(self, network: FlowNetwork) -> AnalogMinCutResult:
+        """Solve the min-cut dual of ``network`` on the analog substrate."""
+        problem, vertices, edge_order = build_mincut_lp(network)
+        max_capacity = max(network.max_capacity(), 1.0)
+        solver = AnalogLPSolver(
+            gain=self.gain * max_capacity,
+            t_final=self.t_final,
+        )
+        analog = solver.solve(problem)
+
+        num_p = len(vertices)
+        p_values = {v: float(analog.x[i]) for i, v in enumerate(vertices)}
+        d_values = {
+            edge_index: float(analog.x[num_p + k]) for k, edge_index in enumerate(edge_order)
+        }
+        partition = {
+            v: (1 if value >= self.rounding_threshold else 0) for v, value in p_values.items()
+        }
+        # The source must be on the source side and the sink on the sink side
+        # regardless of rounding noise.
+        partition[network.source] = 1
+        partition[network.sink] = 0
+
+        source_side = {v for v, label in partition.items() if label == 1}
+        cut_edges = tuple(
+            edge.index
+            for edge in network.edges()
+            if edge.tail in source_side and edge.head not in source_side
+        )
+        cut_value = sum(network.edge(i).capacity for i in cut_edges)
+
+        exact_value: Optional[float] = None
+        if self.compare_exact:
+            exact: MinCutResult = min_cut(network)
+            exact_value = exact.cut_value
+
+        return AnalogMinCutResult(
+            lp_objective=analog.objective_value,
+            cut_value=float(cut_value),
+            partition=partition,
+            cut_edges=cut_edges,
+            p_values=p_values,
+            d_values=d_values,
+            settling_time=analog.settling_time,
+            exact_value=exact_value,
+            analog=analog,
+        )

@@ -1,0 +1,204 @@
+"""Voltage-level quantization of edge capacities (Section 4.1).
+
+Driving every edge-capacity clamp from a dedicated, exact voltage source is
+impractical, so the paper maps capacities onto ``N`` uniformly spaced voltage
+levels in ``[0, Vdd]`` and shares one source per level:
+
+    ``Q(x) = floor((x / C) * N) / N * Vdd``
+
+where ``C`` is the largest edge capacity of the instance.  The circuit
+solution is mapped back to flow units by multiplying with ``C / Vdd``.  The
+worst-case per-edge quantization error is one quantization step, ``C / N``.
+
+The worked example of Fig. 8 (capacities 3, 2, 1 with N = 20 and
+Vdd = 1 V mapping to 1 V, 0.65 V and 0.35 V) actually rounds to the *nearest*
+level rather than flooring, so both modes are provided; ``"round"`` is the
+default because it reproduces the figure and halves the expected error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import QuantizationError
+from ..graph.network import FlowNetwork
+
+__all__ = ["VoltageQuantizer", "QuantizationResult"]
+
+
+@dataclass(frozen=True)
+class QuantizationResult:
+    """Outcome of quantizing one max-flow instance.
+
+    Attributes
+    ----------
+    num_levels:
+        Number of voltage levels ``N``.
+    vdd:
+        Supply voltage defining the level range.
+    max_capacity:
+        Largest finite edge capacity ``C`` of the instance.
+    level_of_edge:
+        Level index (1..N) assigned to each finite-capacity edge; edges with
+        infinite capacity are absent (they receive no clamp).
+    voltage_of_edge:
+        Clamp voltage assigned to each finite-capacity edge.
+    mode:
+        ``"round"`` or ``"floor"``.
+    """
+
+    num_levels: int
+    vdd: float
+    max_capacity: float
+    level_of_edge: Dict[int, int]
+    voltage_of_edge: Dict[int, float]
+    mode: str = "round"
+
+    # -- unit conversion -----------------------------------------------------
+
+    @property
+    def scale(self) -> float:
+        """Multiply a circuit voltage by this factor to obtain flow units."""
+        if self.max_capacity <= 0:
+            return 1.0
+        return self.max_capacity / self.vdd
+
+    @property
+    def step_voltage(self) -> float:
+        """Voltage difference between adjacent levels."""
+        return self.vdd / self.num_levels
+
+    @property
+    def worst_case_edge_error(self) -> float:
+        """Worst-case per-edge capacity error in flow units (``C / N``)."""
+        return self.max_capacity / self.num_levels
+
+    def to_flow(self, voltage: float) -> float:
+        """Convert a circuit voltage back to flow units."""
+        return voltage * self.scale
+
+    def to_voltage(self, capacity: float) -> float:
+        """Convert a capacity in flow units to the (unquantized) voltage."""
+        if self.max_capacity <= 0:
+            return 0.0
+        return capacity / self.max_capacity * self.vdd
+
+    def level_voltages(self) -> List[float]:
+        """The distinct clamp voltages actually used by this instance."""
+        return sorted(set(self.voltage_of_edge.values()))
+
+    def quantized_capacity(self, edge_index: int) -> float:
+        """Quantized capacity of an edge, expressed in flow units."""
+        return self.to_flow(self.voltage_of_edge[edge_index])
+
+
+class VoltageQuantizer:
+    """Maps edge capacities to shared voltage levels.
+
+    Parameters
+    ----------
+    num_levels:
+        Number of voltage levels ``N`` (Table 1 uses 20).
+    vdd:
+        Supply voltage (Table 1 uses 1 V).
+    mode:
+        ``"round"`` (nearest level, reproduces Fig. 8) or ``"floor"``
+        (the formula as printed in Section 4.1).
+    clamp_zero_to_first_level:
+        When set, a nonzero capacity that would quantize to level 0 (i.e. to
+        a 0 V clamp, disabling the edge entirely) is promoted to level 1.
+        This keeps very small capacities usable at the cost of a one-step
+        overestimate and mirrors what a practical mapper would do.
+    """
+
+    def __init__(
+        self,
+        num_levels: int = 20,
+        vdd: float = 1.0,
+        mode: str = "round",
+        clamp_zero_to_first_level: bool = False,
+    ) -> None:
+        if num_levels < 2:
+            raise QuantizationError("at least two voltage levels are required")
+        if vdd <= 0:
+            raise QuantizationError("Vdd must be positive")
+        if mode not in ("round", "floor"):
+            raise QuantizationError(f"unknown quantization mode {mode!r}")
+        self.num_levels = int(num_levels)
+        self.vdd = float(vdd)
+        self.mode = mode
+        self.clamp_zero_to_first_level = clamp_zero_to_first_level
+
+    # ------------------------------------------------------------------
+
+    def level_of(self, capacity: float, max_capacity: float) -> int:
+        """Level index (0..N) assigned to one capacity value."""
+        if capacity < 0:
+            raise QuantizationError("capacities must be non-negative")
+        if max_capacity <= 0:
+            return 0
+        ratio = min(capacity / max_capacity, 1.0) * self.num_levels
+        if self.mode == "round":
+            level = int(round(ratio))
+        else:
+            level = int(math.floor(ratio))
+        level = max(0, min(level, self.num_levels))
+        if level == 0 and capacity > 0 and self.clamp_zero_to_first_level:
+            level = 1
+        return level
+
+    def voltage_of_level(self, level: int) -> float:
+        """Clamp voltage of a level index."""
+        if not 0 <= level <= self.num_levels:
+            raise QuantizationError(f"level {level} outside [0, {self.num_levels}]")
+        return level / self.num_levels * self.vdd
+
+    def quantize(self, network: FlowNetwork) -> QuantizationResult:
+        """Quantize every finite-capacity edge of ``network``."""
+        max_capacity = network.max_capacity()
+        level_of_edge: Dict[int, int] = {}
+        voltage_of_edge: Dict[int, float] = {}
+        for edge in network.edges():
+            if edge.is_uncapacitated:
+                continue
+            level = self.level_of(edge.capacity, max_capacity)
+            level_of_edge[edge.index] = level
+            voltage_of_edge[edge.index] = self.voltage_of_level(level)
+        return QuantizationResult(
+            num_levels=self.num_levels,
+            vdd=self.vdd,
+            max_capacity=max_capacity,
+            level_of_edge=level_of_edge,
+            voltage_of_edge=voltage_of_edge,
+            mode=self.mode,
+        )
+
+    def identity(self, network: FlowNetwork) -> QuantizationResult:
+        """Return a non-quantizing result (exact capacities as voltages).
+
+        Used by the solver's ``quantize=False`` mode: capacities are only
+        *scaled* into the ``[0, Vdd]`` range (so that the circuit operates at
+        realistic voltage levels) but not snapped to discrete levels.
+        """
+        max_capacity = network.max_capacity()
+        voltage_of_edge: Dict[int, float] = {}
+        level_of_edge: Dict[int, int] = {}
+        for edge in network.edges():
+            if edge.is_uncapacitated:
+                continue
+            if max_capacity > 0:
+                voltage = edge.capacity / max_capacity * self.vdd
+            else:
+                voltage = 0.0
+            voltage_of_edge[edge.index] = voltage
+            level_of_edge[edge.index] = self.num_levels
+        return QuantizationResult(
+            num_levels=self.num_levels,
+            vdd=self.vdd,
+            max_capacity=max_capacity,
+            level_of_edge=level_of_edge,
+            voltage_of_edge=voltage_of_edge,
+            mode="identity",
+        )

@@ -1,0 +1,138 @@
+"""Reading the max-flow solution out of a solved circuit.
+
+Upon convergence the edge-node voltages encode the per-edge flows (scaled by
+the quantization factor ``C / Vdd``), and the flow value can be obtained in
+two ways that the paper both uses:
+
+* summing the source-adjacent edge voltages (the definition of ``|f|``);
+* measuring the current drawn from the ``Vflow`` source and applying
+  Equation 7a, ``sum(V_xi) = t * Vflow - r * I_flow`` — this is how the
+  physical substrate reads out the answer, because the internal nodes are
+  not observable (limitation 3 in Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..circuit.dc import DCSolution
+from ..circuit.transient import TransientResult
+from ..errors import CircuitError
+from .compiler import CompiledMaxFlowCircuit
+
+__all__ = ["FlowReadout"]
+
+
+@dataclass
+class FlowReadout:
+    """Decodes node voltages of a compiled circuit into flow quantities."""
+
+    compiled: CompiledMaxFlowCircuit
+
+    # ------------------------------------------------------------------
+    # Voltage -> flow decoding
+    # ------------------------------------------------------------------
+
+    def edge_voltages(self, voltages: Mapping[str, float]) -> Dict[int, float]:
+        """Per-edge node voltage for every *active* edge."""
+        result: Dict[int, float] = {}
+        for index, node in self.compiled.edge_node.items():
+            try:
+                result[index] = float(voltages[node])
+            except KeyError as exc:
+                raise CircuitError(f"solution does not contain node {node!r}") from exc
+        return result
+
+    def edge_flows(self, voltages: Mapping[str, float]) -> Dict[int, float]:
+        """Per-edge flow (flow units) for **every** edge of the network.
+
+        Inactive (pruned) edges are reported with zero flow.  Voltages are
+        clipped at zero: a slightly negative steady-state voltage (possible
+        with strong non-idealities) means "no flow".
+        """
+        scale = self.compiled.quantization.scale
+        flows = {edge.index: 0.0 for edge in self.compiled.network.edges()}
+        for index, voltage in self.edge_voltages(voltages).items():
+            flows[index] = max(0.0, voltage) * scale
+        return flows
+
+    def flow_value_from_voltages(self, voltages: Mapping[str, float]) -> float:
+        """Flow value ``|f|`` obtained by summing source-edge voltages."""
+        scale = self.compiled.quantization.scale
+        total_v = sum(
+            voltages[self.compiled.edge_node[i]] for i in self.compiled.source_edge_indices
+        )
+        return max(0.0, total_v) * scale
+
+    def flow_value_from_source_current(
+        self, vflow_branch_current: float, vflow_v: Optional[float] = None
+    ) -> float:
+        """Flow value via Equation 7a, using the measured ``Vflow`` current.
+
+        Parameters
+        ----------
+        vflow_branch_current:
+            Branch current of the ``Vflow`` source using the SPICE sign
+            convention (current flowing from the + terminal *through* the
+            source); the current delivered to the circuit is its negative.
+        vflow_v:
+            The drive voltage; defaults to the compiled value.
+        """
+        vflow = self.compiled.vflow_v if vflow_v is None else float(vflow_v)
+        t = len(self.compiled.source_edge_indices)
+        r = self.compiled.parameters.unit_resistance_ohm
+        delivered_current = -vflow_branch_current
+        total_v = t * vflow - r * delivered_current
+        return max(0.0, total_v) * self.compiled.quantization.scale
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers for solver results
+    # ------------------------------------------------------------------
+
+    def from_dc(self, solution: DCSolution) -> Dict[str, object]:
+        """Decode a DC operating point into flow quantities."""
+        voltages = solution.voltages
+        return {
+            "edge_flows": self.edge_flows(voltages),
+            "edge_voltages": self.edge_voltages(voltages),
+            "flow_value": self.flow_value_from_voltages(voltages),
+            "flow_value_from_current": self.flow_value_from_source_current(
+                solution.branch_currents[self.compiled.vflow_source]
+            ),
+        }
+
+    def from_transient(self, result: TransientResult) -> Dict[str, object]:
+        """Decode the final time point of a transient simulation."""
+        final_voltages = {name: values[-1] for name, values in result.node_voltages.items()}
+        decoded = {
+            "edge_flows": self.edge_flows(final_voltages),
+            "edge_voltages": self.edge_voltages(final_voltages),
+            "flow_value": self.flow_value_from_voltages(final_voltages),
+        }
+        if self.compiled.vflow_source in result.branch_currents:
+            decoded["flow_value_from_current"] = self.flow_value_from_source_current(
+                float(result.branch_currents[self.compiled.vflow_source][-1])
+            )
+        else:
+            decoded["flow_value_from_current"] = decoded["flow_value"]
+        return decoded
+
+    def flow_waveform(self, result: TransientResult):
+        """Time evolution of the flow value during a transient run.
+
+        Returns a :class:`~repro.circuit.waveform.Waveform` of the flow value
+        (in flow units), computed by summing the source-edge node voltages at
+        every time point.  This is the signal whose 0.1 % settling time the
+        paper reports as the convergence time.
+        """
+        import numpy as np
+
+        from ..circuit.waveform import Waveform
+
+        scale = self.compiled.quantization.scale
+        total = np.zeros_like(result.times)
+        for index in self.compiled.source_edge_indices:
+            node = self.compiled.edge_node[index]
+            total = total + result.node_voltages[node]
+        return Waveform(result.times, np.maximum(total, 0.0) * scale, name="flow_value")

@@ -1,0 +1,273 @@
+"""High-level analog max-flow solver.
+
+:class:`AnalogMaxFlowSolver` packages the full pipeline of the paper:
+quantize -> compile to the analog circuit -> solve the circuit (DC operating
+point for the steady-state answer, or a transient simulation when the
+convergence time is of interest) -> read the flow back out and convert to
+flow units.  It also supports an *adaptive drive* mode that raises ``Vflow``
+until the flow value stops improving, which quantifies the finite-drive
+error discussed in Section 6.5 (and exercised by ablation bench A4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..config import NonIdealityModel, SubstrateParameters
+from ..errors import CircuitError
+from ..graph.analysis import is_source_sink_connected
+from ..graph.network import FlowNetwork
+from ..circuit.dc import DCOperatingPoint
+from .compiler import CompiledMaxFlowCircuit, MaxFlowCircuitCompiler
+from .readout import FlowReadout
+from .verification import SolutionQuality, evaluate_solution
+
+__all__ = ["AnalogMaxFlowSolver", "AnalogMaxFlowResult"]
+
+
+@dataclass
+class AnalogMaxFlowResult:
+    """Result of solving a max-flow instance on the analog substrate.
+
+    Attributes
+    ----------
+    flow_value:
+        Flow value decoded from the source-edge voltages (flow units).
+    flow_value_from_current:
+        Flow value decoded from the ``Vflow`` source current via
+        Equation 7a — the readout a physical substrate would use.
+    edge_flows:
+        Per-edge flows (flow units) for every edge of the input network.
+    edge_voltages:
+        Raw steady-state voltages of the active edge nodes.
+    method:
+        ``"dc"`` or ``"transient"``.
+    vflow_v:
+        Objective drive voltage used for the final solve.
+    convergence_time_s:
+        Settling time of the flow value (only for transient solves).
+    solver_wall_time_s:
+        Wall-clock time spent simulating (not a hardware estimate).
+    dc_iterations:
+        Diode-state iterations of the final DC solve.
+    compiled:
+        The compiled circuit (kept for inspection, power modelling, ...).
+    """
+
+    flow_value: float
+    flow_value_from_current: float
+    edge_flows: Dict[int, float]
+    edge_voltages: Dict[int, float]
+    method: str
+    vflow_v: float
+    convergence_time_s: Optional[float] = None
+    solver_wall_time_s: float = 0.0
+    dc_iterations: int = 0
+    compiled: CompiledMaxFlowCircuit = field(default=None, repr=False)
+
+    def quality(self, network: FlowNetwork, exact_value: Optional[float] = None) -> SolutionQuality:
+        """Evaluate this result against the exact optimum of ``network``."""
+        return evaluate_solution(network, self.flow_value, self.edge_flows, exact_value)
+
+
+class AnalogMaxFlowSolver:
+    """Solve max-flow instances on the simulated analog substrate.
+
+    Parameters
+    ----------
+    parameters:
+        Substrate design parameters (Table 1 defaults).
+    nonideal:
+        Non-ideality model (ideal by default).
+    quantize:
+        Apply the Section 4.1 voltage-level quantization.
+    style:
+        Negative-resistor realisation: ``"ideal"``, ``"finite-gain"`` or
+        ``"device"``.  Steady-state accuracy studies use the first two;
+        convergence-time studies need ``"device"``.
+    prune:
+        Drop edges/vertices that cannot carry s-t flow before compiling.
+    adaptive_drive:
+        When set, ``Vflow`` is doubled (up to ``max_drive_doublings`` times)
+        until the flow value improves by less than ``drive_tolerance``
+        relative; this removes the finite-drive error at the cost of extra
+        solves.
+    seed:
+        Seed for the non-ideality random draws.
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[SubstrateParameters] = None,
+        nonideal: Optional[NonIdealityModel] = None,
+        quantize: bool = True,
+        style: str = "ideal",
+        prune: bool = True,
+        adaptive_drive: bool = False,
+        drive_tolerance: float = 1e-4,
+        max_drive_doublings: int = 8,
+        quantizer_mode: str = "round",
+        seed: Optional[int] = None,
+    ) -> None:
+        self.parameters = parameters if parameters is not None else SubstrateParameters()
+        self.nonideal = nonideal if nonideal is not None else NonIdealityModel()
+        self.quantize = quantize
+        self.style = style
+        self.prune = prune
+        self.adaptive_drive = adaptive_drive
+        self.drive_tolerance = drive_tolerance
+        self.max_drive_doublings = max_drive_doublings
+        self.quantizer_mode = quantizer_mode
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def compiler(self) -> MaxFlowCircuitCompiler:
+        """The compiler configured consistently with this solver."""
+        return MaxFlowCircuitCompiler(
+            parameters=self.parameters,
+            nonideal=self.nonideal,
+            quantize=self.quantize,
+            style=self.style,
+            prune=self.prune,
+            quantizer_mode=self.quantizer_mode,
+            seed=self.seed,
+        )
+
+    def compile(self, network: FlowNetwork, vflow_v: Optional[float] = None) -> CompiledMaxFlowCircuit:
+        """Compile ``network`` without solving it."""
+        return self.compiler().compile(network, vflow_v=vflow_v)
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        network: FlowNetwork,
+        method: str = "dc",
+        vflow_v: Optional[float] = None,
+        measure_convergence: bool = False,
+    ) -> AnalogMaxFlowResult:
+        """Solve a max-flow instance.
+
+        Parameters
+        ----------
+        method:
+            ``"dc"`` computes the steady state directly (fast, used for
+            accuracy studies); ``"transient"`` additionally simulates the
+            settling behaviour, which requires the ``"device"`` or at least a
+            parasitic-capacitance-enabled configuration to be meaningful.
+        vflow_v:
+            Override of the objective drive voltage.
+        measure_convergence:
+            For ``method="transient"``: also report the 0.1 % settling time
+            of the flow value.
+        """
+        start = time.perf_counter()
+        if not is_source_sink_connected(network):
+            return self._zero_result(network, method, start)
+
+        if method == "dc":
+            result = self._solve_dc(network, vflow_v)
+        elif method == "transient":
+            result = self._solve_transient(network, vflow_v, measure_convergence)
+        else:
+            raise CircuitError(f"unknown solve method {method!r}")
+        result.solver_wall_time_s = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _zero_result(self, network: FlowNetwork, method: str, start: float) -> AnalogMaxFlowResult:
+        return AnalogMaxFlowResult(
+            flow_value=0.0,
+            flow_value_from_current=0.0,
+            edge_flows={edge.index: 0.0 for edge in network.edges()},
+            edge_voltages={},
+            method=method,
+            vflow_v=self.parameters.vflow_v,
+            solver_wall_time_s=time.perf_counter() - start,
+        )
+
+    def _solve_dc(self, network: FlowNetwork, vflow_v: Optional[float]) -> AnalogMaxFlowResult:
+        vflow = float(vflow_v) if vflow_v is not None else self.parameters.vflow_v
+        compiled, decoded, iterations = self._dc_at_drive(network, vflow)
+        if self.adaptive_drive:
+            for _ in range(self.max_drive_doublings):
+                next_vflow = vflow * 2.0
+                next_compiled, next_decoded, next_iterations = self._dc_at_drive(
+                    network, next_vflow
+                )
+                previous_value = decoded["flow_value"]
+                improvement = next_decoded["flow_value"] - previous_value
+                relative = improvement / previous_value if previous_value > 0 else float("inf")
+                compiled, decoded, iterations, vflow = (
+                    next_compiled,
+                    next_decoded,
+                    next_iterations,
+                    next_vflow,
+                )
+                if previous_value > 0 and relative < self.drive_tolerance:
+                    break
+        return AnalogMaxFlowResult(
+            flow_value=decoded["flow_value"],
+            flow_value_from_current=decoded["flow_value_from_current"],
+            edge_flows=decoded["edge_flows"],
+            edge_voltages=decoded["edge_voltages"],
+            method="dc",
+            vflow_v=vflow,
+            dc_iterations=iterations,
+            compiled=compiled,
+        )
+
+    def _dc_at_drive(self, network: FlowNetwork, vflow: float):
+        compiled = self.compile(network, vflow_v=vflow)
+        solution = DCOperatingPoint().solve(compiled.circuit)
+        if not solution.converged:
+            # Drive stepping (the SPICE "source stepping" continuation): ramp
+            # Vflow from a benign level up to the target, warm-starting the
+            # diode states at every step.  High drives activate many clamps
+            # at once, which can trap the plain fixed-point iteration in a
+            # cycle; following the physical turn-on sequence avoids that.
+            solution = self._source_stepped_dc(compiled, vflow)
+        readout = FlowReadout(compiled)
+        decoded = readout.from_dc(solution)
+        return compiled, decoded, solution.iterations
+
+    @staticmethod
+    def _source_stepped_dc(compiled, vflow: float, steps: int = 10):
+        from ..circuit.analysis import dc_sweep
+
+        start = min(compiled.parameters.vdd_v, vflow)
+        levels = [start + (vflow - start) * i / (steps - 1) for i in range(steps)]
+        solutions = dc_sweep(compiled.circuit, compiled.vflow_source, levels, warm_start=True)
+        return solutions[-1]
+
+    def _solve_transient(
+        self,
+        network: FlowNetwork,
+        vflow_v: Optional[float],
+        measure_convergence: bool,
+    ) -> AnalogMaxFlowResult:
+        from .convergence import measure_convergence_time
+
+        vflow = float(vflow_v) if vflow_v is not None else self.parameters.vflow_v
+        compiled = self.compile(network, vflow_v=vflow)
+        measurement = measure_convergence_time(
+            compiled, tolerance=self.parameters.convergence_tolerance
+        )
+        readout = FlowReadout(compiled)
+        decoded = readout.from_transient(measurement.transient)
+        return AnalogMaxFlowResult(
+            flow_value=decoded["flow_value"],
+            flow_value_from_current=decoded["flow_value_from_current"],
+            edge_flows=decoded["edge_flows"],
+            edge_voltages=decoded["edge_voltages"],
+            method="transient",
+            vflow_v=vflow,
+            convergence_time_s=(
+                measurement.convergence_time_s if measure_convergence else None
+            ),
+            compiled=compiled,
+        )

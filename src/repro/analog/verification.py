@@ -1,0 +1,105 @@
+"""Solution-quality metrics for the analog substrate.
+
+The paper quantifies solution quality as the relative error of the circuit's
+flow value against the exact optimum (Fig. 10 reports errors below 8 %, with
+averages of 3.7 % for dense and 5.4 % for sparse graphs).  This module
+computes that metric plus feasibility diagnostics (capacity and conservation
+violations of the decoded per-edge flows), which expose *why* a particular
+non-ideality hurts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..flows.dinic import Dinic
+from ..graph.network import FlowNetwork
+
+__all__ = ["SolutionQuality", "evaluate_solution"]
+
+
+@dataclass(frozen=True)
+class SolutionQuality:
+    """Quality of an analog solution relative to the exact optimum.
+
+    Attributes
+    ----------
+    analog_value:
+        Flow value reported by the analog substrate.
+    exact_value:
+        Exact max-flow value.
+    relative_error:
+        ``|analog - exact| / exact`` (0 when the exact value is 0).
+    signed_error:
+        ``(analog - exact) / exact`` — negative means the substrate
+        under-estimates the flow (typical of insufficient ``Vflow`` drive),
+        positive means it over-estimates (typical of quantization rounding
+        capacities upward).
+    max_capacity_violation:
+        Largest per-edge excess of decoded flow over capacity (flow units).
+    max_conservation_violation:
+        Largest per-vertex conservation residual of the decoded flows.
+    """
+
+    analog_value: float
+    exact_value: float
+    relative_error: float
+    signed_error: float
+    max_capacity_violation: float
+    max_conservation_violation: float
+
+    @property
+    def within(self) -> float:
+        """Alias of :attr:`relative_error` kept for readable assertions."""
+        return self.relative_error
+
+
+def evaluate_solution(
+    network: FlowNetwork,
+    analog_value: float,
+    edge_flows: Optional[Mapping[int, float]] = None,
+    exact_value: Optional[float] = None,
+) -> SolutionQuality:
+    """Compare an analog solution against the exact optimum.
+
+    Parameters
+    ----------
+    network:
+        The original flow network.
+    analog_value:
+        Flow value reported by the analog solver.
+    edge_flows:
+        Optional decoded per-edge flows for feasibility diagnostics.
+    exact_value:
+        Exact max-flow value; computed with Dinic's algorithm when omitted.
+    """
+    if exact_value is None:
+        exact_value = Dinic().solve(network).flow_value
+
+    if exact_value != 0:
+        signed = (analog_value - exact_value) / exact_value
+    else:
+        signed = 0.0 if analog_value == 0 else float("inf")
+    relative = abs(signed)
+
+    max_capacity_violation = 0.0
+    max_conservation_violation = 0.0
+    if edge_flows is not None:
+        for edge in network.edges():
+            flow = edge_flows.get(edge.index, 0.0)
+            if not edge.is_uncapacitated:
+                max_capacity_violation = max(max_capacity_violation, flow - edge.capacity)
+            max_capacity_violation = max(max_capacity_violation, -flow)
+        for vertex in network.internal_vertices():
+            residual = network.excess(dict(edge_flows), vertex)
+            max_conservation_violation = max(max_conservation_violation, abs(residual))
+
+    return SolutionQuality(
+        analog_value=float(analog_value),
+        exact_value=float(exact_value),
+        relative_error=float(relative),
+        signed_error=float(signed),
+        max_capacity_violation=float(max_capacity_violation),
+        max_conservation_violation=float(max_conservation_violation),
+    )

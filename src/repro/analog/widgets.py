@@ -1,0 +1,339 @@
+"""Circuit widgets of the analog max-flow substrate (Sections 2.1-2.3).
+
+The compiler composes three widget types:
+
+* **capacity clamp** (Fig. 1): two diodes and a (shared) clamp voltage source
+  keep an edge-node voltage inside ``[0, c_e]``;
+* **negation widget + conservation widget** (Fig. 2): for every incoming edge
+  a small sub-circuit produces the negated edge voltage, and a per-vertex
+  node with a negative resistor ``-r/N`` to ground enforces
+  ``sum(in) = sum(out)``;
+* **objective widget** (Fig. 3): the ``Vflow`` source drives every
+  source-adjacent edge node through a unit resistor.
+
+Negative resistors can be realised in three styles:
+
+* ``IDEAL`` — stamped directly as negative resistances (the paper's ideal
+  analysis);
+* ``FINITE_GAIN`` — the effective value includes the finite-op-amp-gain error
+  of Section 4.2, ``R_eff = -(1 + (1/A) * R0/Rt) * Rt``;
+* ``DEVICE`` — a full negative-impedance-converter (NIC) sub-circuit built
+  from an :class:`~repro.circuit.opamp.OpAmp` with a single-pole dynamic
+  model plus three resistors, needed for convergence-time (transient)
+  studies where the gain-bandwidth product matters.
+
+The :class:`WidgetBuilder` also applies the resistor-variation model
+(Section 4.3.1): a *common* relative deviation shared by every resistor on
+the die plus an independent per-resistor mismatch.  Because the solution
+depends only on resistance ratios, the common part should cancel — the
+variation/tuning ablation bench verifies exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import DiodeParameters, NonIdealityModel, OpAmpParameters, SubstrateParameters
+from ..errors import CircuitError
+from ..circuit.elements import Capacitor, Resistor, VoltageSource
+from ..circuit.netlist import GROUND, Circuit
+from ..circuit.nonlinear import Diode
+from ..circuit.opamp import OpAmp
+
+__all__ = ["WidgetStyle", "WidgetBuilder"]
+
+
+class WidgetStyle(enum.Enum):
+    """Realisation style of the negative resistors."""
+
+    IDEAL = "ideal"
+    FINITE_GAIN = "finite-gain"
+    DEVICE = "device"
+
+    @classmethod
+    def parse(cls, value) -> "WidgetStyle":
+        """Accept either a :class:`WidgetStyle` or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError as exc:
+            options = ", ".join(s.value for s in cls)
+            raise CircuitError(f"unknown widget style {value!r}; options: {options}") from exc
+
+
+@dataclass
+class WidgetBuilder:
+    """Adds max-flow circuit widgets to a :class:`~repro.circuit.netlist.Circuit`.
+
+    Parameters
+    ----------
+    circuit:
+        Target circuit (modified in place).
+    parameters:
+        Substrate design parameters (unit resistance, supplies, op-amp and
+        diode parameters).
+    nonideal:
+        Non-ideality model applied while building (resistor variation, finite
+        gain, parasitics, diode drop, wire resistance).
+    style:
+        Negative-resistor realisation style.
+    rng:
+        Random generator for the variation draws (seeded for reproducibility).
+    """
+
+    circuit: Circuit
+    parameters: SubstrateParameters
+    nonideal: NonIdealityModel
+    style: WidgetStyle = WidgetStyle.IDEAL
+    rng: Optional[random.Random] = None
+
+    negative_resistor_names: List[str] = field(default_factory=list)
+    opamp_names: List[str] = field(default_factory=list)
+    resistor_count: int = 0
+    diode_count: int = 0
+    clamp_source_of_voltage: Dict[float, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.parameters.validate()
+        self.nonideal.validate()
+        self.style = WidgetStyle.parse(self.style)
+        if self.rng is None:
+            self.rng = random.Random(self.nonideal.seed)
+        # The common (absolute) part of the resistor tolerance: one draw per
+        # die.  With layout matching enabled, only the much smaller mismatch
+        # remains per resistor.
+        self._common_deviation = (
+            self.rng.gauss(0.0, self.nonideal.resistor_tolerance)
+            if self.nonideal.resistor_tolerance > 0
+            else 0.0
+        )
+        self._diode_parameters = DiodeParameters(
+            forward_voltage_v=self.nonideal.diode_forward_voltage_v,
+            on_conductance_s=self.parameters.diode.on_conductance_s,
+            off_conductance_s=self.parameters.diode.off_conductance_s,
+        )
+        self._opamp_parameters = OpAmpParameters(
+            open_loop_gain=(
+                self.nonideal.opamp_gain
+                if self.nonideal.opamp_gain is not None
+                else self.parameters.opamp.open_loop_gain
+            ),
+            gbw_hz=self.nonideal.opamp_gbw_hz,
+            supply_current_a=self.parameters.opamp.supply_current_a,
+            supply_voltage_v=self.parameters.opamp.supply_voltage_v,
+        )
+
+    # ------------------------------------------------------------------
+    # Element-level helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def unit_resistance(self) -> float:
+        """The nominal unit resistance ``r`` of the widgets."""
+        return self.parameters.unit_resistance_ohm
+
+    def _perturbed(self, value: float) -> float:
+        """Apply the resistor-variation model to a nominal resistance."""
+        mismatch_sigma = (
+            self.nonideal.resistor_matching
+            if self.nonideal.use_matching
+            else self.nonideal.resistor_tolerance
+        )
+        deviation = self.rng.gauss(0.0, mismatch_sigma) if mismatch_sigma > 0 else 0.0
+        common = self._common_deviation if self.nonideal.use_matching else 0.0
+        return value * (1.0 + common) * (1.0 + deviation)
+
+    def add_resistor(self, name: str, node_a: str, node_b: str, value: float) -> Resistor:
+        """Add a (positive) widget resistor with variation and wire parasitics."""
+        resistance = self._perturbed(value) + self.nonideal.parasitic_wire_resistance_ohm
+        self.resistor_count += 1
+        return self.circuit.add(Resistor(name, node_a, node_b, resistance))
+
+    def add_unit_resistor(self, name: str, node_a: str, node_b: str) -> Resistor:
+        """Add a unit resistor ``r``."""
+        return self.add_resistor(name, node_a, node_b, self.unit_resistance)
+
+    def add_bleed_resistor(self, name: str, node: str) -> None:
+        """Pin the common mode of a widget-internal node with a weak resistor.
+
+        The textbook widgets leave the negation node ``P`` and the vertex
+        node with exactly cancelling KCL coefficients, so their common-mode
+        voltage is undetermined; any mismatch then couples an arbitrarily
+        large common mode into the constraints.  A bleed resistor of
+        ``bleed_resistance_factor * r`` to ground determines the common mode
+        while perturbing the constraint by only ~1/factor (0.1 % at the
+        default of 1000).  Disabled when the factor is 0.
+        """
+        factor = self.parameters.bleed_resistance_factor
+        if factor <= 0:
+            return
+        resistance = factor * self.unit_resistance
+        self.resistor_count += 1
+        self.circuit.add(Resistor(name, node, GROUND, resistance))
+
+    def add_parasitic_capacitance(self, node: str) -> None:
+        """Attach the per-net parasitic capacitance to ``node`` (if enabled)."""
+        capacitance = self.nonideal.parasitic_capacitance_f
+        if capacitance > 0 and node != GROUND:
+            name = f"Cpar_{node}"
+            if not self.circuit.has_element(name):
+                self.circuit.add(Capacitor(name, node, GROUND, capacitance))
+
+    def add_negative_resistor(self, name: str, node: str, magnitude: float) -> None:
+        """Add a negative resistor of value ``-magnitude`` from ``node`` to ground.
+
+        The realisation depends on the builder's style (see module docstring).
+        """
+        if magnitude <= 0:
+            raise CircuitError("negative-resistor magnitude must be positive")
+        self.negative_resistor_names.append(name)
+        if self.style is WidgetStyle.IDEAL:
+            resistance = -self._perturbed(magnitude)
+            self.resistor_count += 1
+            self.circuit.add(Resistor(name, node, GROUND, resistance))
+            return
+        if self.style is WidgetStyle.FINITE_GAIN:
+            gain = self._opamp_parameters.open_loop_gain
+            # Section 4.2: R_eff = -(1 + (1/A) * R0/Rt) * Rt with R0/Rt ~ 1.
+            effective = -(1.0 + 1.0 / gain) * self._perturbed(magnitude)
+            self.resistor_count += 1
+            self.circuit.add(Resistor(name, node, GROUND, effective))
+            return
+        # DEVICE: negative-impedance converter around a single-pole op-amp.
+        #   node --Rt-- out;  out --R0-- fb;  fb --R0-- ground;
+        #   op-amp: in+ = fb (positive feedback divider), in- = node, out.
+        # Ideal op-amp analysis gives Zin(node) = -Rt * (R0 / R0) = -Rt.
+        # This orientation (node on the inverting input) is the
+        # open-circuit-stable NIC: it is dynamically stable whenever the
+        # external resistance seen at ``node`` exceeds Rt, which is the case
+        # for both widget uses (-r/2 behind two unit resistors, -r/N behind
+        # N unit resistors).  The opposite orientation oscillates, which is
+        # why the choice matters for the convergence-time studies.
+        out = self.circuit.node(f"{name}_out")
+        feedback = self.circuit.node(f"{name}_fb")
+        r0 = self.unit_resistance
+        self.add_resistor(f"{name}_rt", out, node, magnitude)
+        self.add_resistor(f"{name}_r0a", out, feedback, r0)
+        self.add_resistor(f"{name}_r0b", feedback, GROUND, r0)
+        opamp = OpAmp(f"{name}_amp", feedback, node, out, parameters=self._opamp_parameters)
+        self.circuit.add(opamp)
+        self.opamp_names.append(opamp.name)
+        self.add_parasitic_capacitance(out)
+        self.add_parasitic_capacitance(feedback)
+
+    # ------------------------------------------------------------------
+    # Capacity clamp (Section 2.1, Fig. 1)
+    # ------------------------------------------------------------------
+
+    def clamp_source(self, voltage: float) -> str:
+        """Return the node of the shared clamp source for ``voltage`` (create once)."""
+        key = round(float(voltage), 12)
+        node = self.clamp_source_of_voltage.get(key)
+        if node is None:
+            index = len(self.clamp_source_of_voltage)
+            node = self.circuit.node(f"vcap{index}")
+            # Compensate the diode forward drop (paper, footnote 2).
+            compensated = voltage - self.nonideal.diode_forward_voltage_v
+            self.circuit.add(VoltageSource(f"Vcap{index}", node, GROUND, compensated))
+            self.clamp_source_of_voltage[key] = node
+        return node
+
+    def add_capacity_clamp(self, edge_index: int, node: str, clamp_voltage: Optional[float]) -> None:
+        """Clamp the edge node to ``[0, clamp_voltage]``.
+
+        ``clamp_voltage = None`` (an uncapacitated edge) only installs the
+        lower clamp.
+        """
+        lower_anode = GROUND
+        if self.nonideal.diode_forward_voltage_v > 0:
+            # Compensate the lower clamp with a small positive source so the
+            # node is still clamped at 0 V rather than -Vf.
+            lower_anode = self.circuit.node("vcomp_low")
+            if not self.circuit.has_element("Vcomp_low"):
+                self.circuit.add(
+                    VoltageSource(
+                        "Vcomp_low",
+                        lower_anode,
+                        GROUND,
+                        self.nonideal.diode_forward_voltage_v,
+                    )
+                )
+        self.circuit.add(
+            Diode(f"Dlo{edge_index}", lower_anode, node, parameters=self._diode_parameters)
+        )
+        self.diode_count += 1
+        if clamp_voltage is not None:
+            source_node = self.clamp_source(clamp_voltage)
+            self.circuit.add(
+                Diode(f"Dhi{edge_index}", node, source_node, parameters=self._diode_parameters)
+            )
+            self.diode_count += 1
+
+    # ------------------------------------------------------------------
+    # Negation + conservation widgets (Section 2.2, Fig. 2)
+    # ------------------------------------------------------------------
+
+    def add_negation_widget(self, edge_index: int, edge_node: str) -> str:
+        """Build the sub-circuit producing the negated edge voltage.
+
+        Returns the name of the negated-voltage node ``x_i^-``.
+        """
+        p_node = self.circuit.node(f"p{edge_index}")
+        negated = self.circuit.node(f"xm{edge_index}")
+        self.add_unit_resistor(f"Rng_a{edge_index}", edge_node, p_node)
+        self.add_unit_resistor(f"Rng_b{edge_index}", negated, p_node)
+        self.add_negative_resistor(f"Rng_n{edge_index}", p_node, self.unit_resistance / 2.0)
+        self.add_bleed_resistor(f"Rbleed_p{edge_index}", p_node)
+        self.add_parasitic_capacitance(p_node)
+        self.add_parasitic_capacitance(negated)
+        return negated
+
+    def add_conservation_widget(
+        self,
+        vertex_node: str,
+        incoming_negated_nodes: List[str],
+        outgoing_edge_nodes: List[str],
+        name_suffix: str,
+    ) -> None:
+        """Connect a vertex node to its incident edges and add ``-r/N`` to ground."""
+        degree = len(incoming_negated_nodes) + len(outgoing_edge_nodes)
+        if degree == 0:
+            raise CircuitError("conservation widget needs at least one incident edge")
+        for i, node in enumerate(incoming_negated_nodes):
+            self.add_unit_resistor(f"Rin{name_suffix}_{i}", node, vertex_node)
+        for i, node in enumerate(outgoing_edge_nodes):
+            self.add_unit_resistor(f"Rout{name_suffix}_{i}", node, vertex_node)
+        self.add_negative_resistor(
+            f"Rvx{name_suffix}", vertex_node, self.unit_resistance / degree
+        )
+        self.add_bleed_resistor(f"Rbleed_v{name_suffix}", vertex_node)
+        self.add_parasitic_capacitance(vertex_node)
+
+    # ------------------------------------------------------------------
+    # Objective widget (Section 2.3, Fig. 3)
+    # ------------------------------------------------------------------
+
+    def add_objective_widget(
+        self, source_edge_nodes: List[str], vflow_v: float, rise_time_s: float = 1e-12
+    ) -> str:
+        """Add the ``Vflow`` step source and its drive resistors.
+
+        Returns the name of the ``Vflow`` source element.
+        """
+        if not source_edge_nodes:
+            raise CircuitError("the source vertex has no outgoing edges to drive")
+        from ..circuit.elements import StepWaveform
+
+        vflow_node = self.circuit.node("vflow")
+        source = VoltageSource(
+            "Vflow", vflow_node, GROUND, StepWaveform(vflow_v, rise_time=rise_time_s)
+        )
+        self.circuit.add(source)
+        for i, node in enumerate(source_edge_nodes):
+            self.add_unit_resistor(f"Robj{i}", vflow_node, node)
+        self.add_parasitic_capacitance(vflow_node)
+        return source.name

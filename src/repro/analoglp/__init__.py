@@ -1,0 +1,22 @@
+"""Generic analog linear-program substrate (the Vichik-Borrelli baseline).
+
+The paper's circuits specialise the analog LP/QP solver of Vichik & Borrelli
+[42] to the max-flow problem.  This package models the *generic* substrate:
+
+* :mod:`~repro.analoglp.problem` — a small LP container with validation and
+  an exact reference solve via :func:`scipy.optimize.linprog`;
+* :mod:`~repro.analoglp.dynamics` — the analog solver modelled as a
+  continuous-time dynamical system: node voltages follow the negative
+  gradient of the objective while diode-like penalty branches inject
+  restoring currents whenever a constraint is violated.  Integrating the
+  system to steady state (with :func:`scipy.integrate.solve_ivp`) yields the
+  analog solution and its convergence trajectory.
+
+The min-cut dual solver (Section 6.3) and the dual-decomposition machinery
+(Section 6.4) build on this substrate.
+"""
+
+from .problem import LinearProgram
+from .dynamics import AnalogLPResult, AnalogLPSolver
+
+__all__ = ["LinearProgram", "AnalogLPSolver", "AnalogLPResult"]

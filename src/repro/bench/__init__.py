@@ -1,0 +1,28 @@
+"""Benchmark harness: workload suites, experiment runners and reporting.
+
+The modules here are shared by the ``benchmarks/`` directory (one
+pytest-benchmark file per paper table/figure) and by the examples; they keep
+the experiment definitions — which graphs, which sweeps, which columns — in
+library code so they are importable and testable.
+"""
+
+from .workloads import (
+    Fig10Workload,
+    fig10_dense_suite,
+    fig10_sparse_suite,
+    workload_network,
+)
+from .runner import Fig10Runner, Fig10Row
+from .reporting import format_table, format_series, relative
+
+__all__ = [
+    "Fig10Workload",
+    "fig10_dense_suite",
+    "fig10_sparse_suite",
+    "workload_network",
+    "Fig10Runner",
+    "Fig10Row",
+    "format_table",
+    "format_series",
+    "relative",
+]

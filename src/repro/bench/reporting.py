@@ -1,0 +1,72 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benches print the same rows/series the paper's tables and figures show;
+these helpers render them as aligned ASCII tables so the regenerated numbers
+are easy to eyeball next to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "relative"]
+
+
+def relative(value: float, reference: float) -> float:
+    """Relative difference ``|value - reference| / reference`` (0 if reference is 0)."""
+    if reference == 0:
+        return 0.0 if value == 0 else float("inf")
+    return abs(value - reference) / abs(reference)
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    table = [[_stringify(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max(len(line[i]) for line in table)) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(name.ljust(width) for name, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in table:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_values: Iterable[object],
+    series: Mapping[str, Iterable[float]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more y-series against a shared x-axis as a table."""
+    x_list = list(x_values)
+    rows: List[Dict[str, object]] = []
+    series_lists = {name: list(values) for name, values in series.items()}
+    for i, x in enumerate(x_list):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series_lists.items():
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)

@@ -1,0 +1,202 @@
+"""Experiment runner for the Fig. 10 comparison.
+
+For every workload the runner produces one row with:
+
+* the analog substrate's convergence time at GBW = 10 GHz and 50 GHz
+  (measured by device-level transient simulation for small instances, by the
+  calibrated analytical estimator for large ones — the estimator is
+  calibrated on the transient measurements of the smaller instances in the
+  same run);
+* the push-relabel baseline: measured Python wall time plus the
+  operation-count estimate of a compiled implementation on a 3 GHz core;
+* the relative error of the analog (quantized, DC) solution against the
+  exact optimum;
+* the derived speedups.
+
+This mirrors exactly what Fig. 10a/10b plot, and Section 5.2's
+speedup/energy table is derived from the same rows.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..analog.convergence import ConvergenceTimeEstimator, measure_convergence_time
+from ..analog.solver import AnalogMaxFlowSolver
+from ..config import NonIdealityModel, SubstrateParameters
+from ..flows.cost_model import CpuCostModel
+from ..flows.push_relabel import PushRelabel
+from .workloads import Fig10Workload
+
+__all__ = ["Fig10Row", "Fig10Runner"]
+
+
+@dataclass
+class Fig10Row:
+    """One row of the Fig. 10 table (one workload)."""
+
+    workload: str
+    regime: str
+    num_vertices: int
+    num_edges: int
+    exact_flow: float
+    analog_flow: float
+    relative_error: float
+    convergence_time_10g_s: float
+    convergence_time_50g_s: float
+    cpu_time_model_s: float
+    cpu_time_python_s: float
+    speedup_10g: float
+    speedup_50g: float
+    convergence_source: str  # "transient" or "estimator"
+
+    def as_dict(self) -> dict:
+        """Flat dictionary (used by the reporting helpers)."""
+        return {
+            "workload": self.workload,
+            "|V|": self.num_vertices,
+            "|E|": self.num_edges,
+            "exact": round(self.exact_flow, 2),
+            "analog": round(self.analog_flow, 2),
+            "rel.err": f"{self.relative_error:.2%}",
+            "t_conv 10G (s)": f"{self.convergence_time_10g_s:.3e}",
+            "t_conv 50G (s)": f"{self.convergence_time_50g_s:.3e}",
+            "t_cpu model (s)": f"{self.cpu_time_model_s:.3e}",
+            "t_cpu python (s)": f"{self.cpu_time_python_s:.3e}",
+            "speedup 10G": f"{self.speedup_10g:.0f}x",
+            "speedup 50G": f"{self.speedup_50g:.0f}x",
+            "source": self.convergence_source,
+        }
+
+
+class Fig10Runner:
+    """Runs the Fig. 10 comparison over a workload suite.
+
+    Parameters
+    ----------
+    parameters:
+        Substrate parameters.  The runner enables the common-mode bleed and
+        the Table 1 parasitic capacitance for the transient (device-level)
+        measurements.
+    transient_vertex_limit:
+        Largest instance (by vertex count) simulated with the full
+        device-level transient; larger instances use the estimator calibrated
+        on the transient measurements gathered so far.
+    drive_voltage:
+        Objective drive used for the accuracy (DC) solve.  The paper's
+        Table 1 lists 3 V; the paper's own worked examples however drive well
+        above three times the largest clamp voltage, and with a literal 3 V
+        the substrate under-drives (documented in EXPERIMENTS.md), so the
+        default here is 6 V with adaptive doubling enabled.
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[SubstrateParameters] = None,
+        transient_vertex_limit: int = 48,
+        drive_voltage: float = 6.0,
+        adaptive_drive: bool = True,
+        cpu_model: Optional[CpuCostModel] = None,
+        transient_steps: int = 900,
+    ) -> None:
+        self.parameters = parameters if parameters is not None else SubstrateParameters()
+        self.transient_vertex_limit = transient_vertex_limit
+        self.drive_voltage = drive_voltage
+        self.adaptive_drive = adaptive_drive
+        self.cpu_model = cpu_model if cpu_model is not None else CpuCostModel()
+        self.transient_steps = transient_steps
+        self._estimators = {}
+
+    # ------------------------------------------------------------------
+
+    def _transient_parameters(self) -> SubstrateParameters:
+        from dataclasses import replace
+
+        bleed = self.parameters.bleed_resistance_factor or 1000.0
+        return replace(self.parameters, bleed_resistance_factor=bleed)
+
+    def _convergence_time(self, network, gbw_hz: float) -> (float, str):
+        """Convergence time at one GBW: transient for small, estimator for large."""
+        nonideal = NonIdealityModel(
+            parasitic_capacitance_f=self.parameters.parasitic_capacitance_f,
+            opamp_gbw_hz=gbw_hz,
+        )
+        estimator: ConvergenceTimeEstimator = self._estimators.get(
+            gbw_hz, ConvergenceTimeEstimator()
+        )
+        if network.num_vertices <= self.transient_vertex_limit:
+            solver = AnalogMaxFlowSolver(
+                parameters=self._transient_parameters(),
+                nonideal=nonideal,
+                quantize=True,
+                style="device",
+            )
+            compiled = solver.compile(network, vflow_v=self.drive_voltage)
+            measurement = measure_convergence_time(
+                compiled,
+                tolerance=self.parameters.convergence_tolerance,
+                num_steps=self.transient_steps,
+            )
+            measured = measurement.convergence_time_s
+            if math.isfinite(measured) and measured > 0:
+                # Re-calibrate the estimator with this sample (running fit).
+                samples = self._estimators.setdefault((gbw_hz, "samples"), [])
+                samples.append((network, self._transient_parameters(), nonideal, measured))
+                try:
+                    self._estimators[gbw_hz] = estimator.calibrate(samples)
+                except Exception:
+                    pass
+                return measured, "transient"
+        estimate = estimator.estimate(network, self.parameters, nonideal)
+        return estimate, "estimator"
+
+    # ------------------------------------------------------------------
+
+    def run_workload(self, workload: Fig10Workload) -> Fig10Row:
+        """Produce the Fig. 10 row for one workload."""
+        network = workload.generate()
+
+        # CPU baseline (push-relabel), measured and modelled.
+        baseline = PushRelabel().solve(network)
+        cpu_estimate = self.cpu_model.estimate(baseline)
+
+        # Analog accuracy (quantized DC solve).
+        accuracy_solver = AnalogMaxFlowSolver(
+            parameters=self.parameters,
+            quantize=True,
+            style="ideal",
+            adaptive_drive=self.adaptive_drive,
+        )
+        analog = accuracy_solver.solve(network, vflow_v=self.drive_voltage)
+        quality = analog.quality(network, baseline.flow_value)
+
+        # Convergence times at the two GBW corners.
+        t10, source10 = self._convergence_time(network, 10.0e9)
+        t50, source50 = self._convergence_time(network, 50.0e9)
+        source = source10 if source10 == source50 else f"{source10}/{source50}"
+
+        return Fig10Row(
+            workload=workload.name,
+            regime=workload.regime,
+            num_vertices=network.num_vertices,
+            num_edges=network.num_edges,
+            exact_flow=baseline.flow_value,
+            analog_flow=analog.flow_value,
+            relative_error=quality.relative_error,
+            convergence_time_10g_s=t10,
+            convergence_time_50g_s=t50,
+            cpu_time_model_s=cpu_estimate.seconds,
+            cpu_time_python_s=baseline.wall_time_s,
+            speedup_10g=cpu_estimate.seconds / t10 if t10 > 0 else float("inf"),
+            speedup_50g=cpu_estimate.seconds / t50 if t50 > 0 else float("inf"),
+            convergence_source=source,
+        )
+
+    def run_suite(self, workloads: Sequence[Fig10Workload]) -> List[Fig10Row]:
+        """Run every workload of a suite (smallest first, so the estimator is
+        calibrated on the transient measurements before it is needed)."""
+        ordered = sorted(workloads, key=lambda w: w.num_vertices)
+        return [self.run_workload(w) for w in ordered]

@@ -1,0 +1,109 @@
+"""Workload definitions for the paper's evaluation (Section 5.1).
+
+The paper generates R-MAT graphs in two regimes and sweeps the vertex count
+from roughly 256 to 960 (Fig. 10's x-axis), with 500 to 8000 edges overall:
+
+* dense:  ``|E| proportional to |V|^2``
+* sparse: ``|E| proportional to |V|``
+
+The default suites below use exactly the Fig. 10 vertex counts.  Because the
+edge counts must stay within the stated 500..8000 range, the dense suite uses
+a density factor chosen so the largest instance lands near 8000 edges, and
+the sparse suite uses an average degree of ~6 so the largest lands near 6000.
+A ``scale`` parameter shrinks every instance proportionally for quick runs
+(tests and CI use ``scale=0.25``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..graph.generators import rmat_graph
+from ..graph.network import FlowNetwork
+
+__all__ = [
+    "Fig10Workload",
+    "fig10_dense_suite",
+    "fig10_sparse_suite",
+    "workload_network",
+]
+
+#: Vertex counts on the x-axis of Fig. 10.
+FIG10_VERTEX_COUNTS = [256, 320, 384, 448, 512, 576, 640, 704, 768, 832, 896, 960]
+
+
+@dataclass(frozen=True)
+class Fig10Workload:
+    """One point of the Fig. 10 sweep."""
+
+    name: str
+    regime: str
+    num_vertices: int
+    num_edges: int
+    seed: int
+    min_capacity: float = 1.0
+    max_capacity: float = 100.0
+
+    def generate(self) -> FlowNetwork:
+        """Generate the workload's graph (deterministic for a given seed)."""
+        return rmat_graph(
+            self.num_vertices,
+            self.num_edges,
+            seed=self.seed,
+            min_capacity=self.min_capacity,
+            max_capacity=self.max_capacity,
+        )
+
+
+def workload_network(workload: Fig10Workload) -> FlowNetwork:
+    """Convenience wrapper kept for readable call sites."""
+    return workload.generate()
+
+
+def _scaled_counts(scale: float) -> List[int]:
+    counts = [max(8, int(round(v * scale))) for v in FIG10_VERTEX_COUNTS]
+    # Deduplicate while keeping order (small scales can collapse sizes).
+    seen = set()
+    unique = []
+    for value in counts:
+        if value not in seen:
+            seen.add(value)
+            unique.append(value)
+    return unique
+
+
+def fig10_dense_suite(scale: float = 1.0, seed: int = 2015) -> List[Fig10Workload]:
+    """Dense-regime workloads (``|E| ~ |V|^2``), largest instance ~8000 edges."""
+    workloads = []
+    for i, vertices in enumerate(_scaled_counts(scale)):
+        # Density chosen so that |V| = 960 gives |E| ~ 8000 (the paper's cap).
+        edges = max(vertices + 1, int(round(8.7e-3 * vertices * vertices)))
+        edges = min(edges, 8000)
+        workloads.append(
+            Fig10Workload(
+                name=f"dense_v{vertices}",
+                regime="dense",
+                num_vertices=vertices,
+                num_edges=edges,
+                seed=seed + i,
+            )
+        )
+    return workloads
+
+
+def fig10_sparse_suite(scale: float = 1.0, seed: int = 7102) -> List[Fig10Workload]:
+    """Sparse-regime workloads (``|E| ~ |V|``), average degree about six."""
+    workloads = []
+    for i, vertices in enumerate(_scaled_counts(scale)):
+        edges = max(vertices + 1, int(round(6.0 * vertices)))
+        workloads.append(
+            Fig10Workload(
+                name=f"sparse_v{vertices}",
+                regime="sparse",
+                num_vertices=vertices,
+                num_edges=edges,
+                seed=seed + i,
+            )
+        )
+    return workloads

@@ -1,0 +1,76 @@
+"""Analog circuit simulation substrate (the paper's SPICE substitute).
+
+The paper evaluates its substrate by building a circuit-level netlist and
+simulating it in SPICE (Section 5).  This package provides the equivalent
+capability in pure Python/SciPy:
+
+* :mod:`~repro.circuit.netlist` — circuit container and node bookkeeping
+* :mod:`~repro.circuit.elements` — linear elements and independent sources
+  (resistors, capacitors, V/I sources with step and piecewise-linear
+  waveforms, voltage-controlled voltage sources, switches)
+* :mod:`~repro.circuit.nonlinear` — piecewise-linear diode model
+* :mod:`~repro.circuit.opamp` — single-pole op-amp macro-model (finite gain
+  and gain-bandwidth product)
+* :mod:`~repro.circuit.memristor` — behavioural memristor (LRS/HRS state,
+  threshold switching, drift, variation)
+* :mod:`~repro.circuit.mna` — sparse Modified Nodal Analysis assembly
+* :mod:`~repro.circuit.dc` — DC operating point solver (linear solve plus
+  diode-state fixed-point iteration)
+* :mod:`~repro.circuit.transient` — backward-Euler transient analysis with
+  LU-factorisation reuse
+* :mod:`~repro.circuit.waveform` — waveform container and settling-time
+  measurement
+* :mod:`~repro.circuit.analysis` — equivalent resistance / passivity checks
+  used by the optimality argument of Section 2.3
+"""
+
+from .netlist import Circuit, GROUND
+from .elements import (
+    Resistor,
+    Capacitor,
+    VoltageSource,
+    CurrentSource,
+    VCVS,
+    Switch,
+    StepWaveform,
+    PiecewiseLinearWaveform,
+    RampWaveform,
+    ConstantWaveform,
+)
+from .nonlinear import Diode
+from .opamp import OpAmp
+from .memristor import Memristor, MemristorState
+from .mna import MNASystem
+from .dc import DCOperatingPoint, DCSolution
+from .transient import TransientSimulator, TransientResult
+from .waveform import Waveform, settling_time
+from .analysis import equivalent_resistance, is_passive_at, dc_sweep
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "Switch",
+    "StepWaveform",
+    "PiecewiseLinearWaveform",
+    "RampWaveform",
+    "ConstantWaveform",
+    "Diode",
+    "OpAmp",
+    "Memristor",
+    "MemristorState",
+    "MNASystem",
+    "DCOperatingPoint",
+    "DCSolution",
+    "TransientSimulator",
+    "TransientResult",
+    "Waveform",
+    "settling_time",
+    "equivalent_resistance",
+    "is_passive_at",
+    "dc_sweep",
+]

@@ -1,0 +1,120 @@
+"""Small-signal and sweep analyses.
+
+Two of the paper's arguments are checked numerically with these helpers:
+
+* Section 2.3 proves that the resistor network seen by ``Vflow`` has a
+  *positive* equivalent resistance (despite containing negative resistors),
+  which is what makes the node voltages increase monotonically with the
+  drive.  :func:`equivalent_resistance` measures that resistance by injecting
+  a test current with all independent sources zeroed, and
+  :func:`is_passive_at` packages the positivity check.
+* Section 6.5 studies the quasi-static trajectory by slowly sweeping
+  ``Vflow``; :func:`dc_sweep` provides the underlying swept DC analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.sparse.linalg import splu
+
+from ..errors import SingularCircuitError
+from .dc import DCOperatingPoint, DCSolution
+from .elements import ConstantWaveform, VoltageSource
+from .mna import MNASystem
+from .netlist import GROUND, Circuit
+
+__all__ = ["equivalent_resistance", "is_passive_at", "dc_sweep"]
+
+
+def equivalent_resistance(
+    circuit: Circuit,
+    node: str,
+    reference: str = GROUND,
+    diode_states: Optional[Dict[str, bool]] = None,
+    mna: Optional[MNASystem] = None,
+) -> float:
+    """Equivalent (Thevenin) resistance seen from ``node`` towards ``reference``.
+
+    All independent sources are zeroed (voltage sources become shorts,
+    current sources become opens), a 1 A test current is injected into
+    ``node`` and extracted from ``reference``, and the resulting voltage
+    difference equals the resistance.  Diodes keep the provided states
+    (default: their initial states), matching the paper's small-signal view
+    of the network around an operating point.
+    """
+    system = mna if mna is not None else MNASystem(circuit)
+    states = diode_states if diode_states is not None else system.default_diode_states()
+    matrix = system.matrix(diode_states=states, dt=None)
+    rhs = np.zeros(system.size)
+    # Zeroed sources: simply do not add their values; voltage-source branch
+    # rows force V+ - V- = 0 (a short), current sources contribute nothing.
+    if node != GROUND:
+        rhs[system.node_index[node]] += 1.0
+    if reference != GROUND:
+        rhs[system.node_index[reference]] -= 1.0
+    try:
+        solution = splu(matrix).solve(rhs)
+    except RuntimeError as exc:
+        raise SingularCircuitError(f"equivalent-resistance solve failed: {exc}") from exc
+    v_node = system.node_voltage(solution, node)
+    v_ref = system.node_voltage(solution, reference)
+    return float(v_node - v_ref)
+
+
+def is_passive_at(
+    circuit: Circuit,
+    node: str,
+    reference: str = GROUND,
+    diode_states: Optional[Dict[str, bool]] = None,
+) -> bool:
+    """True when the equivalent resistance seen from ``node`` is positive.
+
+    This is the numerical counterpart of the paper's passivity argument
+    (Section 2.3, Fig. 4): every branch the objective source drives must
+    present a positive equivalent resistance, otherwise increasing ``Vflow``
+    would not monotonically increase the node voltages.
+    """
+    return equivalent_resistance(circuit, node, reference, diode_states) > 0.0
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: Sequence[float],
+    warm_start: bool = True,
+) -> List[DCSolution]:
+    """Sweep the DC value of a voltage source and solve the DC point at each value.
+
+    Used by the quasi-static trajectory analysis (Section 6.5): ``Vflow`` is
+    swept slowly and the circuit is assumed to track its steady state.  The
+    source's waveform is temporarily replaced and restored afterwards.
+
+    Parameters
+    ----------
+    warm_start:
+        Reuse the previous operating point's diode states as the initial
+        guess of the next one (makes the sweep both faster and more robust).
+    """
+    element = circuit.element(source_name)
+    if not isinstance(element, VoltageSource):
+        raise SingularCircuitError(f"{source_name!r} is not a voltage source")
+    original_waveform = element.waveform
+    solver = DCOperatingPoint()
+    system = MNASystem(circuit)
+    solutions: List[DCSolution] = []
+    previous_states: Optional[Dict[str, bool]] = None
+    try:
+        for value in values:
+            element.waveform = ConstantWaveform(float(value))
+            solution = solver.solve(
+                circuit,
+                initial_states=previous_states if warm_start else None,
+                mna=system,
+            )
+            solutions.append(solution)
+            previous_states = solution.diode_states
+    finally:
+        element.waveform = original_waveform
+    return solutions

@@ -1,0 +1,238 @@
+"""DC operating-point analysis.
+
+The steady state of the max-flow circuit (the paper's "solution") is the DC
+operating point of a linear resistive network augmented with piecewise-linear
+diodes.  For a fixed diode on/off pattern the network is linear and solved
+with a sparse LU factorisation; the pattern itself is found by fixed-point
+iteration (solve, re-evaluate each diode's desired state, repeat), with an
+anti-cycling fallback that flips only the most-violated diode once a pattern
+repeats — the standard approach for ideal-diode (linear complementarity)
+circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse.linalg import splu
+
+from ..errors import ConvergenceError, SingularCircuitError
+from .mna import MNASystem
+from .netlist import Circuit
+
+__all__ = ["DCOperatingPoint", "DCSolution"]
+
+
+@dataclass
+class DCSolution:
+    """Result of a DC operating-point analysis.
+
+    Attributes
+    ----------
+    voltages:
+        Node voltages keyed by node name (ground included as 0 V).
+    branch_currents:
+        Currents through voltage sources / VCVS / op-amp outputs, keyed by
+        element name, following the SPICE convention (positive current flows
+        from the positive terminal through the source).
+    diode_states:
+        Final conducting state per diode.
+    iterations:
+        Number of diode-state iterations performed.
+    vector:
+        Raw MNA solution vector (useful for warm-starting transients).
+    """
+
+    voltages: Dict[str, float]
+    branch_currents: Dict[str, float]
+    diode_states: Dict[str, bool]
+    iterations: int
+    vector: np.ndarray = field(repr=False, default=None)
+    converged: bool = True
+    residual_violation_v: float = 0.0
+
+    def voltage(self, node: str) -> float:
+        """Voltage of ``node`` (ground is 0 V)."""
+        return self.voltages[node]
+
+    def current(self, element: str) -> float:
+        """Branch current of a source element."""
+        return self.branch_currents[element]
+
+
+class DCOperatingPoint:
+    """DC solver with piecewise-linear diode state iteration.
+
+    Parameters
+    ----------
+    max_iterations:
+        Upper bound on diode-state iterations before giving up.
+    state_hysteresis_v:
+        Voltage hysteresis applied when toggling a diode's state, which
+        prevents chattering around the exact threshold.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 200,
+        state_hysteresis_v: float = 1e-9,
+        strict: bool = False,
+        acceptable_violation_v: float = 1e-6,
+    ) -> None:
+        self.max_iterations = max_iterations
+        self.state_hysteresis_v = state_hysteresis_v
+        self.strict = strict
+        self.acceptable_violation_v = acceptable_violation_v
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        circuit: Circuit,
+        initial_states: Optional[Dict[str, bool]] = None,
+        mna: Optional[MNASystem] = None,
+    ) -> DCSolution:
+        """Compute the DC operating point of ``circuit``.
+
+        Parameters
+        ----------
+        initial_states:
+            Optional warm-start diode states (e.g. from a previous solve of a
+            nearby operating point, as used by the quasi-static analysis).
+        mna:
+            Pre-built :class:`MNASystem` to reuse across repeated solves of
+            the same topology.
+        """
+        system = mna if mna is not None else MNASystem(circuit)
+        states = dict(system.default_diode_states())
+        if initial_states:
+            states.update(initial_states)
+
+        seen_patterns = set()
+        single_flip_mode = False
+        solution = None
+        iterations = 0
+        converged = False
+        best_violation = float("inf")
+        best_solution = None
+        best_states = dict(states)
+
+        for iterations in range(1, self.max_iterations + 1):
+            solution = self._solve_linear(system, states)
+            desired, violations = self._desired_states(system, solution, states)
+            total_violation = self._weighted_violation(system, violations, states)
+            if total_violation < best_violation:
+                best_violation = total_violation
+                best_solution = solution
+                best_states = dict(states)
+            if desired == states:
+                converged = True
+                best_violation = 0.0
+                best_solution = solution
+                best_states = dict(states)
+                break
+            pattern = self._pattern(states)
+            if pattern in seen_patterns:
+                single_flip_mode = True
+            seen_patterns.add(pattern)
+            if single_flip_mode:
+                # Flip only the diode whose state is most strongly violated.
+                worst = max(violations, key=violations.get)
+                states[worst] = not states[worst]
+            else:
+                states = desired
+
+        if not converged:
+            # Fall back to the least-violated pattern seen.  Cycling between
+            # patterns whose residual violation is tiny (nano-volt overdrive
+            # around a clamp threshold) is benign; a genuinely unresolved
+            # solve is reported (or raised in strict mode).
+            if best_solution is None or (
+                self.strict and best_violation > self.acceptable_violation_v
+            ):
+                raise ConvergenceError(
+                    f"DC diode-state iteration did not converge in {self.max_iterations} "
+                    f"iterations (best residual violation {best_violation:.3e} V)"
+                )
+            solution = best_solution
+            states = best_states
+
+        return DCSolution(
+            voltages=system.voltages(solution),
+            branch_currents={
+                e.name: system.branch_current(solution, e.name)
+                for e in system.branch_elements
+            },
+            diode_states=dict(states),
+            iterations=iterations,
+            vector=solution,
+            converged=converged,
+            residual_violation_v=0.0 if converged else best_violation,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pattern(states: Dict[str, bool]) -> Tuple[Tuple[str, bool], ...]:
+        return tuple(sorted(states.items()))
+
+    @staticmethod
+    def _weighted_violation(
+        system: MNASystem, violations: Dict[str, float], states: Dict[str, bool]
+    ) -> float:
+        """Violation metric used to rank fallback patterns.
+
+        A diode that is ON while it should be OFF conducts a large bogus
+        reverse current (violation voltage times the on-conductance), which
+        corrupts the solution far more than an OFF diode that merely lets its
+        node exceed the clamp by the violation voltage.  The metric weights
+        the two cases accordingly so the fallback never prefers the former.
+        """
+        by_name = {d.name: d for d in system.diodes}
+        total = 0.0
+        for name, violation in violations.items():
+            diode = by_name[name]
+            if states.get(name, diode.initial_state):
+                total += violation * diode.parameters.on_conductance_s
+            else:
+                total += violation
+        return total
+
+    def _solve_linear(self, system: MNASystem, states: Dict[str, bool]) -> np.ndarray:
+        matrix = system.matrix(diode_states=states, dt=None)
+        rhs = system.rhs(t=None, diode_states=states, dt=None, previous=None)
+        try:
+            lu = splu(matrix)
+            solution = lu.solve(rhs)
+        except RuntimeError as exc:
+            raise SingularCircuitError(f"MNA matrix is singular: {exc}") from exc
+        if not np.all(np.isfinite(solution)):
+            raise SingularCircuitError("MNA solve produced non-finite values")
+        return solution
+
+    def _desired_states(
+        self,
+        system: MNASystem,
+        solution: np.ndarray,
+        current_states: Dict[str, bool],
+    ) -> Tuple[Dict[str, bool], Dict[str, float]]:
+        """Desired state per diode and the violation magnitude of wrong ones."""
+        desired: Dict[str, bool] = {}
+        violations: Dict[str, float] = {}
+        hysteresis = self.state_hysteresis_v
+        for diode in system.diodes:
+            v_d = system.node_voltage(solution, diode.anode) - system.node_voltage(
+                solution, diode.cathode
+            )
+            threshold = diode.parameters.forward_voltage_v
+            currently_on = current_states.get(diode.name, diode.initial_state)
+            if currently_on:
+                wants_on = v_d > threshold - hysteresis
+            else:
+                wants_on = v_d > threshold + hysteresis
+            desired[diode.name] = wants_on
+            if wants_on != currently_on:
+                violations[diode.name] = abs(v_d - threshold)
+        return desired, violations

@@ -1,0 +1,373 @@
+"""Linear circuit elements and independent sources.
+
+Node ordering conventions (used by the MNA assembler):
+
+* two-terminal elements: ``(positive, negative)``; positive current flows
+  from the positive to the negative terminal through the element;
+* :class:`VCVS`: ``(out+, out-, in+, in-)``;
+* :class:`Switch`: ``(a, b)`` plus a boolean ``closed`` state.
+
+Independent sources take a *waveform* describing their value over time.
+Plain numbers are promoted to :class:`ConstantWaveform`; :class:`StepWaveform`
+models the rising-edge drive the paper applies to ``Vflow`` at the start of
+the computing stage (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import NetlistError
+from .netlist import CircuitElement
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "Switch",
+    "ConstantWaveform",
+    "StepWaveform",
+    "RampWaveform",
+    "PiecewiseLinearWaveform",
+    "as_waveform",
+]
+
+
+# ---------------------------------------------------------------------------
+# Waveforms
+# ---------------------------------------------------------------------------
+
+
+class ConstantWaveform:
+    """A constant (DC) value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+    @property
+    def dc_value(self) -> float:
+        """Value used by DC operating-point analysis."""
+        return self.value
+
+    @property
+    def final_value(self) -> float:
+        """Value reached as ``t -> infinity``."""
+        return self.value
+
+
+class StepWaveform:
+    """A step from ``initial`` to ``final`` at ``t = delay`` with a linear rise.
+
+    Parameters
+    ----------
+    final:
+        Value after the step.
+    initial:
+        Value before the step (defaults to 0).
+    delay:
+        Time at which the step starts.
+    rise_time:
+        Duration of the linear ramp between the two values; a strictly
+        positive rise time keeps the transient solver well behaved.
+    """
+
+    def __init__(
+        self,
+        final: float,
+        initial: float = 0.0,
+        delay: float = 0.0,
+        rise_time: float = 1e-12,
+    ) -> None:
+        if rise_time < 0:
+            raise NetlistError("rise_time must be non-negative")
+        self.initial = float(initial)
+        self.final = float(final)
+        self.delay = float(delay)
+        self.rise_time = float(rise_time)
+
+    def __call__(self, t: float) -> float:
+        if t <= self.delay:
+            return self.initial
+        if self.rise_time == 0 or t >= self.delay + self.rise_time:
+            return self.final
+        fraction = (t - self.delay) / self.rise_time
+        return self.initial + fraction * (self.final - self.initial)
+
+    @property
+    def dc_value(self) -> float:
+        """DC analysis sees the post-step (steady-state) value."""
+        return self.final
+
+    @property
+    def final_value(self) -> float:
+        return self.final
+
+
+class RampWaveform:
+    """A linear ramp from ``initial`` towards ``final`` over ``duration`` seconds.
+
+    Used by the quasi-static analysis of Section 6.5 where ``Vflow`` is a
+    slow-varying drive rather than a step.
+    """
+
+    def __init__(
+        self, final: float, duration: float, initial: float = 0.0, delay: float = 0.0
+    ) -> None:
+        if duration <= 0:
+            raise NetlistError("ramp duration must be positive")
+        self.initial = float(initial)
+        self.final = float(final)
+        self.duration = float(duration)
+        self.delay = float(delay)
+
+    def __call__(self, t: float) -> float:
+        if t <= self.delay:
+            return self.initial
+        if t >= self.delay + self.duration:
+            return self.final
+        fraction = (t - self.delay) / self.duration
+        return self.initial + fraction * (self.final - self.initial)
+
+    @property
+    def dc_value(self) -> float:
+        return self.final
+
+    @property
+    def final_value(self) -> float:
+        return self.final
+
+
+class PiecewiseLinearWaveform:
+    """Piecewise-linear waveform defined by ``(time, value)`` breakpoints."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if len(points) < 1:
+            raise NetlistError("a PWL waveform needs at least one breakpoint")
+        ordered = sorted((float(t), float(v)) for t, v in points)
+        times = [t for t, _v in ordered]
+        if len(set(times)) != len(times):
+            raise NetlistError("PWL breakpoints must have distinct times")
+        self.points: List[Tuple[float, float]] = ordered
+
+    def __call__(self, t: float) -> float:
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if t0 <= t <= t1:
+                if t1 == t0:
+                    return v1
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        return points[-1][1]  # pragma: no cover - unreachable
+
+    @property
+    def dc_value(self) -> float:
+        return self.points[-1][1]
+
+    @property
+    def final_value(self) -> float:
+        return self.points[-1][1]
+
+
+WaveformLike = Union[float, int, ConstantWaveform, StepWaveform, RampWaveform,
+                     PiecewiseLinearWaveform, Callable[[float], float]]
+
+
+class _CallableWaveform:
+    """Adapter wrapping an arbitrary callable as a waveform."""
+
+    def __init__(self, func: Callable[[float], float]) -> None:
+        self._func = func
+
+    def __call__(self, t: float) -> float:
+        return float(self._func(t))
+
+    @property
+    def dc_value(self) -> float:
+        return float(self._func(0.0))
+
+    @property
+    def final_value(self) -> float:
+        return float(self._func(float("inf")))
+
+
+def as_waveform(value: WaveformLike):
+    """Promote numbers/callables to waveform objects."""
+    if isinstance(value, (int, float)):
+        return ConstantWaveform(float(value))
+    if isinstance(
+        value,
+        (ConstantWaveform, StepWaveform, RampWaveform, PiecewiseLinearWaveform),
+    ):
+        return value
+    if callable(value):
+        return _CallableWaveform(value)
+    raise NetlistError(f"cannot interpret {value!r} as a waveform")
+
+
+# ---------------------------------------------------------------------------
+# Passive elements
+# ---------------------------------------------------------------------------
+
+
+class Resistor(CircuitElement):
+    """A linear resistor; negative resistance values are allowed.
+
+    The paper's constraint widgets rely on *negative* resistors realised with
+    op-amps (Section 4.2).  In the ideal analysis mode those are represented
+    directly as resistors with negative resistance, which the MNA assembler
+    stamps like any other conductance.
+    """
+
+    def __init__(self, name: str, positive: str, negative: str, resistance: float) -> None:
+        super().__init__(name, (positive, negative))
+        if resistance == 0:
+            raise NetlistError(f"resistor {name!r} must have non-zero resistance")
+        if not math.isfinite(resistance):
+            raise NetlistError(f"resistor {name!r} must have finite resistance")
+        self.resistance = float(resistance)
+
+    @property
+    def conductance(self) -> float:
+        """1 / resistance."""
+        return 1.0 / self.resistance
+
+    @property
+    def is_negative(self) -> bool:
+        """True for negative-resistance (op-amp realised) resistors."""
+        return self.resistance < 0
+
+    def spice_line(self) -> str:
+        return f"R{self.name} {self.nodes[0]} {self.nodes[1]} {self.resistance:g}"
+
+
+class Capacitor(CircuitElement):
+    """A linear capacitor (used for the per-net parasitic capacitance)."""
+
+    def __init__(self, name: str, positive: str, negative: str, capacitance: float) -> None:
+        super().__init__(name, (positive, negative))
+        if capacitance <= 0:
+            raise NetlistError(f"capacitor {name!r} must have positive capacitance")
+        self.capacitance = float(capacitance)
+
+    def spice_line(self) -> str:
+        return f"C{self.name} {self.nodes[0]} {self.nodes[1]} {self.capacitance:g}"
+
+
+class Switch(CircuitElement):
+    """An ideal(ish) switch with distinct on/off conductances.
+
+    Crossbar cells use memristors as switches; this element provides the
+    simpler abstraction used when the switching dynamics are not of interest.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        a: str,
+        b: str,
+        closed: bool = False,
+        on_resistance: float = 1e-3,
+        off_resistance: float = 1e12,
+    ) -> None:
+        super().__init__(name, (a, b))
+        if on_resistance <= 0 or off_resistance <= 0:
+            raise NetlistError(f"switch {name!r} resistances must be positive")
+        if off_resistance <= on_resistance:
+            raise NetlistError(f"switch {name!r} off resistance must exceed on resistance")
+        self.closed = bool(closed)
+        self.on_resistance = float(on_resistance)
+        self.off_resistance = float(off_resistance)
+
+    @property
+    def resistance(self) -> float:
+        """Current resistance given the switch state."""
+        return self.on_resistance if self.closed else self.off_resistance
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def spice_line(self) -> str:
+        state = "on" if self.closed else "off"
+        return f"S{self.name} {self.nodes[0]} {self.nodes[1]} {state}"
+
+
+# ---------------------------------------------------------------------------
+# Independent sources
+# ---------------------------------------------------------------------------
+
+
+class VoltageSource(CircuitElement):
+    """Independent voltage source between ``positive`` and ``negative``.
+
+    The source contributes one MNA branch unknown (its current, flowing from
+    the positive terminal through the source to the negative terminal).
+    """
+
+    def __init__(self, name: str, positive: str, negative: str, value: WaveformLike) -> None:
+        super().__init__(name, (positive, negative))
+        self.waveform = as_waveform(value)
+
+    def value_at(self, t: float) -> float:
+        """Source voltage at time ``t``."""
+        return self.waveform(t)
+
+    @property
+    def dc_value(self) -> float:
+        """Voltage used by DC analysis."""
+        return self.waveform.dc_value
+
+    def spice_line(self) -> str:
+        return f"V{self.name} {self.nodes[0]} {self.nodes[1]} {self.dc_value:g}"
+
+
+class CurrentSource(CircuitElement):
+    """Independent current source pushing current into the ``negative`` node.
+
+    The current flows from ``positive`` through the source to ``negative``
+    (i.e. it is extracted from the positive node), matching the SPICE sign
+    convention.
+    """
+
+    def __init__(self, name: str, positive: str, negative: str, value: WaveformLike) -> None:
+        super().__init__(name, (positive, negative))
+        self.waveform = as_waveform(value)
+
+    def value_at(self, t: float) -> float:
+        return self.waveform(t)
+
+    @property
+    def dc_value(self) -> float:
+        return self.waveform.dc_value
+
+    def spice_line(self) -> str:
+        return f"I{self.name} {self.nodes[0]} {self.nodes[1]} {self.dc_value:g}"
+
+
+class VCVS(CircuitElement):
+    """Voltage-controlled voltage source: ``V(out+, out-) = gain * V(in+, in-)``."""
+
+    def __init__(
+        self,
+        name: str,
+        out_positive: str,
+        out_negative: str,
+        in_positive: str,
+        in_negative: str,
+        gain: float,
+    ) -> None:
+        super().__init__(name, (out_positive, out_negative, in_positive, in_negative))
+        self.gain = float(gain)
+
+    def spice_line(self) -> str:
+        nodes = " ".join(self.nodes)
+        return f"E{self.name} {nodes} {self.gain:g}"

@@ -1,0 +1,190 @@
+"""Behavioural memristor model.
+
+The substrate uses memristors in two roles (Section 3):
+
+* as **switches** that encode the graph topology: HRS = open switch,
+  LRS = closed switch;
+* as **resistors**: a memristor in LRS doubles as the unit resistance ``r``
+  of the constraint widgets, and its memristance can be fine-tuned after
+  fabrication to cancel parasitics (Section 4.3.2).
+
+The model below is behavioural: it tracks a continuous memristance value, a
+discrete LRS/HRS state, threshold-based switching under programming pulses
+(Section 3.1), cycle-to-cycle programming variation, bounded fine-tuning and
+slow retention drift.  It deliberately omits transistor-level I-V physics;
+only the properties the paper reasons about are represented (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from typing import Optional
+
+from ..config import MemristorParameters
+from ..errors import NetlistError, ProgrammingError
+from .netlist import CircuitElement
+
+__all__ = ["Memristor", "MemristorState"]
+
+
+class MemristorState(enum.Enum):
+    """Discrete resistance state of a memristor."""
+
+    LRS = "low-resistance"
+    HRS = "high-resistance"
+
+
+class Memristor(CircuitElement):
+    """Two-terminal memristor with threshold switching.
+
+    Node order is ``(top, bottom)``; a positive applied voltage (top minus
+    bottom) larger than the threshold sets the device to LRS, a negative
+    voltage below minus the threshold resets it to HRS, provided the pulse is
+    long enough.
+
+    Parameters
+    ----------
+    parameters:
+        Device parameters (:class:`~repro.config.MemristorParameters`).
+    state:
+        Initial discrete state; fresh devices default to HRS.
+    rng:
+        Random generator used for cycle-to-cycle programming variation; pass
+        a seeded generator for reproducible Monte-Carlo runs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        top: str,
+        bottom: str,
+        parameters: Optional[MemristorParameters] = None,
+        state: MemristorState = MemristorState.HRS,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(name, (top, bottom))
+        self.parameters = parameters if parameters is not None else MemristorParameters()
+        self.parameters.validate()
+        self._rng = rng if rng is not None else random.Random()
+        self._state = state
+        self._resistance = self._nominal_resistance(state)
+        self.set_count = 0
+        self.reset_count = 0
+
+    # ------------------------------------------------------------------
+    # State and resistance
+    # ------------------------------------------------------------------
+
+    def _nominal_resistance(self, state: MemristorState) -> float:
+        if state is MemristorState.LRS:
+            return self.parameters.lrs_resistance_ohm
+        return self.parameters.hrs_resistance_ohm
+
+    @property
+    def state(self) -> MemristorState:
+        """Current discrete state (LRS/HRS)."""
+        return self._state
+
+    @property
+    def is_on(self) -> bool:
+        """True when the memristor acts as a closed switch (LRS)."""
+        return self._state is MemristorState.LRS
+
+    @property
+    def resistance(self) -> float:
+        """Current memristance in ohms (includes variation, tuning, drift)."""
+        return self._resistance
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self._resistance
+
+    # ------------------------------------------------------------------
+    # Programming (Section 3.1)
+    # ------------------------------------------------------------------
+
+    def apply_pulse(self, voltage: float, duration: float) -> bool:
+        """Apply a programming pulse; return True when the state changed.
+
+        A pulse switches the device only when *both* the magnitude exceeds
+        the threshold voltage and the duration meets the set/reset pulse
+        width.  Sub-threshold or too-short pulses are ignored, which is what
+        protects half-selected cells during crossbar programming.
+        """
+        params = self.parameters
+        if voltage >= params.threshold_voltage_v and duration >= params.set_pulse_width_s:
+            changed = self._state is not MemristorState.LRS
+            self._program(MemristorState.LRS)
+            self.set_count += 1
+            return changed
+        if voltage <= -params.threshold_voltage_v and duration >= params.reset_pulse_width_s:
+            changed = self._state is not MemristorState.HRS
+            self._program(MemristorState.HRS)
+            self.reset_count += 1
+            return changed
+        return False
+
+    def _program(self, state: MemristorState) -> None:
+        self._state = state
+        nominal = self._nominal_resistance(state)
+        sigma = self.parameters.cycle_to_cycle_sigma
+        if sigma > 0:
+            # Lognormal cycle-to-cycle variation around the nominal value.
+            nominal *= math.exp(self._rng.gauss(0.0, sigma))
+        self._resistance = nominal
+
+    def force_state(self, state: MemristorState, resistance: Optional[float] = None) -> None:
+        """Directly set the state (used by tests and by the ideal mapper)."""
+        self._state = state
+        self._resistance = (
+            float(resistance) if resistance is not None else self._nominal_resistance(state)
+        )
+        if self._resistance <= 0:
+            raise NetlistError("memristance must be positive")
+
+    # ------------------------------------------------------------------
+    # Fine tuning and drift (Section 4.3.2)
+    # ------------------------------------------------------------------
+
+    def tune(self, target_resistance: float) -> float:
+        """Tune the LRS memristance towards ``target_resistance``.
+
+        Tuning is quantised by the programming resolution and bounded to
+        [0.2x, 5x] of the nominal LRS value; tuning an HRS device is refused
+        because only LRS devices act as circuit resistors.
+
+        Returns the achieved resistance.
+        """
+        if self._state is not MemristorState.LRS:
+            raise ProgrammingError(f"memristor {self.name!r} must be in LRS to be tuned")
+        nominal = self.parameters.lrs_resistance_ohm
+        low, high = 0.2 * nominal, 5.0 * nominal
+        clipped = min(max(target_resistance, low), high)
+        resolution = self.parameters.tuning_resolution_ohm
+        if resolution > 0:
+            clipped = round(clipped / resolution) * resolution
+        self._resistance = max(clipped, resolution if resolution > 0 else 1e-3)
+        return self._resistance
+
+    def drift(self, elapsed_s: float) -> float:
+        """Apply retention drift over ``elapsed_s`` seconds; return new resistance.
+
+        The drift is modelled as a slow multiplicative relaxation of the LRS
+        memristance towards HRS at the configured relative rate per second.
+        """
+        if elapsed_s < 0:
+            raise NetlistError("elapsed time must be non-negative")
+        if self._state is MemristorState.LRS and self.parameters.retention_drift_per_s > 0:
+            factor = 1.0 + self.parameters.retention_drift_per_s * elapsed_s
+            self._resistance = min(
+                self._resistance * factor, self.parameters.hrs_resistance_ohm
+            )
+        return self._resistance
+
+    def spice_line(self) -> str:
+        return (
+            f"M{self.name} {self.nodes[0]} {self.nodes[1]} "
+            f"{self._resistance:g} state={self._state.name}"
+        )

@@ -1,0 +1,307 @@
+"""Sparse Modified Nodal Analysis (MNA) assembly.
+
+The MNA unknown vector is ``[node voltages (excluding ground), branch
+currents]`` where a branch current is allocated for every independent voltage
+source, every VCVS and every op-amp output.  The assembly is split into
+
+* :meth:`MNASystem.matrix` — the system matrix, which depends only on the
+  diode/switch states and (for transient analysis) the time step ``dt``; the
+  transient solver caches its LU factorisation per diode-state pattern;
+* :meth:`MNASystem.rhs` — the right-hand side, which depends on the source
+  values at time ``t`` and on the previous solution (capacitor and op-amp
+  companion models for backward Euler).
+
+Sign conventions follow SPICE: branch current of a voltage source flows from
+its positive terminal through the source to the negative terminal; a current
+source extracts its current from the positive node and injects it into the
+negative node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import NetlistError, SimulationError
+from .elements import VCVS, Capacitor, CurrentSource, Resistor, Switch, VoltageSource
+from .memristor import Memristor
+from .netlist import GROUND, Circuit
+from .nonlinear import Diode
+from .opamp import OpAmp
+
+__all__ = ["MNASystem"]
+
+
+class MNASystem:
+    """Index assignment and matrix/RHS assembly for a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to analyse.
+    check:
+        When set, :meth:`Circuit.validate` problems raise a
+        :class:`~repro.errors.NetlistError` immediately instead of surfacing
+        later as a singular matrix.
+    """
+
+    def __init__(self, circuit: Circuit, check: bool = False) -> None:
+        if check:
+            problems = circuit.validate()
+            if problems:
+                raise NetlistError("invalid netlist: " + "; ".join(problems))
+        self.circuit = circuit
+
+        self.node_names: List[str] = circuit.non_ground_nodes()
+        self.node_index: Dict[str, int] = {n: i for i, n in enumerate(self.node_names)}
+        self.num_node_unknowns = len(self.node_names)
+
+        # Branch unknowns: voltage sources, VCVS, op-amps (in insertion order).
+        self.branch_elements: List[object] = []
+        for element in circuit.elements():
+            if isinstance(element, (VoltageSource, VCVS, OpAmp)):
+                self.branch_elements.append(element)
+        self.branch_index: Dict[str, int] = {
+            e.name: self.num_node_unknowns + i for i, e in enumerate(self.branch_elements)
+        }
+        self.size = self.num_node_unknowns + len(self.branch_elements)
+
+        # Cached per-category element lists.
+        self.conductive: List[object] = [
+            e for e in circuit.elements() if isinstance(e, (Resistor, Switch, Memristor))
+        ]
+        self.capacitors: List[Capacitor] = circuit.elements_of_type(Capacitor)  # type: ignore[assignment]
+        self.diodes: List[Diode] = circuit.elements_of_type(Diode)  # type: ignore[assignment]
+        self.voltage_sources: List[VoltageSource] = circuit.elements_of_type(VoltageSource)  # type: ignore[assignment]
+        self.current_sources: List[CurrentSource] = circuit.elements_of_type(CurrentSource)  # type: ignore[assignment]
+        self.vcvs: List[VCVS] = circuit.elements_of_type(VCVS)  # type: ignore[assignment]
+        self.opamps: List[OpAmp] = circuit.elements_of_type(OpAmp)  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Index helpers
+    # ------------------------------------------------------------------
+
+    def _slot(self, node_name: str) -> int:
+        """Return the unknown index of a node, or -1 for ground."""
+        if node_name == GROUND:
+            return -1
+        return self.node_index[node_name]
+
+    def default_diode_states(self) -> Dict[str, bool]:
+        """Initial conducting-state guess for every diode."""
+        return {d.name: d.initial_state for d in self.diodes}
+
+    # ------------------------------------------------------------------
+    # Matrix assembly
+    # ------------------------------------------------------------------
+
+    def matrix(
+        self,
+        diode_states: Optional[Dict[str, bool]] = None,
+        dt: Optional[float] = None,
+    ) -> sparse.csc_matrix:
+        """Assemble the MNA system matrix.
+
+        Parameters
+        ----------
+        diode_states:
+            Conducting state per diode name; defaults to every diode's
+            initial state.
+        dt:
+            Backward-Euler time step.  ``None`` selects DC assembly:
+            capacitors are open circuits and op-amps use their DC gain.
+        """
+        if dt is not None and dt <= 0:
+            raise SimulationError("time step must be positive")
+        states = diode_states if diode_states is not None else self.default_diode_states()
+
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+
+        def stamp(i: int, j: int, value: float) -> None:
+            if i >= 0 and j >= 0 and value != 0.0:
+                rows.append(i)
+                cols.append(j)
+                vals.append(value)
+
+        def stamp_conductance(node_a: str, node_b: str, g: float) -> None:
+            a, b = self._slot(node_a), self._slot(node_b)
+            stamp(a, a, g)
+            stamp(b, b, g)
+            stamp(a, b, -g)
+            stamp(b, a, -g)
+
+        for element in self.conductive:
+            stamp_conductance(element.nodes[0], element.nodes[1], element.conductance)
+
+        for diode in self.diodes:
+            conducting = states.get(diode.name, diode.initial_state)
+            stamp_conductance(diode.anode, diode.cathode, diode.conductance(conducting))
+
+        if dt is not None:
+            for capacitor in self.capacitors:
+                stamp_conductance(
+                    capacitor.nodes[0], capacitor.nodes[1], capacitor.capacitance / dt
+                )
+
+        for source in self.voltage_sources:
+            branch = self.branch_index[source.name]
+            positive, negative = self._slot(source.nodes[0]), self._slot(source.nodes[1])
+            stamp(positive, branch, 1.0)
+            stamp(negative, branch, -1.0)
+            stamp(branch, positive, 1.0)
+            stamp(branch, negative, -1.0)
+
+        for element in self.vcvs:
+            branch = self.branch_index[element.name]
+            out_p, out_n = self._slot(element.nodes[0]), self._slot(element.nodes[1])
+            in_p, in_n = self._slot(element.nodes[2]), self._slot(element.nodes[3])
+            stamp(out_p, branch, 1.0)
+            stamp(out_n, branch, -1.0)
+            stamp(branch, out_p, 1.0)
+            stamp(branch, out_n, -1.0)
+            stamp(branch, in_p, -element.gain)
+            stamp(branch, in_n, element.gain)
+
+        for opamp in self.opamps:
+            branch = self.branch_index[opamp.name]
+            out = self._slot(opamp.output)
+            in_p, in_n = self._slot(opamp.in_positive), self._slot(opamp.in_negative)
+            gain = opamp.open_loop_gain
+            stamp(out, branch, 1.0)
+            if dt is None:
+                # DC: Vout - A0 * (V+ - V-) = 0
+                stamp(branch, out, 1.0)
+                stamp(branch, in_p, -gain)
+                stamp(branch, in_n, gain)
+            else:
+                # Backward Euler on tau * dVout/dt = A0*(V+ - V-) - Vout:
+                #   (1 + tau/dt) * Vout - A0*(V+ - V-) = (tau/dt) * Vout_prev
+                tau_over_dt = opamp.time_constant / dt
+                stamp(branch, out, 1.0 + tau_over_dt)
+                stamp(branch, in_p, -gain)
+                stamp(branch, in_n, gain)
+
+        matrix = sparse.coo_matrix(
+            (vals, (rows, cols)), shape=(self.size, self.size)
+        ).tocsc()
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Right-hand-side assembly
+    # ------------------------------------------------------------------
+
+    def rhs(
+        self,
+        t: Optional[float] = None,
+        diode_states: Optional[Dict[str, bool]] = None,
+        dt: Optional[float] = None,
+        previous: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Assemble the MNA right-hand side.
+
+        Parameters
+        ----------
+        t:
+            Evaluation time for the independent sources.  ``None`` selects the
+            DC value of each source.
+        diode_states:
+            Conducting states (needed only for diodes with non-zero forward
+            voltage, whose companion current source lands in the RHS).
+        dt, previous:
+            Backward-Euler step and previous solution vector; required
+            together for transient assembly (capacitor and op-amp history).
+        """
+        if (dt is None) != (previous is None):
+            raise SimulationError("transient RHS needs both dt and the previous solution")
+        states = diode_states if diode_states is not None else self.default_diode_states()
+        b = np.zeros(self.size)
+
+        def node_voltage_prev(name: str) -> float:
+            if previous is None or name == GROUND:
+                return 0.0
+            return float(previous[self.node_index[name]])
+
+        for source in self.current_sources:
+            value = source.dc_value if t is None else source.value_at(t)
+            positive, negative = self._slot(source.nodes[0]), self._slot(source.nodes[1])
+            if positive >= 0:
+                b[positive] -= value
+            if negative >= 0:
+                b[negative] += value
+
+        for source in self.voltage_sources:
+            branch = self.branch_index[source.name]
+            b[branch] = source.dc_value if t is None else source.value_at(t)
+
+        for diode in self.diodes:
+            conducting = states.get(diode.name, diode.initial_state)
+            equivalent = diode.equivalent_current(conducting)
+            if equivalent != 0.0:
+                anode, cathode = self._slot(diode.anode), self._slot(diode.cathode)
+                if anode >= 0:
+                    b[anode] -= equivalent
+                if cathode >= 0:
+                    b[cathode] += equivalent
+
+        if dt is not None:
+            for capacitor in self.capacitors:
+                v_prev = node_voltage_prev(capacitor.nodes[0]) - node_voltage_prev(
+                    capacitor.nodes[1]
+                )
+                history = capacitor.capacitance / dt * v_prev
+                positive, negative = (
+                    self._slot(capacitor.nodes[0]),
+                    self._slot(capacitor.nodes[1]),
+                )
+                if positive >= 0:
+                    b[positive] += history
+                if negative >= 0:
+                    b[negative] -= history
+            for opamp in self.opamps:
+                branch = self.branch_index[opamp.name]
+                tau_over_dt = opamp.time_constant / dt
+                b[branch] = tau_over_dt * node_voltage_prev(opamp.output)
+
+        return b
+
+    # ------------------------------------------------------------------
+    # Solution accessors
+    # ------------------------------------------------------------------
+
+    def node_voltage(self, solution: np.ndarray, node_name: str) -> float:
+        """Voltage of ``node_name`` in a solution vector (ground is 0 V)."""
+        if node_name == GROUND:
+            return 0.0
+        return float(solution[self.node_index[node_name]])
+
+    def voltages(self, solution: np.ndarray) -> Dict[str, float]:
+        """All node voltages of a solution vector keyed by node name."""
+        result = {GROUND: 0.0}
+        for name, index in self.node_index.items():
+            result[name] = float(solution[index])
+        return result
+
+    def branch_current(self, solution: np.ndarray, element_name: str) -> float:
+        """Branch current of a voltage source / VCVS / op-amp output."""
+        try:
+            return float(solution[self.branch_index[element_name]])
+        except KeyError as exc:
+            raise NetlistError(
+                f"element {element_name!r} has no branch current unknown"
+            ) from exc
+
+    def diode_voltages(
+        self, solution: np.ndarray
+    ) -> Dict[str, Tuple[float, float]]:
+        """Per-diode (anode, cathode) voltages for state updates."""
+        return {
+            d.name: (
+                self.node_voltage(solution, d.anode),
+                self.node_voltage(solution, d.cathode),
+            )
+            for d in self.diodes
+        }

@@ -1,0 +1,207 @@
+"""Circuit container and node bookkeeping.
+
+A :class:`Circuit` is an ordered collection of circuit elements connected to
+named nodes.  The ground node is named ``"0"`` (the SPICE convention) and is
+always present.  Element classes themselves live in
+:mod:`~repro.circuit.elements`, :mod:`~repro.circuit.nonlinear`,
+:mod:`~repro.circuit.opamp` and :mod:`~repro.circuit.memristor`; the circuit
+only stores and indexes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+
+__all__ = ["Circuit", "GROUND", "CircuitElement"]
+
+#: Name of the ground (reference) node.
+GROUND = "0"
+
+
+class CircuitElement:
+    """Base class of every circuit element.
+
+    Attributes
+    ----------
+    name:
+        Unique element name within its circuit (e.g. ``"R12"``).
+    nodes:
+        Tuple of node names the element connects to, in a fixed per-class
+        order documented by each subclass.
+    """
+
+    def __init__(self, name: str, nodes: Sequence[str]) -> None:
+        if not name:
+            raise NetlistError("circuit elements must have a non-empty name")
+        self.name = str(name)
+        self.nodes: Tuple[str, ...] = tuple(str(n) for n in nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        joined = ", ".join(self.nodes)
+        return f"{type(self).__name__}({self.name!r}, [{joined}])"
+
+
+class Circuit:
+    """A named collection of circuit elements and nodes.
+
+    Parameters
+    ----------
+    title:
+        Free-form description used in reports and exported netlists.
+    """
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self._elements: List[CircuitElement] = []
+        self._by_name: Dict[str, CircuitElement] = {}
+        self._nodes: Dict[str, int] = {GROUND: 0}
+        self._node_order: List[str] = [GROUND]
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def node(self, name: str) -> str:
+        """Register (or look up) a node by name and return the name."""
+        name = str(name)
+        if name not in self._nodes:
+            self._nodes[name] = len(self._node_order)
+            self._node_order.append(name)
+        return name
+
+    def has_node(self, name: str) -> bool:
+        """True when a node with this name exists."""
+        return str(name) in self._nodes
+
+    def nodes(self) -> List[str]:
+        """All node names including ground, in creation order."""
+        return list(self._node_order)
+
+    def non_ground_nodes(self) -> List[str]:
+        """All node names except ground, in creation order."""
+        return [n for n in self._node_order if n != GROUND]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes including ground."""
+        return len(self._node_order)
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+
+    def add(self, element: CircuitElement) -> CircuitElement:
+        """Add ``element`` to the circuit, registering its nodes.
+
+        Raises
+        ------
+        NetlistError
+            If an element with the same name already exists.
+        """
+        if element.name in self._by_name:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        for node in element.nodes:
+            self.node(node)
+        self._elements.append(element)
+        self._by_name[element.name] = element
+        return element
+
+    def add_all(self, elements: Iterable[CircuitElement]) -> List[CircuitElement]:
+        """Add several elements and return them."""
+        return [self.add(e) for e in elements]
+
+    def element(self, name: str) -> CircuitElement:
+        """Look up an element by name."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise NetlistError(f"no element named {name!r}") from exc
+
+    def has_element(self, name: str) -> bool:
+        """True when an element with this name exists."""
+        return name in self._by_name
+
+    def elements(self) -> List[CircuitElement]:
+        """All elements in insertion order."""
+        return list(self._elements)
+
+    def elements_of_type(self, element_type: type) -> List[CircuitElement]:
+        """All elements that are instances of ``element_type``."""
+        return [e for e in self._elements if isinstance(e, element_type)]
+
+    def connected_elements(self, node: str) -> List[CircuitElement]:
+        """All elements that touch ``node``."""
+        node = str(node)
+        return [e for e in self._elements if node in e.nodes]
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements in the circuit."""
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[CircuitElement]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.title!r}, nodes={self.num_nodes}, "
+            f"elements={self.num_elements})"
+        )
+
+    # ------------------------------------------------------------------
+    # Validation and export
+    # ------------------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """Return a list of structural problems (empty when the netlist is sane).
+
+        Checks performed:
+
+        * the circuit contains at least one element;
+        * every non-ground node is touched by at least two element terminals
+          (a single-terminal node is floating and makes the MNA singular
+          unless it belongs to a source);
+        * ground is referenced by at least one element.
+        """
+        problems: List[str] = []
+        if not self._elements:
+            problems.append("circuit has no elements")
+            return problems
+        touch_count: Dict[str, int] = {name: 0 for name in self._node_order}
+        for element in self._elements:
+            for node in element.nodes:
+                touch_count[node] += 1
+        if touch_count.get(GROUND, 0) == 0:
+            problems.append("no element is connected to ground")
+        for node, count in touch_count.items():
+            if node == GROUND:
+                continue
+            if count == 0:
+                problems.append(f"node {node!r} is not connected to any element")
+            elif count == 1:
+                problems.append(f"node {node!r} is floating (single connection)")
+        return problems
+
+    def summary(self) -> Dict[str, int]:
+        """Element count per element class name (used in reports/tests)."""
+        counts: Dict[str, int] = {}
+        for element in self._elements:
+            counts[type(element).__name__] = counts.get(type(element).__name__, 0) + 1
+        return counts
+
+    def to_spice(self) -> str:
+        """Export a human-readable SPICE-like netlist (for inspection only)."""
+        lines = [f"* {self.title}" if self.title else "* circuit"]
+        for element in self._elements:
+            description = getattr(element, "spice_line", None)
+            if callable(description):
+                lines.append(description())
+            else:
+                lines.append(f"* {element!r}")
+        lines.append(".end")
+        return "\n".join(lines)

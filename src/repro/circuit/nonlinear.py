@@ -1,0 +1,95 @@
+"""Piecewise-linear diode model.
+
+The edge-capacity widgets (Section 2.1) use ideal diodes to clamp each edge
+voltage to ``[0, c_e]``.  The simulator models the diode as a two-state
+piecewise-linear element:
+
+* **off**: a tiny leakage conductance ``G_off``;
+* **on**: a large conductance ``G_on`` in series with the forward voltage
+  ``V_f`` (``V_f = 0`` recovers the ideal diode of the paper's analysis).
+
+The DC and transient solvers iterate on the on/off states until they are
+consistent with the solved node voltages, which is the standard way of
+handling ideal-diode (linear-complementarity) circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import DiodeParameters
+from ..errors import NetlistError
+from .netlist import CircuitElement
+
+__all__ = ["Diode"]
+
+
+class Diode(CircuitElement):
+    """Two-state piecewise-linear diode.
+
+    Node order is ``(anode, cathode)``; the diode conducts when
+    ``V(anode) - V(cathode) > forward_voltage``.
+
+    Parameters
+    ----------
+    parameters:
+        Conductances and forward voltage; defaults to the library-wide
+        :class:`~repro.config.DiodeParameters` defaults (an almost ideal
+        diode).
+    initial_state:
+        Initial guess for the conducting state used by the solvers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        parameters: Optional[DiodeParameters] = None,
+        initial_state: bool = False,
+    ) -> None:
+        super().__init__(name, (anode, cathode))
+        self.parameters = parameters if parameters is not None else DiodeParameters()
+        self.parameters.validate()
+        self.initial_state = bool(initial_state)
+
+    @property
+    def anode(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def cathode(self) -> str:
+        return self.nodes[1]
+
+    def conductance(self, conducting: bool) -> float:
+        """Conductance of the PWL branch for the given state."""
+        return (
+            self.parameters.on_conductance_s
+            if conducting
+            else self.parameters.off_conductance_s
+        )
+
+    def equivalent_current(self, conducting: bool) -> float:
+        """Companion current source of the PWL branch for the given state.
+
+        The branch current is modelled as ``i = G * (v - V_f)`` in the on
+        state and ``i = G_off * v`` in the off state; the constant part
+        ``-G * V_f`` is stamped into the right-hand side.
+        """
+        if conducting and self.parameters.forward_voltage_v != 0.0:
+            return -self.parameters.on_conductance_s * self.parameters.forward_voltage_v
+        return 0.0
+
+    def current(self, anode_voltage: float, cathode_voltage: float, conducting: bool) -> float:
+        """Branch current for the given terminal voltages and state."""
+        v = anode_voltage - cathode_voltage
+        if conducting:
+            return self.parameters.on_conductance_s * (v - self.parameters.forward_voltage_v)
+        return self.parameters.off_conductance_s * v
+
+    def should_conduct(self, anode_voltage: float, cathode_voltage: float) -> bool:
+        """State the diode *wants* to be in for the given terminal voltages."""
+        return (anode_voltage - cathode_voltage) > self.parameters.forward_voltage_v
+
+    def spice_line(self) -> str:
+        return f"D{self.name} {self.anode} {self.cathode} pwl"

@@ -1,0 +1,84 @@
+"""Single-pole operational-amplifier macro-model.
+
+Section 4.2 of the paper implements the negative resistors with op-amps and
+argues that an open-loop gain above ``1e3`` keeps the negative-resistance
+error below 0.1 %.  Section 5.1 sweeps the gain-bandwidth product (10 GHz and
+50 GHz) to trade convergence time.  Both effects are captured by the
+classical single-pole macro-model
+
+    ``A(s) = A0 / (1 + s * tau)``  with  ``tau = A0 / (2 * pi * GBW)``
+
+realised as a controlled voltage source at the output whose value follows the
+first-order differential equation
+
+    ``tau * dVout/dt = A0 * (V+ - V-) - Vout``.
+
+The DC limit is ``Vout = A0 * (V+ - V-)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import OpAmpParameters
+from .netlist import CircuitElement
+
+__all__ = ["OpAmp"]
+
+
+class OpAmp(CircuitElement):
+    """Operational amplifier with finite gain and a single dominant pole.
+
+    Node order is ``(in+, in-, out)``; the output is referenced to ground.
+
+    Parameters
+    ----------
+    parameters:
+        Gain / gain-bandwidth / supply parameters
+        (:class:`~repro.config.OpAmpParameters`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        in_positive: str,
+        in_negative: str,
+        output: str,
+        parameters: Optional[OpAmpParameters] = None,
+    ) -> None:
+        super().__init__(name, (in_positive, in_negative, output))
+        self.parameters = parameters if parameters is not None else OpAmpParameters()
+        self.parameters.validate()
+
+    @property
+    def in_positive(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def in_negative(self) -> str:
+        return self.nodes[1]
+
+    @property
+    def output(self) -> str:
+        return self.nodes[2]
+
+    @property
+    def open_loop_gain(self) -> float:
+        """DC open-loop gain ``A0``."""
+        return self.parameters.open_loop_gain
+
+    @property
+    def time_constant(self) -> float:
+        """Open-loop time constant ``tau = A0 / (2 * pi * GBW)`` in seconds."""
+        return self.parameters.time_constant_s
+
+    @property
+    def power_w(self) -> float:
+        """Static power consumption of this op-amp."""
+        return self.parameters.power_w
+
+    def spice_line(self) -> str:
+        return (
+            f"X{self.name} {self.in_positive} {self.in_negative} {self.output} "
+            f"opamp gain={self.open_loop_gain:g} gbw={self.parameters.gbw_hz:g}"
+        )

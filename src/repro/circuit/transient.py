@@ -1,0 +1,257 @@
+"""Transient (time-domain) circuit simulation.
+
+Backward-Euler integration of the circuit's differential-algebraic equations:
+capacitors and op-amp poles are replaced by their backward-Euler companion
+models (handled by :class:`~repro.circuit.mna.MNASystem`), and the diode
+states are re-iterated inside every time step, warm-started from the previous
+step.  Because the system matrix depends only on the time step and the diode
+state pattern, its sparse LU factorisation is cached per pattern, which makes
+long simulations of piecewise-linear circuits cheap: most steps reuse an
+existing factorisation and only pay a forward/backward substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse.linalg import splu
+
+from ..errors import ConvergenceError, SimulationError, SingularCircuitError
+from .mna import MNASystem
+from .netlist import GROUND, Circuit
+from .waveform import Waveform, settling_time
+
+__all__ = ["TransientSimulator", "TransientResult"]
+
+
+@dataclass
+class TransientResult:
+    """Sampled node voltages and branch currents of a transient run.
+
+    Attributes
+    ----------
+    times:
+        Sample times (the initial condition at ``t = 0`` is included).
+    node_voltages:
+        Mapping node name -> sampled voltage array.
+    branch_currents:
+        Mapping element name -> sampled branch current array (only for the
+        elements requested via ``record_currents``).
+    diode_state_changes:
+        Number of time steps in which at least one diode changed state.
+    steps:
+        Number of backward-Euler steps taken.
+    """
+
+    times: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+    branch_currents: Dict[str, np.ndarray]
+    diode_state_changes: int = 0
+    steps: int = 0
+
+    def voltage(self, node: str) -> Waveform:
+        """Waveform of a node voltage."""
+        if node == GROUND:
+            return Waveform(self.times, np.zeros_like(self.times), node)
+        try:
+            return Waveform(self.times, self.node_voltages[node], node)
+        except KeyError as exc:
+            raise SimulationError(f"node {node!r} was not recorded") from exc
+
+    def current(self, element: str) -> Waveform:
+        """Waveform of a recorded branch current."""
+        try:
+            return Waveform(self.times, self.branch_currents[element], element)
+        except KeyError as exc:
+            raise SimulationError(f"current of {element!r} was not recorded") from exc
+
+    def final_voltages(self) -> Dict[str, float]:
+        """Node voltages at the last time point."""
+        return {name: float(values[-1]) for name, values in self.node_voltages.items()}
+
+    def settling_time_of(
+        self, node: str, tolerance: float = 1e-3, reference: Optional[float] = None
+    ) -> float:
+        """Settling time of a node voltage (see :func:`settling_time`)."""
+        wave = self.voltage(node)
+        return settling_time(wave.times, wave.values, tolerance, reference)
+
+
+class TransientSimulator:
+    """Fixed-step backward-Euler transient simulator.
+
+    Parameters
+    ----------
+    max_state_iterations:
+        Maximum diode-state iterations per time step.
+    """
+
+    def __init__(self, max_state_iterations: int = 50) -> None:
+        self.max_state_iterations = max_state_iterations
+
+    def run(
+        self,
+        circuit: Circuit,
+        t_stop: float,
+        dt: float,
+        record_nodes: Optional[Sequence[str]] = None,
+        record_currents: Sequence[str] = (),
+        initial: str = "zero",
+        initial_diode_states: Optional[Dict[str, bool]] = None,
+        mna: Optional[MNASystem] = None,
+    ) -> TransientResult:
+        """Simulate ``circuit`` from 0 to ``t_stop`` with step ``dt``.
+
+        Parameters
+        ----------
+        record_nodes:
+            Node names to record; ``None`` records every non-ground node.
+        record_currents:
+            Names of voltage-source-like elements whose branch current should
+            be recorded (e.g. the ``Vflow`` source, whose current yields the
+            flow value through Equation 7a).
+        initial:
+            ``"zero"`` starts from all-zero node voltages (the state of the
+            substrate before the Vflow step is applied); ``"dc"`` starts from
+            the DC operating point with the sources evaluated at ``t = 0``.
+        initial_diode_states:
+            Optional warm-start diode states.
+        mna:
+            Pre-built :class:`MNASystem` to reuse.
+        """
+        if dt <= 0 or t_stop <= 0:
+            raise SimulationError("dt and t_stop must be positive")
+        if t_stop < dt:
+            raise SimulationError("t_stop must be at least one time step")
+
+        system = mna if mna is not None else MNASystem(circuit)
+        recorded_nodes = (
+            list(system.node_index) if record_nodes is None else [str(n) for n in record_nodes]
+        )
+        for node in recorded_nodes:
+            if node not in system.node_index and node != GROUND:
+                raise SimulationError(f"cannot record unknown node {node!r}")
+        recorded_currents = [str(name) for name in record_currents]
+        for name in recorded_currents:
+            if name not in system.branch_index:
+                raise SimulationError(f"cannot record current of {name!r} (no branch)")
+
+        states = dict(system.default_diode_states())
+        if initial_diode_states:
+            states.update(initial_diode_states)
+
+        if initial == "zero":
+            x = np.zeros(system.size)
+        elif initial == "dc":
+            from .dc import DCOperatingPoint
+
+            dc = DCOperatingPoint().solve(circuit, initial_states=states, mna=system)
+            x = dc.vector
+            states = dict(dc.diode_states)
+        else:
+            raise SimulationError(f"unknown initial condition {initial!r}")
+
+        num_steps = int(round(t_stop / dt))
+        times = np.zeros(num_steps + 1)
+        node_data = {n: np.zeros(num_steps + 1) for n in recorded_nodes}
+        current_data = {n: np.zeros(num_steps + 1) for n in recorded_currents}
+        self._record(system, x, 0, node_data, current_data)
+
+        lu_cache: Dict[Tuple[Tuple[str, bool], ...], object] = {}
+        state_changes = 0
+
+        for step in range(1, num_steps + 1):
+            t = step * dt
+            x_prev = x
+            states_before = dict(states)
+            x, states = self._step(system, t, dt, x_prev, states, lu_cache)
+            if states != states_before:
+                state_changes += 1
+            times[step] = t
+            self._record(system, x, step, node_data, current_data)
+
+        return TransientResult(
+            times=times,
+            node_voltages=node_data,
+            branch_currents=current_data,
+            diode_state_changes=state_changes,
+            steps=num_steps,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _step(
+        self,
+        system: MNASystem,
+        t: float,
+        dt: float,
+        x_prev: np.ndarray,
+        states: Dict[str, bool],
+        lu_cache: Dict[Tuple[Tuple[str, bool], ...], object],
+    ) -> Tuple[np.ndarray, Dict[str, bool]]:
+        """One backward-Euler step with diode-state iteration."""
+        current_states = dict(states)
+        seen = set()
+        solution = x_prev
+        for _iteration in range(self.max_state_iterations):
+            key = tuple(sorted(current_states.items()))
+            lu = lu_cache.get(key)
+            if lu is None:
+                matrix = system.matrix(diode_states=current_states, dt=dt)
+                try:
+                    lu = splu(matrix.tocsc())
+                except RuntimeError as exc:
+                    raise SingularCircuitError(
+                        f"transient MNA matrix is singular at t={t}: {exc}"
+                    ) from exc
+                lu_cache[key] = lu
+            rhs = system.rhs(t=t, diode_states=current_states, dt=dt, previous=x_prev)
+            solution = lu.solve(rhs)
+            if not np.all(np.isfinite(solution)):
+                raise SingularCircuitError(f"non-finite transient solution at t={t}")
+            desired = self._desired_states(system, solution, current_states)
+            if desired == current_states:
+                return solution, current_states
+            if key in seen:
+                # Cycle detected within the step: accept the current solution
+                # and let the next step (with new source values / history)
+                # resolve the ambiguity.  This mirrors SPICE's behaviour of
+                # accepting the last iterate of a marginally converging step.
+                return solution, desired
+            seen.add(key)
+            current_states = desired
+        raise ConvergenceError(
+            f"diode-state iteration did not converge within a time step at t={t}"
+        )
+
+    @staticmethod
+    def _desired_states(
+        system: MNASystem, solution: np.ndarray, current: Dict[str, bool]
+    ) -> Dict[str, bool]:
+        desired: Dict[str, bool] = {}
+        for diode in system.diodes:
+            v_d = system.node_voltage(solution, diode.anode) - system.node_voltage(
+                solution, diode.cathode
+            )
+            threshold = diode.parameters.forward_voltage_v
+            hysteresis = 1e-9
+            if current.get(diode.name, diode.initial_state):
+                desired[diode.name] = v_d > threshold - hysteresis
+            else:
+                desired[diode.name] = v_d > threshold + hysteresis
+        return desired
+
+    @staticmethod
+    def _record(
+        system: MNASystem,
+        solution: np.ndarray,
+        index: int,
+        node_data: Dict[str, np.ndarray],
+        current_data: Dict[str, np.ndarray],
+    ) -> None:
+        for name, array in node_data.items():
+            array[index] = system.node_voltage(solution, name)
+        for name, array in current_data.items():
+            array[index] = system.branch_current(solution, name)

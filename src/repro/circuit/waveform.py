@@ -1,0 +1,128 @@
+"""Waveform container and settling-time measurement.
+
+The paper defines the substrate's convergence time as "the time interval
+between the rising edge of Vflow and the timestamp when the flow value is
+within 0.1 % of the final value" (Section 5.1).  :func:`settling_time`
+implements exactly that measurement on a sampled waveform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["Waveform", "settling_time"]
+
+
+@dataclass
+class Waveform:
+    """A sampled signal: times (seconds) and values (volts or amperes)."""
+
+    times: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise SimulationError("waveform times and values must have the same shape")
+        if self.times.ndim != 1:
+            raise SimulationError("waveforms must be one-dimensional")
+        if len(self.times) and np.any(np.diff(self.times) < 0):
+            raise SimulationError("waveform times must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def final_value(self) -> float:
+        """Last sampled value."""
+        if not len(self):
+            raise SimulationError("empty waveform has no final value")
+        return float(self.values[-1])
+
+    @property
+    def initial_value(self) -> float:
+        """First sampled value."""
+        if not len(self):
+            raise SimulationError("empty waveform has no initial value")
+        return float(self.values[0])
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t`` (clamped to the ends)."""
+        if not len(self):
+            raise SimulationError("cannot interpolate an empty waveform")
+        return float(np.interp(t, self.times, self.values))
+
+    def maximum(self) -> float:
+        """Largest sampled value."""
+        return float(np.max(self.values))
+
+    def minimum(self) -> float:
+        """Smallest sampled value."""
+        return float(np.min(self.values))
+
+    def overshoot(self) -> float:
+        """Peak excursion above the final value (0 if the signal never overshoots)."""
+        return max(0.0, self.maximum() - self.final_value)
+
+    def settling_time(
+        self, tolerance: float = 1e-3, reference: Optional[float] = None
+    ) -> float:
+        """Convenience wrapper around :func:`settling_time`."""
+        return settling_time(self.times, self.values, tolerance, reference)
+
+    def subsample(self, stride: int) -> "Waveform":
+        """Return a decimated copy keeping every ``stride``-th sample."""
+        if stride < 1:
+            raise SimulationError("stride must be at least 1")
+        return Waveform(self.times[::stride], self.values[::stride], self.name)
+
+
+def settling_time(
+    times: Sequence[float],
+    values: Sequence[float],
+    tolerance: float = 1e-3,
+    reference: Optional[float] = None,
+) -> float:
+    """Time after which the signal stays within ``tolerance`` of ``reference``.
+
+    Parameters
+    ----------
+    times, values:
+        The sampled waveform.
+    tolerance:
+        Relative tolerance band (0.001 = the paper's 0.1 %).  For signals
+        whose reference value is very close to zero an absolute band of
+        ``tolerance`` is used instead.
+    reference:
+        Target value; defaults to the final sample.
+
+    Returns
+    -------
+    float
+        The earliest sampled time from which every later sample lies inside
+        the band.  Returns the first time stamp when the signal is always in
+        band, and ``float('inf')`` when even the final sample is outside
+        (which indicates the simulation was too short).
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape or times.ndim != 1 or not len(times):
+        raise SimulationError("settling_time needs matching, non-empty 1-D arrays")
+    target = float(values[-1]) if reference is None else float(reference)
+    band = tolerance * abs(target) if abs(target) > 1e-12 else tolerance
+    outside = np.abs(values - target) > band
+    if outside[-1]:
+        return float("inf")
+    if not np.any(outside):
+        return float(times[0])
+    last_outside = int(np.max(np.nonzero(outside)))
+    if last_outside + 1 >= len(times):
+        return float("inf")
+    return float(times[last_outside + 1])

@@ -1,0 +1,52 @@
+"""Reconfigurable memristor-crossbar substrate (Section 3) and its extensions.
+
+* :mod:`~repro.crossbar.cell` / :mod:`~repro.crossbar.crossbar` — the n x n
+  crossbar of memristor switches plus per-intersection circuit widgets;
+* :mod:`~repro.crossbar.programming` — the row-by-row programming protocol of
+  Section 3.1, including half-select disturb analysis;
+* :mod:`~repro.crossbar.mapping` — placing a flow network onto the crossbar;
+* :mod:`~repro.crossbar.engine` — the end-to-end
+  :class:`~repro.crossbar.engine.CrossbarMaxFlowEngine` (configure, compute,
+  read out);
+* :mod:`~repro.crossbar.variation` — process-variation models (Section 4.3.1);
+* :mod:`~repro.crossbar.tuning` — post-fabrication memristance tuning
+  (Section 4.3.2);
+* :mod:`~repro.crossbar.clustered` / ``placement`` / ``routing`` — the
+  clustered island-style architectures of Section 6.2 with their CAD flow;
+* :mod:`~repro.crossbar.area` — area comparison of memristor vs SRAM switches.
+"""
+
+from .cell import CrossbarCell
+from .crossbar import CrossbarSubstrate
+from .programming import ProgrammingProtocol, ProgrammingReport
+from .mapping import CrossbarMapping, map_network_to_crossbar
+from .engine import CrossbarMaxFlowEngine, CrossbarSolveResult
+from .variation import ProcessVariationModel, VariationSample
+from .tuning import ResistanceTuner, TuningReport
+from .clustered import ClusteredArchitecture, Island, ArchitectureStyle
+from .placement import IslandPlacement, place_network
+from .routing import RoutingResult, route_placement
+from .area import AreaModel
+
+__all__ = [
+    "CrossbarCell",
+    "CrossbarSubstrate",
+    "ProgrammingProtocol",
+    "ProgrammingReport",
+    "CrossbarMapping",
+    "map_network_to_crossbar",
+    "CrossbarMaxFlowEngine",
+    "CrossbarSolveResult",
+    "ProcessVariationModel",
+    "VariationSample",
+    "ResistanceTuner",
+    "TuningReport",
+    "ClusteredArchitecture",
+    "Island",
+    "ArchitectureStyle",
+    "IslandPlacement",
+    "place_network",
+    "RoutingResult",
+    "route_placement",
+    "AreaModel",
+]

@@ -1,0 +1,118 @@
+"""Area model: memristor switches versus SRAM switches, mesh versus clustered.
+
+One of the paper's two reasons for choosing memristor switches is area
+efficiency (Section 3): a crosspoint memristor occupies roughly ``4F^2``
+(F = technology feature size) and can sit above the logic layers, whereas an
+SRAM-controlled pass-gate switch needs a six-transistor cell plus the pass
+device, i.e. well over ``100F^2`` of active silicon.  This module provides a
+simple but explicit area model used by the Section 6.2 bench to compare
+
+* a monolithic n x n crossbar with memristor switches,
+* the same crossbar with SRAM switches,
+* clustered island architectures (cells + routing overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+from .clustered import ClusteredArchitecture
+
+__all__ = ["AreaModel"]
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area parameters, all expressed in units of ``F^2`` per device.
+
+    Attributes
+    ----------
+    feature_size_nm:
+        Technology feature size F (32 nm in the paper's power analysis).
+    memristor_switch_f2:
+        Crosspoint memristor footprint (stacked above logic).
+    sram_switch_f2:
+        SRAM cell (6T) plus pass transistor footprint.
+    widget_f2:
+        Area of one intersection's analog widget (two diodes and the shared
+        wiring; the op-amps are accounted separately).
+    opamp_f2:
+        Area of one op-amp.
+    routing_track_f2_per_island:
+        Routing-channel area per track per island span (clustered
+        architectures only).
+    """
+
+    feature_size_nm: float = 32.0
+    memristor_switch_f2: float = 4.0
+    sram_switch_f2: float = 140.0
+    widget_f2: float = 260.0
+    opamp_f2: float = 2200.0
+    routing_track_f2_per_island: float = 800.0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.feature_size_nm,
+            self.memristor_switch_f2,
+            self.sram_switch_f2,
+            self.widget_f2,
+            self.opamp_f2,
+            self.routing_track_f2_per_island,
+        ) <= 0:
+            raise ConfigurationError("area parameters must be positive")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def f2_to_um2(self) -> float:
+        """Conversion factor from F^2 to square micrometres."""
+        feature_um = self.feature_size_nm * 1e-3
+        return feature_um * feature_um
+
+    def cell_area_f2(self, switch: str = "memristor") -> float:
+        """Area of one crossbar intersection for the given switch type."""
+        if switch == "memristor":
+            return self.memristor_switch_f2 + self.widget_f2
+        if switch == "sram":
+            return self.sram_switch_f2 + self.widget_f2
+        raise ConfigurationError(f"unknown switch type {switch!r}")
+
+    def crossbar_area_um2(self, rows: int, columns: int, switch: str = "memristor") -> float:
+        """Total area of a monolithic crossbar (cells + per-column op-amps)."""
+        if rows <= 0 or columns <= 0:
+            raise ConfigurationError("crossbar dimensions must be positive")
+        cells = rows * columns * self.cell_area_f2(switch)
+        # One op-amp per column (conservation widget) plus one per cell for
+        # the negation widgets is pessimistic; the paper's power model uses
+        # one per edge plus one per vertex, which maps to one per *used*
+        # cell.  For the area of the full substrate we budget one per cell.
+        opamps = rows * columns * self.opamp_f2
+        return (cells + opamps) * self.f2_to_um2
+
+    def clustered_area_um2(
+        self, architecture: ClusteredArchitecture, switch: str = "memristor"
+    ) -> float:
+        """Total area of a clustered architecture (islands + routing)."""
+        island_cells = architecture.total_cell_count * (
+            self.cell_area_f2(switch) + self.opamp_f2
+        )
+        routing = (
+            len(architecture.channel_segments())
+            * architecture.channel_width
+            * self.routing_track_f2_per_island
+        )
+        return (island_cells + routing) * self.f2_to_um2
+
+    def memristor_vs_sram_ratio(self) -> float:
+        """Cell-area advantage of memristor switches over SRAM switches."""
+        return self.cell_area_f2("sram") / self.cell_area_f2("memristor")
+
+    def comparison(self, rows: int, columns: int) -> Dict[str, float]:
+        """Monolithic-crossbar area summary used by reports/tests."""
+        return {
+            "memristor_crossbar_mm2": self.crossbar_area_um2(rows, columns, "memristor") / 1e6,
+            "sram_crossbar_mm2": self.crossbar_area_um2(rows, columns, "sram") / 1e6,
+            "cell_ratio_sram_over_memristor": self.memristor_vs_sram_ratio(),
+        }

@@ -1,0 +1,96 @@
+"""A single crossbar cell (intersection).
+
+Every intersection ``(row i, column j)`` of the crossbar holds a memristor
+switch and the circuit widget of the (potential) edge ``i -> j`` (Fig. 6):
+when the switch is in LRS, the widget is connected into the crossbar and the
+edge exists; in HRS the cell is disconnected (up to HRS leakage).  The cell
+also remembers which capacity voltage level the edge was assigned, because the
+clamp source of that level is wired to the cell's widget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import MemristorParameters
+from ..circuit.memristor import Memristor, MemristorState
+
+__all__ = ["CrossbarCell"]
+
+
+@dataclass
+class CrossbarCell:
+    """State of one crossbar intersection.
+
+    Attributes
+    ----------
+    row, column:
+        Crossbar coordinates; row ``0`` is the objective (``Vflow``) row.
+    switch:
+        The memristor switch of the cell.  Its LRS/HRS state encodes the
+        presence of the edge; its LRS memristance doubles as the widget's
+        unit resistance and can be fine-tuned (Section 4.3.2).
+    capacity_level:
+        Quantized capacity level assigned to the edge (``None`` when the
+        cell is unused).
+    edge_index:
+        Index of the graph edge mapped onto this cell (``None`` when unused).
+    """
+
+    row: int
+    column: int
+    switch: Memristor
+    capacity_level: Optional[int] = None
+    edge_index: Optional[int] = None
+
+    @classmethod
+    def create(
+        cls,
+        row: int,
+        column: int,
+        parameters: Optional[MemristorParameters] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "CrossbarCell":
+        """Build a fresh (HRS, unused) cell."""
+        switch = Memristor(
+            name=f"mem_r{row}_c{column}",
+            top=f"row{row}",
+            bottom=f"col{column}",
+            parameters=parameters,
+            state=MemristorState.HRS,
+            rng=rng,
+        )
+        return cls(row=row, column=column, switch=switch)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_programmed(self) -> bool:
+        """True when the cell's switch is in LRS (edge present)."""
+        return self.switch.is_on
+
+    @property
+    def is_used(self) -> bool:
+        """True when a graph edge has been assigned to this cell."""
+        return self.edge_index is not None
+
+    @property
+    def resistance(self) -> float:
+        """Current switch memristance (ohms)."""
+        return self.switch.resistance
+
+    def assign(self, edge_index: int, capacity_level: int) -> None:
+        """Record which edge and capacity level this cell implements."""
+        self.edge_index = edge_index
+        self.capacity_level = capacity_level
+
+    def clear(self) -> None:
+        """Return the cell to the unused state (switch state is not touched)."""
+        self.edge_index = None
+        self.capacity_level = None
+
+    def matches_target(self, should_be_on: bool) -> bool:
+        """True when the switch state equals the desired programmed state."""
+        return self.switch.is_on == should_be_on

@@ -1,0 +1,188 @@
+"""Clustered island-style architectures (Section 6.2, Fig. 11).
+
+A monolithic n x n crossbar wastes most of its cells on sparse graphs (its
+utilisation is |E| / n^2).  The paper proposes FPGA-like clustered
+architectures: a collection of small mesh *processing islands* connected by a
+routing network — a one-dimensional bus of connection boxes, or a
+two-dimensional fabric with switch boxes.  Highly connected subgraphs map to
+individual islands; the few edges that cross between subgraphs use the
+routing network.
+
+This module defines the architecture model (island size, island count,
+channel capacities, 1-D vs 2-D style); the CAD flow lives in
+:mod:`~repro.crossbar.placement` (partitioning/placement) and
+:mod:`~repro.crossbar.routing` (channel routing and routability analysis).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["ArchitectureStyle", "Island", "ClusteredArchitecture"]
+
+
+class ArchitectureStyle(enum.Enum):
+    """Routing-network organisation of the clustered architecture."""
+
+    ONE_DIMENSIONAL = "1d"
+    TWO_DIMENSIONAL = "2d"
+
+    @classmethod
+    def parse(cls, value) -> "ArchitectureStyle":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError as exc:
+            raise ConfigurationError(f"unknown architecture style {value!r}") from exc
+
+
+@dataclass(frozen=True)
+class Island:
+    """One mesh-based processing island.
+
+    Attributes
+    ----------
+    index:
+        Island identifier (0-based).
+    position:
+        Grid position of the island: ``(0, index)`` for 1-D architectures and
+        ``(row, column)`` for 2-D architectures.
+    size:
+        Local mesh dimension; the island can host up to ``size`` vertices and
+        ``size * size`` edges between them.
+    """
+
+    index: int
+    position: Tuple[int, int]
+    size: int
+
+    @property
+    def vertex_capacity(self) -> int:
+        """Largest number of vertices this island can host."""
+        return self.size
+
+    @property
+    def edge_capacity(self) -> int:
+        """Largest number of intra-island edges this island can host."""
+        return self.size * self.size
+
+
+@dataclass
+class ClusteredArchitecture:
+    """A clustered island-style analog substrate.
+
+    Parameters
+    ----------
+    num_islands:
+        Number of processing islands.
+    island_size:
+        Local mesh dimension of every island (homogeneous islands; the paper
+        lists heterogeneous islands as a further extension).
+    style:
+        1-D (connection boxes along a bus) or 2-D (switch boxes in a grid).
+    channel_width:
+        Number of routing tracks per channel: for the 1-D style, the number
+        of inter-island wires on the single bus segment between adjacent
+        islands; for the 2-D style, the tracks per switch-box-to-switch-box
+        channel.
+    """
+
+    num_islands: int
+    island_size: int
+    style: ArchitectureStyle = ArchitectureStyle.ONE_DIMENSIONAL
+    channel_width: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_islands < 1:
+            raise ConfigurationError("a clustered architecture needs at least one island")
+        if self.island_size < 2:
+            raise ConfigurationError("islands must host at least two vertices")
+        if self.channel_width < 1:
+            raise ConfigurationError("channel width must be at least one track")
+        self.style = ArchitectureStyle.parse(self.style)
+
+    # ------------------------------------------------------------------
+
+    def islands(self) -> List[Island]:
+        """The island list with their grid positions."""
+        result: List[Island] = []
+        if self.style is ArchitectureStyle.ONE_DIMENSIONAL:
+            for index in range(self.num_islands):
+                result.append(Island(index=index, position=(0, index), size=self.island_size))
+        else:
+            side = self.grid_side
+            for index in range(self.num_islands):
+                result.append(
+                    Island(
+                        index=index,
+                        position=(index // side, index % side),
+                        size=self.island_size,
+                    )
+                )
+        return result
+
+    @property
+    def grid_side(self) -> int:
+        """Side length of the 2-D island grid (1 for 1-D architectures)."""
+        if self.style is ArchitectureStyle.ONE_DIMENSIONAL:
+            return 1
+        return int(math.ceil(math.sqrt(self.num_islands)))
+
+    @property
+    def total_vertex_capacity(self) -> int:
+        """Total number of vertices the architecture can host."""
+        return self.num_islands * self.island_size
+
+    @property
+    def total_cell_count(self) -> int:
+        """Total number of crossbar cells across all islands."""
+        return self.num_islands * self.island_size * self.island_size
+
+    def monolithic_cell_count(self) -> int:
+        """Cells a single monolithic crossbar of the same vertex capacity needs."""
+        n = self.total_vertex_capacity
+        return n * n
+
+    def cell_savings(self) -> float:
+        """Cell-count reduction factor versus the monolithic crossbar."""
+        return self.monolithic_cell_count() / max(self.total_cell_count, 1)
+
+    # ------------------------------------------------------------------
+
+    def island_distance(self, a: int, b: int) -> int:
+        """Routing distance (in channel hops) between two islands."""
+        islands = self.islands()
+        ra, ca = islands[a].position
+        rb, cb = islands[b].position
+        return abs(ra - rb) + abs(ca - cb)
+
+    def channel_segments(self) -> List[Tuple[int, int]]:
+        """Adjacent island pairs connected by a routing channel."""
+        segments: List[Tuple[int, int]] = []
+        islands = self.islands()
+        position_of = {island.position: island.index for island in islands}
+        for island in islands:
+            row, column = island.position
+            for neighbour in ((row, column + 1), (row + 1, column)):
+                if neighbour in position_of:
+                    segments.append((island.index, position_of[neighbour]))
+        return segments
+
+    def describe(self) -> Dict[str, float]:
+        """Summary used by reports and the Section 6.2 bench."""
+        return {
+            "style": 1.0 if self.style is ArchitectureStyle.ONE_DIMENSIONAL else 2.0,
+            "num_islands": float(self.num_islands),
+            "island_size": float(self.island_size),
+            "channel_width": float(self.channel_width),
+            "total_vertex_capacity": float(self.total_vertex_capacity),
+            "total_cells": float(self.total_cell_count),
+            "monolithic_cells": float(self.monolithic_cell_count()),
+            "cell_savings": self.cell_savings(),
+        }

@@ -1,0 +1,169 @@
+"""The n x n memristor crossbar substrate (Section 3, Fig. 6).
+
+The crossbar is the physical, reconfigurable incarnation of the max-flow
+circuit: row ``0`` carries the ``Vflow`` objective drive, every other row
+``i`` corresponds to graph vertex ``i``, every column ``j`` corresponds to
+vertex ``j``, and the cell at ``(i, j)`` contains the circuit widget of the
+potential edge ``i -> j`` behind a memristor switch.  Programming the
+switches (Section 3.1) selects which widgets participate, i.e. encodes the
+adjacency matrix of the instance.
+
+This class manages the cell array, occupancy accounting and leakage
+estimation; the electrical solve itself is delegated to the compiler/solver
+of :mod:`repro.analog` by :class:`~repro.crossbar.engine.CrossbarMaxFlowEngine`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..config import SubstrateParameters
+from ..errors import CrossbarCapacityError
+from ..circuit.memristor import MemristorState
+from .cell import CrossbarCell
+
+__all__ = ["CrossbarSubstrate"]
+
+
+class CrossbarSubstrate:
+    """An ``rows x columns`` crossbar of memristor-switched circuit widgets.
+
+    Parameters
+    ----------
+    parameters:
+        Substrate parameters; ``parameters.rows`` / ``parameters.columns``
+        give the physical dimensions (Table 1 uses 1000 x 1000).
+    lazy:
+        When set (default), cells are materialised on first access, so a
+        1000 x 1000 substrate does not allocate a million cell objects when
+        only a few thousand are used.  Iteration only visits materialised
+        cells.
+    seed:
+        Seed for the per-cell memristor variation generators.
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[SubstrateParameters] = None,
+        lazy: bool = True,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.parameters = parameters if parameters is not None else SubstrateParameters()
+        self.parameters.validate()
+        self.rows = self.parameters.rows
+        self.columns = self.parameters.columns
+        self.lazy = lazy
+        self._rng = random.Random(seed)
+        self._cells: Dict[Tuple[int, int], CrossbarCell] = {}
+        if not lazy:
+            for row in range(self.rows):
+                for column in range(self.columns):
+                    self._materialise(row, column)
+
+    # ------------------------------------------------------------------
+    # Cell access
+    # ------------------------------------------------------------------
+
+    def _check_coordinates(self, row: int, column: int) -> None:
+        if not (0 <= row < self.rows and 0 <= column < self.columns):
+            raise CrossbarCapacityError(
+                f"cell ({row}, {column}) is outside the {self.rows}x{self.columns} crossbar"
+            )
+
+    def _materialise(self, row: int, column: int) -> CrossbarCell:
+        cell = CrossbarCell.create(
+            row,
+            column,
+            parameters=self.parameters.memristor,
+            rng=random.Random(self._rng.getrandbits(32)),
+        )
+        self._cells[(row, column)] = cell
+        return cell
+
+    def cell(self, row: int, column: int) -> CrossbarCell:
+        """Return (materialising if needed) the cell at ``(row, column)``."""
+        self._check_coordinates(row, column)
+        existing = self._cells.get((row, column))
+        if existing is not None:
+            return existing
+        return self._materialise(row, column)
+
+    def materialised_cells(self) -> List[CrossbarCell]:
+        """All cells that have been touched so far."""
+        return list(self._cells.values())
+
+    def programmed_cells(self) -> List[CrossbarCell]:
+        """All cells whose switch is currently in LRS."""
+        return [c for c in self._cells.values() if c.is_programmed]
+
+    def __iter__(self) -> Iterator[CrossbarCell]:
+        return iter(self._cells.values())
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Force every materialised cell back to HRS and clear assignments."""
+        for cell in self._cells.values():
+            cell.switch.force_state(MemristorState.HRS)
+            cell.clear()
+
+    def desired_pattern(self) -> Dict[Tuple[int, int], bool]:
+        """Mapping cell coordinates -> desired on/off state (from assignments)."""
+        return {
+            (cell.row, cell.column): cell.is_used for cell in self._cells.values()
+        }
+
+    # ------------------------------------------------------------------
+    # Occupancy and leakage accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity_vertices(self) -> int:
+        """Largest number of graph vertices a mapping can use (rows minus the objective row)."""
+        return min(self.rows - 1, self.columns)
+
+    def utilisation(self) -> float:
+        """Fraction of the full crossbar occupied by programmed cells."""
+        total = self.rows * self.columns
+        return len(self.programmed_cells()) / total if total else 0.0
+
+    def occupancy_report(self) -> Dict[str, float]:
+        """Summary statistics used by reports and tests."""
+        programmed = self.programmed_cells()
+        used = [c for c in self._cells.values() if c.is_used]
+        return {
+            "rows": float(self.rows),
+            "columns": float(self.columns),
+            "materialised_cells": float(len(self._cells)),
+            "programmed_cells": float(len(programmed)),
+            "assigned_edges": float(len(used)),
+            "utilisation": self.utilisation(),
+        }
+
+    def hrs_leakage_conductance(self, active_vertices: int) -> float:
+        """Aggregate leakage conductance of the *off* cells of the active subgrid.
+
+        Every off cell inside the ``active_vertices x active_vertices``
+        subgrid still connects its row and column wires through the HRS
+        memristance.  For solution-quality purposes the aggregate effect is
+        modelled as an equivalent conductance to ground per active column
+        (the exact per-cell netlist is used only for small substrates, see
+        :class:`~repro.crossbar.engine.CrossbarMaxFlowEngine`).
+        """
+        if active_vertices <= 0:
+            return 0.0
+        cells_in_subgrid = active_vertices * active_vertices
+        on_cells = sum(
+            1
+            for cell in self._cells.values()
+            if cell.is_programmed
+            and cell.row <= active_vertices
+            and cell.column <= active_vertices
+        )
+        off_cells = max(cells_in_subgrid - on_cells, 0)
+        per_cell = 1.0 / self.parameters.memristor.hrs_resistance_ohm
+        return off_cells * per_cell / max(active_vertices, 1)

@@ -1,0 +1,242 @@
+"""End-to-end crossbar max-flow engine.
+
+:class:`CrossbarMaxFlowEngine` strings together the full hardware flow of
+Section 3:
+
+1. **map** — place the instance onto the crossbar (vertex ordering, capacity
+   levels, cell assignment);
+2. **configure** — run the row-by-row programming protocol of Section 3.1 and
+   verify every switch reached its target state;
+3. **compute** — apply the ``Vflow`` step and solve the resulting circuit
+   (steady state, optionally with a transient convergence-time measurement);
+4. **read out** — measure the ``Vflow`` current, apply Equation 7a and
+   de-quantize the answer.
+
+The electrical model optionally includes per-cell programmed-LRS variation
+and the aggregate HRS leakage of the unused cells in the active subgrid,
+which are the two crossbar-specific non-idealities the direct compiler does
+not see.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..analog.compiler import CompiledMaxFlowCircuit, MaxFlowCircuitCompiler
+from ..analog.convergence import measure_convergence_time
+from ..analog.readout import FlowReadout
+from ..analog.verification import SolutionQuality, evaluate_solution
+from ..config import NonIdealityModel, SubstrateParameters
+from ..errors import ProgrammingError
+from ..graph.network import FlowNetwork
+from ..circuit.dc import DCOperatingPoint
+from ..circuit.elements import Resistor
+from ..circuit.netlist import GROUND
+from .crossbar import CrossbarSubstrate
+from .mapping import CrossbarMapping, map_network_to_crossbar
+from .programming import ProgrammingProtocol, ProgrammingReport
+
+__all__ = ["CrossbarMaxFlowEngine", "CrossbarSolveResult"]
+
+
+@dataclass
+class CrossbarSolveResult:
+    """Result of solving one instance on the crossbar substrate.
+
+    Attributes
+    ----------
+    flow_value:
+        De-quantized flow value read from the source-edge voltages.
+    flow_value_from_current:
+        Flow value obtained through the Equation 7a current readout (what the
+        physical substrate actually measures).
+    edge_flows:
+        Per-edge flows of the *mapped* (parallel-edge-merged) network.
+    mapping:
+        The crossbar mapping used.
+    programming:
+        Report of the configuration stage.
+    convergence_time_s:
+        0.1 %-settling time when a transient measurement was requested.
+    programming_time_s / solve_wall_time_s:
+        Configuration time (hardware estimate) and simulation wall time.
+    compiled:
+        The compiled electrical model (for power estimation etc.).
+    """
+
+    flow_value: float
+    flow_value_from_current: float
+    edge_flows: Dict[int, float]
+    mapping: CrossbarMapping
+    programming: ProgrammingReport
+    convergence_time_s: Optional[float] = None
+    programming_time_s: float = 0.0
+    solve_wall_time_s: float = 0.0
+    compiled: CompiledMaxFlowCircuit = field(default=None, repr=False)
+
+    def quality(self, exact_value: Optional[float] = None) -> SolutionQuality:
+        """Evaluate the result against the exact optimum of the mapped network."""
+        return evaluate_solution(
+            self.mapping.network, self.flow_value, self.edge_flows, exact_value
+        )
+
+
+class CrossbarMaxFlowEngine:
+    """Configure-and-compute engine for the memristor crossbar.
+
+    Parameters
+    ----------
+    substrate:
+        The crossbar substrate (a fresh Table 1 substrate by default).
+    protocol:
+        Programming protocol; defaults to +/-0.9 V half-select voltages.
+    nonideal:
+        Electrical non-idealities passed to the circuit compiler.
+    include_cell_variation:
+        Use each programmed cell's *actual* (cycle-to-cycle varied, tuned or
+        drifted) memristance as that edge widget's unit resistance.
+    include_hrs_leakage:
+        Add the aggregate HRS leakage of unused cells in the active subgrid
+        as a per-edge-node conductance to ground.
+    vertex_ordering:
+        Vertex ordering used by the mapper (``"insertion"`` or ``"bfs"``).
+    """
+
+    def __init__(
+        self,
+        substrate: Optional[CrossbarSubstrate] = None,
+        protocol: Optional[ProgrammingProtocol] = None,
+        nonideal: Optional[NonIdealityModel] = None,
+        include_cell_variation: bool = True,
+        include_hrs_leakage: bool = True,
+        vertex_ordering: str = "insertion",
+        seed: Optional[int] = None,
+    ) -> None:
+        self.substrate = substrate if substrate is not None else CrossbarSubstrate()
+        self.protocol = protocol if protocol is not None else ProgrammingProtocol()
+        self.nonideal = nonideal if nonideal is not None else NonIdealityModel()
+        self.include_cell_variation = include_cell_variation
+        self.include_hrs_leakage = include_hrs_leakage
+        self.vertex_ordering = vertex_ordering
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    @property
+    def parameters(self) -> SubstrateParameters:
+        """The substrate's design parameters."""
+        return self.substrate.parameters
+
+    def configure(self, network: FlowNetwork) -> tuple:
+        """Map and program one instance; returns ``(mapping, programming report)``."""
+        self.substrate.reset()
+        mapping = map_network_to_crossbar(
+            network, self.substrate, ordering=self.vertex_ordering
+        )
+        report = self.protocol.program(self.substrate, mapping.target_pattern())
+        if not report.success:
+            raise ProgrammingError(
+                f"programming failed: {len(report.incorrect_cells)} incorrect cells, "
+                f"{len(report.disturbed_cells)} disturbed cells"
+            )
+        return mapping, report
+
+    def solve(
+        self,
+        network: FlowNetwork,
+        vflow_v: Optional[float] = None,
+        measure_convergence: bool = False,
+    ) -> CrossbarSolveResult:
+        """Run the full configure-compute-readout flow for ``network``."""
+        start = time.perf_counter()
+        mapping, programming = self.configure(network)
+        compiled = self._compile_electrical_model(mapping, vflow_v)
+        solution = DCOperatingPoint().solve(compiled.circuit)
+        readout = FlowReadout(compiled)
+        decoded = readout.from_dc(solution)
+
+        convergence_time = None
+        if measure_convergence:
+            measurement = measure_convergence_time(
+                compiled, tolerance=self.parameters.convergence_tolerance
+            )
+            convergence_time = measurement.convergence_time_s
+
+        return CrossbarSolveResult(
+            flow_value=decoded["flow_value"],
+            flow_value_from_current=decoded["flow_value_from_current"],
+            edge_flows=decoded["edge_flows"],
+            mapping=mapping,
+            programming=programming,
+            convergence_time_s=convergence_time,
+            programming_time_s=programming.programming_time_s,
+            solve_wall_time_s=time.perf_counter() - start,
+            compiled=compiled,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _compile_electrical_model(
+        self, mapping: CrossbarMapping, vflow_v: Optional[float]
+    ) -> CompiledMaxFlowCircuit:
+        """Build the circuit of the programmed crossbar (with cell effects).
+
+        The crossbar model always pins the widget common mode with the bleed
+        resistors (see :class:`~repro.config.SubstrateParameters`): a physical
+        substrate with per-cell memristance variation needs its internal
+        common mode defined, otherwise cell mismatch is amplified without
+        bound (reproduction finding documented in EXPERIMENTS.md).
+        """
+        parameters = self.parameters
+        compiler = MaxFlowCircuitCompiler(
+            parameters=parameters,
+            nonideal=self.nonideal,
+            quantize=True,
+            style="ideal",
+            prune=True,
+            seed=self.seed,
+        )
+        compiled = compiler.compile(mapping.network, vflow_v=vflow_v)
+
+        if self.include_cell_variation:
+            self._apply_cell_memristances(compiled, mapping)
+        if self.include_hrs_leakage:
+            self._apply_hrs_leakage(compiled, mapping)
+        return compiled
+
+    def _apply_cell_memristances(
+        self, compiled: CompiledMaxFlowCircuit, mapping: CrossbarMapping
+    ) -> None:
+        """Use each programmed cell's actual memristance as its widget resistance.
+
+        The crossbar realises the unit resistor that connects an edge widget
+        into its head-vertex column with the cell's own LRS memristor, so
+        programming variation and drift show up exactly there.
+        """
+        nominal = self.parameters.unit_resistance_ohm
+        for edge_index, (row, column) in mapping.cell_of_edge.items():
+            cell = self.substrate.cell(row, column)
+            if not cell.is_programmed:
+                continue
+            scale = cell.resistance / self.parameters.memristor.lrs_resistance_ohm
+            for prefix in (f"Rng_a{edge_index}",):
+                if compiled.circuit.has_element(prefix):
+                    element = compiled.circuit.element(prefix)
+                    if isinstance(element, Resistor):
+                        element.resistance = nominal * scale
+
+    def _apply_hrs_leakage(
+        self, compiled: CompiledMaxFlowCircuit, mapping: CrossbarMapping
+    ) -> None:
+        """Attach the aggregate HRS leakage of unused subgrid cells."""
+        active = mapping.network.num_vertices
+        leak = self.substrate.hrs_leakage_conductance(active)
+        if leak <= 0:
+            return
+        resistance = 1.0 / leak
+        for edge_index, node in compiled.edge_node.items():
+            name = f"Rleak{edge_index}"
+            if not compiled.circuit.has_element(name):
+                compiled.circuit.add(Resistor(name, node, GROUND, resistance))

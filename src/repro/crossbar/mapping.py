@@ -1,0 +1,162 @@
+"""Mapping a flow network onto the crossbar.
+
+The crossbar is a physical adjacency matrix: vertex ``v`` is assigned a
+row/column index, the cell at ``(index(u), index(v))`` implements edge
+``u -> v`` and row 0 implements the objective (``Vflow``) connections to the
+source-adjacent edges.  Mapping therefore consists of
+
+1. merging parallel edges (one cell per ordered vertex pair),
+2. choosing a vertex ordering (the paper does not constrain it; we order by
+   insertion or, optionally, by a BFS from the source which keeps logically
+   close vertices in nearby rows — useful for the clustered architectures),
+3. assigning each edge a quantized capacity level, and
+4. checking the instance fits the physical dimensions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..analog.quantization import QuantizationResult, VoltageQuantizer
+from ..errors import CrossbarCapacityError, MappingError
+from ..graph.network import FlowNetwork
+from ..graph.transforms import merge_parallel_edges
+from .crossbar import CrossbarSubstrate
+
+__all__ = ["CrossbarMapping", "map_network_to_crossbar"]
+
+Vertex = Hashable
+
+
+@dataclass
+class CrossbarMapping:
+    """Outcome of mapping one instance onto a crossbar.
+
+    Attributes
+    ----------
+    network:
+        The network actually mapped (parallel edges merged).
+    original_network:
+        The caller's network.
+    vertex_of_index / index_of_vertex:
+        The vertex ordering used (index 1..n; index 0 is the objective row).
+    cell_of_edge:
+        Edge index (of ``network``) -> (row, column) crossbar coordinates.
+    quantization:
+        Capacity quantization used for the clamp levels.
+    occupied_cells:
+        Number of programmed cells (edges).
+    """
+
+    network: FlowNetwork
+    original_network: FlowNetwork
+    vertex_of_index: Dict[int, Vertex]
+    index_of_vertex: Dict[Vertex, int]
+    cell_of_edge: Dict[int, Tuple[int, int]]
+    quantization: QuantizationResult
+    occupied_cells: int
+
+    def target_pattern(self) -> Dict[Tuple[int, int], bool]:
+        """Desired on/off pattern for the programming protocol."""
+        return {coordinates: True for coordinates in self.cell_of_edge.values()}
+
+    def edge_at(self, row: int, column: int) -> Optional[int]:
+        """Edge index mapped to a cell (None when the cell is unused)."""
+        for edge_index, coordinates in self.cell_of_edge.items():
+            if coordinates == (row, column):
+                return edge_index
+        return None
+
+
+def _bfs_order(network: FlowNetwork) -> List[Vertex]:
+    """Vertices ordered by BFS distance from the source (unreached ones last)."""
+    order: List[Vertex] = []
+    seen = set()
+    queue = deque([network.source])
+    seen.add(network.source)
+    while queue:
+        vertex = queue.popleft()
+        order.append(vertex)
+        for edge in network.out_edges(vertex):
+            if edge.head not in seen:
+                seen.add(edge.head)
+                queue.append(edge.head)
+    for vertex in network.vertices():
+        if vertex not in seen:
+            order.append(vertex)
+    return order
+
+
+def map_network_to_crossbar(
+    network: FlowNetwork,
+    substrate: CrossbarSubstrate,
+    ordering: str = "insertion",
+    quantizer: Optional[VoltageQuantizer] = None,
+) -> CrossbarMapping:
+    """Map ``network`` onto ``substrate`` and assign its cells.
+
+    Parameters
+    ----------
+    ordering:
+        ``"insertion"`` keeps the network's vertex order, ``"bfs"`` orders
+        vertices by distance from the source.
+    quantizer:
+        Capacity quantizer; defaults to the substrate's Table 1 settings.
+
+    Raises
+    ------
+    CrossbarCapacityError
+        When the instance has more vertices than the crossbar supports.
+    """
+    merged = merge_parallel_edges(network)
+    if merged.num_vertices > substrate.capacity_vertices:
+        raise CrossbarCapacityError(
+            f"instance has {merged.num_vertices} vertices but the crossbar supports "
+            f"only {substrate.capacity_vertices}"
+        )
+
+    if ordering == "insertion":
+        vertex_order = merged.vertices()
+    elif ordering == "bfs":
+        vertex_order = _bfs_order(merged)
+    else:
+        raise MappingError(f"unknown vertex ordering {ordering!r}")
+
+    # Row/column 0 is reserved for the objective row; vertices start at 1.
+    index_of_vertex = {v: i + 1 for i, v in enumerate(vertex_order)}
+    vertex_of_index = {i: v for v, i in index_of_vertex.items()}
+
+    if quantizer is None:
+        quantizer = VoltageQuantizer(
+            num_levels=substrate.parameters.voltage_levels,
+            vdd=substrate.parameters.vdd_v,
+        )
+    quantization = quantizer.quantize(merged)
+
+    cell_of_edge: Dict[int, Tuple[int, int]] = {}
+    for edge in merged.edges():
+        if edge.tail == merged.source:
+            # Source-adjacent edges live on the objective row (row 0) as in
+            # Fig. 6 ("the memristor switch at position (s, ni) is turned on
+            # iff edge (s, i) is present").
+            row = 0
+        else:
+            row = index_of_vertex[edge.tail]
+        column = index_of_vertex[edge.head]
+        coordinates = (row, column)
+        cell = substrate.cell(*coordinates)
+        level = quantization.level_of_edge.get(edge.index, substrate.parameters.voltage_levels)
+        cell.assign(edge.index, level)
+        cell_of_edge[edge.index] = coordinates
+
+    return CrossbarMapping(
+        network=merged,
+        original_network=network,
+        vertex_of_index=vertex_of_index,
+        index_of_vertex=index_of_vertex,
+        cell_of_edge=cell_of_edge,
+        quantization=quantization,
+        occupied_cells=len(cell_of_edge),
+    )

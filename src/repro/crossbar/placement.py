@@ -1,0 +1,231 @@
+"""Partitioning and placement of a flow network onto island architectures.
+
+The clustered architectures of Section 6.2 need a CAD flow: the graph must be
+partitioned into vertex clusters that fit the islands while minimising the
+number of edges that cross between clusters (those consume routing-channel
+tracks).  This module implements a greedy BFS-based initial clustering
+followed by a Kernighan-Lin style refinement pass, and then assigns clusters
+to physical islands so that strongly connected clusters sit close together
+(which minimises channel hops in the 1-D/2-D routing fabrics).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..errors import MappingError
+from ..graph.network import FlowNetwork
+from .clustered import ClusteredArchitecture
+
+__all__ = ["IslandPlacement", "place_network"]
+
+Vertex = Hashable
+
+
+@dataclass
+class IslandPlacement:
+    """Result of placing a network onto a clustered architecture.
+
+    Attributes
+    ----------
+    architecture:
+        The target architecture.
+    island_of_vertex:
+        Island index assigned to each vertex.
+    vertices_of_island:
+        Inverse mapping.
+    cut_edges:
+        Indices of edges whose endpoints lie in different islands (they must
+        be routed through the channel network).
+    internal_edges:
+        Indices of edges fully inside one island.
+    """
+
+    architecture: ClusteredArchitecture
+    island_of_vertex: Dict[Vertex, int]
+    vertices_of_island: Dict[int, List[Vertex]]
+    cut_edges: List[int]
+    internal_edges: List[int]
+
+    @property
+    def num_cut_edges(self) -> int:
+        """Number of inter-island edges."""
+        return len(self.cut_edges)
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of edges that cross island boundaries."""
+        total = len(self.cut_edges) + len(self.internal_edges)
+        return self.num_cut_edges / total if total else 0.0
+
+    def island_utilisation(self) -> Dict[int, float]:
+        """Vertex utilisation of every island."""
+        capacity = self.architecture.island_size
+        return {
+            island: len(vertices) / capacity
+            for island, vertices in self.vertices_of_island.items()
+        }
+
+    def max_utilisation(self) -> float:
+        """Utilisation of the fullest island."""
+        utilisation = self.island_utilisation()
+        return max(utilisation.values()) if utilisation else 0.0
+
+
+def _initial_clusters(
+    network: FlowNetwork, cluster_size: int, rng: random.Random
+) -> List[List[Vertex]]:
+    """Greedy BFS clustering: grow clusters from unvisited seeds."""
+    unassigned = set(network.vertices())
+    clusters: List[List[Vertex]] = []
+    order = network.vertices()
+    for seed in order:
+        if seed not in unassigned:
+            continue
+        cluster: List[Vertex] = []
+        queue = deque([seed])
+        while queue and len(cluster) < cluster_size:
+            vertex = queue.popleft()
+            if vertex not in unassigned:
+                continue
+            unassigned.discard(vertex)
+            cluster.append(vertex)
+            neighbours = [e.head for e in network.out_edges(vertex)] + [
+                e.tail for e in network.in_edges(vertex)
+            ]
+            rng.shuffle(neighbours)
+            for neighbour in neighbours:
+                if neighbour in unassigned:
+                    queue.append(neighbour)
+        clusters.append(cluster)
+    return clusters
+
+
+def _cut_size(network: FlowNetwork, island_of_vertex: Dict[Vertex, int]) -> int:
+    return sum(
+        1
+        for edge in network.edges()
+        if island_of_vertex[edge.tail] != island_of_vertex[edge.head]
+    )
+
+
+def _refine(
+    network: FlowNetwork,
+    island_of_vertex: Dict[Vertex, int],
+    capacity: int,
+    passes: int,
+    rng: random.Random,
+) -> None:
+    """Kernighan-Lin style refinement: greedily move vertices between islands."""
+    counts: Dict[int, int] = {}
+    for island in island_of_vertex.values():
+        counts[island] = counts.get(island, 0) + 1
+
+    def gain_of_move(vertex: Vertex, target: int) -> int:
+        current = island_of_vertex[vertex]
+        gain = 0
+        for edge in network.out_edges(vertex) + network.in_edges(vertex):
+            other = edge.head if edge.tail == vertex else edge.tail
+            other_island = island_of_vertex[other]
+            if other_island == current:
+                gain -= 1
+            if other_island == target:
+                gain += 1
+        return gain
+
+    vertices = [v for v in network.vertices()]
+    for _ in range(passes):
+        improved = False
+        rng.shuffle(vertices)
+        for vertex in vertices:
+            current = island_of_vertex[vertex]
+            # Candidate targets: islands of the vertex's neighbours.
+            candidates = {
+                island_of_vertex[e.head] for e in network.out_edges(vertex)
+            } | {island_of_vertex[e.tail] for e in network.in_edges(vertex)}
+            candidates.discard(current)
+            best_target, best_gain = None, 0
+            for target in candidates:
+                if counts.get(target, 0) >= capacity:
+                    continue
+                gain = gain_of_move(vertex, target)
+                if gain > best_gain:
+                    best_gain, best_target = gain, target
+            if best_target is not None:
+                island_of_vertex[vertex] = best_target
+                counts[current] -= 1
+                counts[best_target] = counts.get(best_target, 0) + 1
+                improved = True
+        if not improved:
+            break
+
+
+def place_network(
+    network: FlowNetwork,
+    architecture: ClusteredArchitecture,
+    refinement_passes: int = 4,
+    seed: Optional[int] = None,
+) -> IslandPlacement:
+    """Partition ``network`` and place the clusters onto the islands.
+
+    Raises
+    ------
+    MappingError
+        When the network has more vertices than the architecture can host.
+    """
+    if network.num_vertices > architecture.total_vertex_capacity:
+        raise MappingError(
+            f"network has {network.num_vertices} vertices but the architecture hosts "
+            f"only {architecture.total_vertex_capacity}"
+        )
+    rng = random.Random(seed)
+    clusters = _initial_clusters(network, architecture.island_size, rng)
+    if len(clusters) > architecture.num_islands:
+        # Merge the smallest clusters until they fit the island count.
+        clusters.sort(key=len)
+        while len(clusters) > architecture.num_islands:
+            smallest = clusters.pop(0)
+            # Append to the cluster with the most spare room.
+            clusters.sort(key=len)
+            for target in clusters:
+                if len(target) + len(smallest) <= architecture.island_size:
+                    target.extend(smallest)
+                    break
+            else:
+                raise MappingError(
+                    "network cannot be packed into the islands (cluster overflow); "
+                    "increase the island size or count"
+                )
+            clusters.sort(key=len)
+
+    island_of_vertex: Dict[Vertex, int] = {}
+    for island_index, cluster in enumerate(clusters):
+        for vertex in cluster:
+            island_of_vertex[vertex] = island_index
+
+    _refine(network, island_of_vertex, architecture.island_size, refinement_passes, rng)
+
+    vertices_of_island: Dict[int, List[Vertex]] = {}
+    for vertex, island in island_of_vertex.items():
+        vertices_of_island.setdefault(island, []).append(vertex)
+
+    cut_edges = [
+        edge.index
+        for edge in network.edges()
+        if island_of_vertex[edge.tail] != island_of_vertex[edge.head]
+    ]
+    internal_edges = [
+        edge.index
+        for edge in network.edges()
+        if island_of_vertex[edge.tail] == island_of_vertex[edge.head]
+    ]
+    return IslandPlacement(
+        architecture=architecture,
+        island_of_vertex=island_of_vertex,
+        vertices_of_island=vertices_of_island,
+        cut_edges=cut_edges,
+        internal_edges=internal_edges,
+    )

@@ -1,0 +1,155 @@
+"""Channel routing and routability analysis for clustered architectures.
+
+After placement, every inter-island edge must be routed through the
+architecture's channel network.  For the 1-D architecture the route between
+islands ``a`` and ``b`` occupies one track on every bus segment between them;
+for the 2-D architecture the route is an L-shaped (row-then-column) path
+through the switch boxes.  A placement is *routable* when no channel segment
+needs more tracks than the architecture provides.
+
+The paper hypothesises that the 1-D organisation maps faster but runs out of
+routing capacity sooner than the 2-D organisation (Section 6.2); the
+Section 6.2 bench quantifies exactly that trade-off with this router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..graph.network import FlowNetwork
+from .clustered import ArchitectureStyle, ClusteredArchitecture
+from .placement import IslandPlacement
+
+__all__ = ["RoutingResult", "route_placement"]
+
+Position = Tuple[int, int]
+Segment = Tuple[Position, Position]
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing the inter-island edges of a placement.
+
+    Attributes
+    ----------
+    channel_occupancy:
+        Tracks used per channel segment, keyed by the (ordered) island index
+        pair of the segment's endpoints.
+    max_occupancy:
+        Tracks used on the most congested segment.
+    overflowed_segments:
+        Segments whose demand exceeds the channel width.
+    total_wirelength:
+        Sum of channel hops over all routed edges.
+    routed_edges:
+        Number of inter-island edges routed.
+    """
+
+    architecture: ClusteredArchitecture
+    channel_occupancy: Dict[Tuple[int, int], int]
+    max_occupancy: int
+    overflowed_segments: List[Tuple[int, int]]
+    total_wirelength: int
+    routed_edges: int
+
+    @property
+    def routable(self) -> bool:
+        """True when every channel segment fits within the channel width."""
+        return not self.overflowed_segments
+
+    @property
+    def channel_utilisation(self) -> float:
+        """Peak channel utilisation (used tracks / channel width)."""
+        return self.max_occupancy / self.architecture.channel_width
+
+    def required_channel_width(self) -> int:
+        """Smallest channel width that would make this placement routable."""
+        return self.max_occupancy
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary for reports and the Section 6.2 bench."""
+        return {
+            "routed_edges": float(self.routed_edges),
+            "max_occupancy": float(self.max_occupancy),
+            "channel_width": float(self.architecture.channel_width),
+            "channel_utilisation": self.channel_utilisation,
+            "overflowed_segments": float(len(self.overflowed_segments)),
+            "total_wirelength": float(self.total_wirelength),
+            "routable": 1.0 if self.routable else 0.0,
+        }
+
+
+def _segment_key(a: Position, b: Position) -> Segment:
+    return (a, b) if a <= b else (b, a)
+
+
+def route_placement(network: FlowNetwork, placement: IslandPlacement) -> RoutingResult:
+    """Route every inter-island edge of ``placement`` and report congestion.
+
+    Parameters
+    ----------
+    network:
+        The flow network that was placed (provides the edge endpoints).
+    placement:
+        The island placement produced by
+        :func:`~repro.crossbar.placement.place_network`.
+    """
+    architecture = placement.architecture
+    islands = architecture.islands()
+    position_of = {island.index: island.position for island in islands}
+    index_of_position = {island.position: island.index for island in islands}
+
+    def route_between(a: int, b: int) -> List[Segment]:
+        """Channel segments used by a route from island ``a`` to island ``b``."""
+        (ra, ca), (rb, cb) = position_of[a], position_of[b]
+        segments: List[Segment] = []
+        if architecture.style is ArchitectureStyle.ONE_DIMENSIONAL:
+            lo, hi = sorted((ca, cb))
+            for column in range(lo, hi):
+                segments.append(_segment_key((0, column), (0, column + 1)))
+            return segments
+        # 2-D: route along the row first, then along the column (L-shape).
+        row, column = ra, ca
+        step = 1 if cb > ca else -1
+        while column != cb:
+            segments.append(_segment_key((row, column), (row, column + step)))
+            column += step
+        step = 1 if rb > ra else -1
+        while row != rb:
+            segments.append(_segment_key((row, column), (row + step, column)))
+            row += step
+        return segments
+
+    occupancy: Dict[Segment, int] = {}
+    total_wirelength = 0
+    routed = 0
+    for edge_index in placement.cut_edges:
+        edge = network.edge(edge_index)
+        island_a = placement.island_of_vertex[edge.tail]
+        island_b = placement.island_of_vertex[edge.head]
+        if island_a == island_b:
+            continue
+        segments = route_between(island_a, island_b)
+        total_wirelength += len(segments)
+        for segment in segments:
+            occupancy[segment] = occupancy.get(segment, 0) + 1
+        routed += 1
+
+    max_occupancy = max(occupancy.values()) if occupancy else 0
+    occupancy_by_index: Dict[Tuple[int, int], int] = {}
+    overflowed: List[Tuple[int, int]] = []
+    for (pa, pb), used in occupancy.items():
+        key = (index_of_position.get(pa, -1), index_of_position.get(pb, -1))
+        occupancy_by_index[key] = used
+        if used > architecture.channel_width:
+            overflowed.append(key)
+
+    return RoutingResult(
+        architecture=architecture,
+        channel_occupancy=occupancy_by_index,
+        max_occupancy=max_occupancy,
+        overflowed_segments=overflowed,
+        total_wirelength=total_wirelength,
+        routed_edges=routed,
+    )

@@ -1,0 +1,189 @@
+"""Post-fabrication resistance tuning (Section 4.3.2).
+
+Because every resistor on the substrate is a memristor in LRS, their
+resistance can be trimmed after fabrication.  The paper outlines a two-step
+procedure built around the tuning circuit of Fig. 9b (a configured negation
+widget whose output should satisfy ``Vx- = -Vx``):
+
+1. with ``Vx = 0``, modulate the negative resistor ``R3`` until ``Vx- = 0``;
+2. with ``Vx = 1 V``, jointly trim ``r1`` and ``r2`` until ``Vx- = -1 V``;
+3. iterate the two steps a couple of times for better precision.
+
+This module simulates that procedure directly on the widget resistances of a
+compiled circuit (or on raw resistor triples): given perturbed values it
+computes the trim each step would apply, quantised by the memristor tuning
+resolution, and reports the residual negation error before and after.  The
+variation/tuning ablation bench uses it to show how much of the mismatch
+error tuning recovers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import MemristorParameters
+from ..errors import SubstrateError
+from ..circuit.elements import Resistor
+from ..circuit.netlist import Circuit
+
+__all__ = ["ResistanceTuner", "TuningReport", "negation_error"]
+
+
+def negation_error(r1: float, r2: float, r3_magnitude: float) -> float:
+    """Relative error of the negation widget with resistances ``r1, r2, |R3|``.
+
+    For the tuning circuit of Fig. 9b the ideal condition is
+    ``1/R3 = 1/r1 + 1/r2`` together with ``r2/r1 = 1``; the widget then
+    produces ``Vx- = -(r2/r1) Vx``.  The returned value is the relative gain
+    error ``|r2/r1 - 1|`` plus the offset contribution of an ill-tuned R3
+    (expressed as the relative deviation of ``1/R3`` from ``1/r1 + 1/r2``).
+    """
+    if min(r1, r2, r3_magnitude) <= 0:
+        raise SubstrateError("resistances must be positive")
+    gain_error = abs(r2 / r1 - 1.0)
+    conductance_target = 1.0 / r1 + 1.0 / r2
+    offset_error = abs(1.0 / r3_magnitude - conductance_target) / conductance_target
+    return gain_error + offset_error
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    """Before/after summary of one tuning pass over a set of widgets.
+
+    Attributes
+    ----------
+    widgets_tuned:
+        Number of negation widgets processed.
+    error_before / error_after:
+        Mean relative negation error before and after tuning.
+    worst_before / worst_after:
+        Worst-case relative negation error before and after tuning.
+    iterations:
+        Tuning iterations applied per widget.
+    adjustments:
+        Per-widget resistance adjustments applied (name -> new value), for
+        inspection and for applying to a circuit.
+    """
+
+    widgets_tuned: int
+    error_before: float
+    error_after: float
+    worst_before: float
+    worst_after: float
+    iterations: int
+    adjustments: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        """Ratio of mean error before to after (>1 means tuning helped)."""
+        if self.error_after <= 0:
+            return float("inf") if self.error_before > 0 else 1.0
+        return self.error_before / self.error_after
+
+
+class ResistanceTuner:
+    """Simulates the two-step memristance trimming of Section 4.3.2.
+
+    Parameters
+    ----------
+    memristor:
+        Device parameters; the tuning resolution bounds how precisely the
+        target resistance can be hit.
+    iterations:
+        Number of times the two-step procedure is repeated per widget.
+    """
+
+    def __init__(
+        self,
+        memristor: Optional[MemristorParameters] = None,
+        iterations: int = 2,
+    ) -> None:
+        self.memristor = memristor if memristor is not None else MemristorParameters()
+        if iterations < 1:
+            raise SubstrateError("at least one tuning iteration is required")
+        self.iterations = iterations
+
+    # ------------------------------------------------------------------
+
+    def _quantise(self, value: float) -> float:
+        resolution = self.memristor.tuning_resolution_ohm
+        if resolution <= 0:
+            return value
+        return max(resolution, round(value / resolution) * resolution)
+
+    def tune_triple(self, r1: float, r2: float, r3_magnitude: float) -> Tuple[float, float, float]:
+        """Tune one widget's ``(r1, r2, |R3|)`` and return the trimmed values.
+
+        Step 1 sets ``1/R3 = 1/r1 + 1/r2`` (offset nulling); step 2 trims
+        ``r2`` towards ``r1`` (gain nulling).  Both trims are quantised by
+        the memristor tuning resolution, and the procedure is iterated.
+        """
+        for _ in range(self.iterations):
+            r3_magnitude = self._quantise(1.0 / (1.0 / r1 + 1.0 / r2))
+            r2 = self._quantise(r1)
+        return r1, r2, r3_magnitude
+
+    def tune_widgets(
+        self, widgets: Dict[str, Tuple[float, float, float]]
+    ) -> TuningReport:
+        """Tune a set of widgets given their perturbed ``(r1, r2, |R3|)`` values."""
+        if not widgets:
+            raise SubstrateError("no widgets to tune")
+        errors_before = []
+        errors_after = []
+        adjustments: Dict[str, float] = {}
+        for name, (r1, r2, r3) in widgets.items():
+            errors_before.append(negation_error(r1, r2, r3))
+            t1, t2, t3 = self.tune_triple(r1, r2, r3)
+            errors_after.append(negation_error(t1, t2, t3))
+            adjustments[f"{name}:r2"] = t2
+            adjustments[f"{name}:r3"] = t3
+        return TuningReport(
+            widgets_tuned=len(widgets),
+            error_before=sum(errors_before) / len(errors_before),
+            error_after=sum(errors_after) / len(errors_after),
+            worst_before=max(errors_before),
+            worst_after=max(errors_after),
+            iterations=self.iterations,
+            adjustments=adjustments,
+        )
+
+    # ------------------------------------------------------------------
+
+    def tune_circuit(self, circuit: Circuit) -> TuningReport:
+        """Tune every negation widget of a compiled max-flow circuit in place.
+
+        The widget resistors are identified by the compiler's naming scheme
+        (``Rng_a{i}``, ``Rng_b{i}`` and ``Rng_n{i}``); after tuning, the
+        trimmed values are written back into the circuit's resistor elements,
+        so a subsequent DC solve sees the tuned substrate.
+        """
+        widgets: Dict[str, Tuple[float, float, float]] = {}
+        for element in circuit.elements_of_type(Resistor):
+            name = element.name
+            if name.startswith("Rng_a"):
+                index = name[len("Rng_a"):]
+                try:
+                    r1 = element.resistance
+                    r2 = circuit.element(f"Rng_b{index}").resistance
+                    r3 = circuit.element(f"Rng_n{index}").resistance
+                except Exception:
+                    continue
+                if r3 >= 0:
+                    # Device-style widgets realise -R with a sub-circuit whose
+                    # Rt resistor is named differently; skip those here.
+                    continue
+                widgets[index] = (r1, r2, abs(r3))
+        if not widgets:
+            raise SubstrateError(
+                "the circuit contains no ideal-style negation widgets to tune"
+            )
+        report = self.tune_widgets(widgets)
+        for index, (r1, r2, r3) in (
+            (k, self.tune_triple(*v)) for k, v in widgets.items()
+        ):
+            circuit.element(f"Rng_b{index}").resistance = r2
+            circuit.element(f"Rng_n{index}").resistance = -r3
+        return report

@@ -1,0 +1,134 @@
+"""Process-variation models for the crossbar (Section 4.3.1).
+
+Integrated resistors show absolute tolerances of +/-20..30 %, but the *ratio*
+between two matched resistors can be held to better than +/-1 % (often
++/-0.1 %).  Because the substrate's solution depends only on resistance
+ratios, layout matching makes it largely insensitive to the absolute
+spread — this module provides the Monte-Carlo machinery to quantify exactly
+that, and to generate per-cell memristance values for the crossbar engine.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import NonIdealityModel
+from ..errors import ConfigurationError
+
+__all__ = ["ProcessVariationModel", "VariationSample"]
+
+
+@dataclass(frozen=True)
+class VariationSample:
+    """One Monte-Carlo draw of the die-level and per-device variations.
+
+    Attributes
+    ----------
+    common_factor:
+        Multiplicative factor shared by every resistor on the die (absolute
+        process corner).
+    device_factors:
+        Per-device multiplicative factors keyed by device name.
+    """
+
+    common_factor: float
+    device_factors: Dict[str, float]
+
+    def resistance(self, name: str, nominal: float) -> float:
+        """Resistance of device ``name`` after applying the sampled variation."""
+        return nominal * self.common_factor * self.device_factors.get(name, 1.0)
+
+    def worst_ratio_error(self) -> float:
+        """Largest pairwise ratio error among the sampled devices."""
+        if not self.device_factors:
+            return 0.0
+        factors = list(self.device_factors.values())
+        return max(factors) / min(factors) - 1.0
+
+
+@dataclass
+class ProcessVariationModel:
+    """Generator of correlated (die) + uncorrelated (device) resistance variation.
+
+    Parameters
+    ----------
+    absolute_tolerance:
+        Sigma of the die-level (common) relative deviation, e.g. 0.25 for
+        the +/-20..30 % absolute tolerance quoted by the paper.
+    matched_mismatch:
+        Sigma of the per-device relative mismatch when layout matching is
+        applied (0.001..0.01 per the paper).
+    unmatched_mismatch:
+        Sigma of the per-device mismatch without matching; defaults to the
+        absolute tolerance.
+    distribution:
+        ``"normal"`` or ``"lognormal"`` per-device distribution.
+    """
+
+    absolute_tolerance: float = 0.25
+    matched_mismatch: float = 0.005
+    unmatched_mismatch: Optional[float] = None
+    distribution: str = "normal"
+
+    def __post_init__(self) -> None:
+        if self.absolute_tolerance < 0 or self.matched_mismatch < 0:
+            raise ConfigurationError("variation sigmas must be non-negative")
+        if self.unmatched_mismatch is None:
+            self.unmatched_mismatch = self.absolute_tolerance
+        if self.distribution not in ("normal", "lognormal"):
+            raise ConfigurationError(f"unknown distribution {self.distribution!r}")
+
+    # ------------------------------------------------------------------
+
+    def _draw(self, rng: random.Random, sigma: float) -> float:
+        if sigma <= 0:
+            return 1.0
+        if self.distribution == "normal":
+            return max(1e-3, 1.0 + rng.gauss(0.0, sigma))
+        return math.exp(rng.gauss(0.0, sigma))
+
+    def sample(
+        self,
+        device_names: Iterable[str],
+        matched: bool = True,
+        seed: Optional[int] = None,
+    ) -> VariationSample:
+        """Draw one die: a common factor plus per-device factors."""
+        rng = random.Random(seed)
+        common = self._draw(rng, self.absolute_tolerance)
+        sigma = self.matched_mismatch if matched else float(self.unmatched_mismatch)
+        device_factors = {name: self._draw(rng, sigma) for name in device_names}
+        return VariationSample(common_factor=common, device_factors=device_factors)
+
+    def monte_carlo(
+        self,
+        device_names: List[str],
+        num_samples: int,
+        matched: bool = True,
+        seed: Optional[int] = None,
+    ) -> List[VariationSample]:
+        """Draw ``num_samples`` independent dies."""
+        rng = random.Random(seed)
+        return [
+            self.sample(device_names, matched=matched, seed=rng.getrandbits(32))
+            for _ in range(num_samples)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def to_nonideality(self, matched: bool = True, seed: Optional[int] = None) -> NonIdealityModel:
+        """Express this variation model as a solver :class:`NonIdealityModel`."""
+        return NonIdealityModel(
+            resistor_tolerance=self.absolute_tolerance,
+            resistor_matching=self.matched_mismatch,
+            use_matching=matched,
+            seed=seed,
+        )
+
+    def expected_ratio_sigma(self, matched: bool = True) -> float:
+        """Sigma of the ratio error between two devices (root-2 of per-device)."""
+        sigma = self.matched_mismatch if matched else float(self.unmatched_mismatch)
+        return math.sqrt(2.0) * sigma

@@ -1,0 +1,137 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to discriminate between graph-level, algorithmic, circuit-level and
+hardware-substrate failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InvalidGraphError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "FlowError",
+    "InfeasibleFlowError",
+    "AlgorithmError",
+    "CircuitError",
+    "NetlistError",
+    "SingularCircuitError",
+    "ConvergenceError",
+    "SimulationError",
+    "SubstrateError",
+    "CrossbarCapacityError",
+    "ProgrammingError",
+    "MappingError",
+    "QuantizationError",
+    "DecompositionError",
+    "PowerBudgetError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object (parameters, non-ideality model) is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Graph-level errors
+# ---------------------------------------------------------------------------
+
+
+class GraphError(ReproError):
+    """Base class for flow-network construction/query errors."""
+
+
+class InvalidGraphError(GraphError):
+    """The graph violates a structural requirement (e.g. negative capacity)."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex referenced by the caller does not exist in the network."""
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by the caller does not exist in the network."""
+
+
+# ---------------------------------------------------------------------------
+# Flow-algorithm errors
+# ---------------------------------------------------------------------------
+
+
+class FlowError(ReproError):
+    """Base class for errors raised by max-flow algorithms."""
+
+
+class InfeasibleFlowError(FlowError):
+    """A flow assignment violates capacity or conservation constraints."""
+
+
+class AlgorithmError(FlowError):
+    """An algorithm reached an internal inconsistency (should not happen)."""
+
+
+# ---------------------------------------------------------------------------
+# Circuit-simulator errors
+# ---------------------------------------------------------------------------
+
+
+class CircuitError(ReproError):
+    """Base class for analog circuit construction and simulation errors."""
+
+
+class NetlistError(CircuitError):
+    """The netlist is malformed (dangling node, duplicate element name, ...)."""
+
+
+class SingularCircuitError(CircuitError):
+    """The MNA system is singular and cannot be solved."""
+
+
+class ConvergenceError(CircuitError):
+    """A nonlinear or transient solve failed to converge."""
+
+
+class SimulationError(CircuitError):
+    """A simulation was configured inconsistently (bad time step, etc.)."""
+
+
+# ---------------------------------------------------------------------------
+# Substrate / crossbar errors
+# ---------------------------------------------------------------------------
+
+
+class SubstrateError(ReproError):
+    """Base class for reconfigurable-substrate errors."""
+
+
+class CrossbarCapacityError(SubstrateError):
+    """The graph does not fit onto the crossbar (too many vertices/edges)."""
+
+
+class ProgrammingError(SubstrateError):
+    """The crossbar programming protocol failed (device did not switch)."""
+
+
+class MappingError(SubstrateError):
+    """A graph could not be mapped / placed / routed onto the architecture."""
+
+
+class QuantizationError(SubstrateError):
+    """Voltage-level quantization was configured or applied incorrectly."""
+
+
+class DecompositionError(SubstrateError):
+    """Graph decomposition / dual decomposition failed to converge."""
+
+
+class PowerBudgetError(SubstrateError):
+    """The requested problem exceeds the configured power budget."""

@@ -1,0 +1,73 @@
+"""Edmonds–Karp maximum-flow algorithm (BFS augmenting paths).
+
+A specialisation of Ford–Fulkerson that always augments along a *shortest*
+residual path (found by breadth-first search), which bounds the number of
+augmentations by ``O(|V| * |E|)`` independently of the capacities.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+from ..graph.network import FlowNetwork
+from .base import FlowAlgorithm, MaxFlowResult, ResidualNetwork
+
+__all__ = ["EdmondsKarp", "edmonds_karp"]
+
+
+class EdmondsKarp(FlowAlgorithm):
+    """Breadth-first-search augmenting-path max-flow solver."""
+
+    name = "edmonds-karp"
+
+    def _run(self, network: FlowNetwork) -> Tuple[ResidualNetwork, int]:
+        residual = ResidualNetwork(network)
+        augmentations = 0
+        while True:
+            path = self._find_path_bfs(residual)
+            if path is None:
+                break
+            bottleneck = min(residual.residual[arc] for arc in path)
+            if bottleneck <= 0:
+                break
+            for arc in path:
+                residual.push(arc, bottleneck)
+            residual.counter.augmentations += 1
+            augmentations += 1
+        return residual, augmentations
+
+    @staticmethod
+    def _find_path_bfs(residual: ResidualNetwork) -> Optional[List[int]]:
+        """BFS returning the arc list of a shortest augmenting path."""
+        parent_arc: List[int] = [-1] * residual.num_vertices
+        visited = [False] * residual.num_vertices
+        queue = deque([residual.source])
+        visited[residual.source] = True
+        while queue:
+            vertex = queue.popleft()
+            residual.counter.queue_operations += 1
+            if vertex == residual.sink:
+                break
+            for arc in residual.adjacency[vertex]:
+                residual.counter.arc_scans += 1
+                head = residual.arc_to[arc]
+                if not visited[head] and residual.residual[arc] > 0:
+                    visited[head] = True
+                    parent_arc[head] = arc
+                    queue.append(head)
+        if not visited[residual.sink]:
+            return None
+        path: List[int] = []
+        vertex = residual.sink
+        while vertex != residual.source:
+            arc = parent_arc[vertex]
+            path.append(arc)
+            vertex = residual.arc_from[arc]
+        path.reverse()
+        return path
+
+
+def edmonds_karp(network: FlowNetwork) -> MaxFlowResult:
+    """Solve ``network`` with :class:`EdmondsKarp`."""
+    return EdmondsKarp().solve(network)

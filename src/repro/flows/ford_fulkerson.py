@@ -1,0 +1,86 @@
+"""Ford–Fulkerson maximum-flow algorithm (DFS augmenting paths).
+
+The original augmenting-path method [16].  A depth-first search locates any
+source-to-sink path with positive residual capacity and saturates it; the
+process repeats until no augmenting path exists.  With integral capacities
+the algorithm terminates with the exact maximum flow; with irrational
+capacities it may not terminate, so a maximum-iteration safeguard is
+provided.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import AlgorithmError
+from ..graph.network import FlowNetwork
+from .base import FlowAlgorithm, MaxFlowResult, ResidualNetwork
+
+__all__ = ["FordFulkerson", "ford_fulkerson"]
+
+
+class FordFulkerson(FlowAlgorithm):
+    """Depth-first-search augmenting-path max-flow solver."""
+
+    name = "ford-fulkerson"
+
+    def __init__(self, max_augmentations: int = 1_000_000) -> None:
+        if max_augmentations <= 0:
+            raise AlgorithmError("max_augmentations must be positive")
+        self.max_augmentations = max_augmentations
+
+    def _run(self, network: FlowNetwork) -> Tuple[ResidualNetwork, int]:
+        residual = ResidualNetwork(network)
+        augmentations = 0
+        while augmentations < self.max_augmentations:
+            path = self._find_path_dfs(residual)
+            if path is None:
+                break
+            bottleneck = min(residual.residual[arc] for arc in path)
+            if bottleneck <= 0:
+                break
+            for arc in path:
+                residual.push(arc, bottleneck)
+            residual.counter.augmentations += 1
+            augmentations += 1
+        else:
+            raise AlgorithmError(
+                f"Ford-Fulkerson exceeded {self.max_augmentations} augmentations; "
+                "capacities may be pathological"
+            )
+        return residual, augmentations
+
+    @staticmethod
+    def _find_path_dfs(residual: ResidualNetwork) -> Optional[List[int]]:
+        """Iterative DFS returning the arc list of an augmenting path."""
+        parent_arc: List[int] = [-1] * residual.num_vertices
+        visited = [False] * residual.num_vertices
+        stack = [residual.source]
+        visited[residual.source] = True
+        while stack:
+            vertex = stack.pop()
+            residual.counter.queue_operations += 1
+            if vertex == residual.sink:
+                break
+            for arc in residual.adjacency[vertex]:
+                residual.counter.arc_scans += 1
+                head = residual.arc_to[arc]
+                if not visited[head] and residual.residual[arc] > 0:
+                    visited[head] = True
+                    parent_arc[head] = arc
+                    stack.append(head)
+        if not visited[residual.sink]:
+            return None
+        path: List[int] = []
+        vertex = residual.sink
+        while vertex != residual.source:
+            arc = parent_arc[vertex]
+            path.append(arc)
+            vertex = residual.arc_from[arc]
+        path.reverse()
+        return path
+
+
+def ford_fulkerson(network: FlowNetwork, **kwargs) -> MaxFlowResult:
+    """Solve ``network`` with :class:`FordFulkerson` using default settings."""
+    return FordFulkerson(**kwargs).solve(network)

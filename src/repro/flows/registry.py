@@ -1,0 +1,50 @@
+"""Registry of classical max-flow solvers.
+
+Allows benchmarks and examples to select a baseline by name:
+
+>>> from repro.flows import solve_max_flow
+>>> result = solve_max_flow(network, algorithm="push-relabel")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import AlgorithmError
+from ..graph.network import FlowNetwork
+from .base import MaxFlowResult
+from .dinic import Dinic
+from .edmonds_karp import EdmondsKarp
+from .ford_fulkerson import FordFulkerson
+from .linprog import LinearProgrammingSolver
+from .push_relabel import PushRelabel
+
+__all__ = ["ALGORITHMS", "get_algorithm", "solve_max_flow"]
+
+
+ALGORITHMS: Dict[str, Callable[[], object]] = {
+    "ford-fulkerson": FordFulkerson,
+    "edmonds-karp": EdmondsKarp,
+    "dinic": Dinic,
+    "push-relabel": PushRelabel,
+    "push-relabel-fifo": lambda: PushRelabel(selection="fifo"),
+    "lp-reference": LinearProgrammingSolver,
+}
+
+
+def get_algorithm(name: str):
+    """Instantiate the solver registered under ``name``."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise AlgorithmError(f"unknown algorithm {name!r}; known: {known}") from exc
+    return factory()
+
+
+def solve_max_flow(
+    network: FlowNetwork, algorithm: str = "dinic", validate: bool = False
+) -> MaxFlowResult:
+    """Solve ``network`` with the named classical algorithm."""
+    solver = get_algorithm(algorithm)
+    return solver.solve(network, validate=validate)

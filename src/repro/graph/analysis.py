@@ -1,0 +1,130 @@
+"""Structural analysis of flow networks.
+
+Provides reachability queries, pruning of vertices that can never carry s-t
+flow, simple upper bounds on the max-flow value, and summary statistics used
+by the benchmark harness and by the crossbar mapper (which needs to know how
+many crossbar cells a graph will occupy).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set
+
+from .network import FlowNetwork
+
+__all__ = [
+    "GraphStatistics",
+    "graph_statistics",
+    "reachable_from",
+    "reaches",
+    "prune_useless_vertices",
+    "is_source_sink_connected",
+    "upper_bound_flow",
+]
+
+Vertex = Hashable
+
+
+def reachable_from(network: FlowNetwork, start: Vertex) -> Set[Vertex]:
+    """Vertices reachable from ``start`` following edge directions."""
+    visited: Set[Vertex] = {start}
+    frontier = deque([start])
+    while frontier:
+        vertex = frontier.popleft()
+        for edge in network.out_edges(vertex):
+            if edge.head not in visited:
+                visited.add(edge.head)
+                frontier.append(edge.head)
+    return visited
+
+
+def reaches(network: FlowNetwork, target: Vertex) -> Set[Vertex]:
+    """Vertices from which ``target`` is reachable (reverse reachability)."""
+    visited: Set[Vertex] = {target}
+    frontier = deque([target])
+    while frontier:
+        vertex = frontier.popleft()
+        for edge in network.in_edges(vertex):
+            if edge.tail not in visited:
+                visited.add(edge.tail)
+                frontier.append(edge.tail)
+    return visited
+
+
+def is_source_sink_connected(network: FlowNetwork) -> bool:
+    """True when at least one directed path from source to sink exists."""
+    return network.sink in reachable_from(network, network.source)
+
+
+def prune_useless_vertices(network: FlowNetwork) -> FlowNetwork:
+    """Remove vertices that cannot lie on any s-t path.
+
+    A vertex can carry flow only if it is reachable from the source *and*
+    can reach the sink.  Removing the others shrinks the circuit (and the
+    crossbar occupancy) without changing the max-flow value.
+    """
+    forward = reachable_from(network, network.source)
+    backward = reaches(network, network.sink)
+    useful = (forward & backward) | {network.source, network.sink}
+    return network.subgraph([v for v in network.vertices() if v in useful])
+
+
+def upper_bound_flow(network: FlowNetwork) -> float:
+    """Cheap upper bound on the max-flow value.
+
+    The bound is ``min(capacity out of s, capacity into t)``; both are valid
+    cuts.  Infinite capacities propagate (the bound may be ``inf``).
+    """
+    out_cap = sum(e.capacity for e in network.out_edges(network.source))
+    in_cap = sum(e.capacity for e in network.in_edges(network.sink))
+    return min(out_cap, in_cap)
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics of a flow network."""
+
+    num_vertices: int
+    num_edges: int
+    num_internal_vertices: int
+    max_capacity: float
+    min_capacity: float
+    total_capacity: float
+    max_out_degree: int
+    max_in_degree: int
+    average_degree: float
+    density: float
+    source_out_degree: int
+    sink_in_degree: int
+    has_st_path: bool
+
+    def is_sparse(self, degree_threshold: float = 8.0) -> bool:
+        """Heuristic classification matching the paper's sparse regime."""
+        return self.average_degree <= degree_threshold
+
+
+def graph_statistics(network: FlowNetwork) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for ``network``."""
+    capacities = [e.capacity for e in network.edges() if not e.is_uncapacitated]
+    n = network.num_vertices
+    m = network.num_edges
+    degrees: Dict[Vertex, int] = {v: network.degree(v) for v in network.vertices()}
+    max_out = max((network.out_degree(v) for v in network.vertices()), default=0)
+    max_in = max((network.in_degree(v) for v in network.vertices()), default=0)
+    return GraphStatistics(
+        num_vertices=n,
+        num_edges=m,
+        num_internal_vertices=len(network.internal_vertices()),
+        max_capacity=max(capacities) if capacities else 0.0,
+        min_capacity=min(capacities) if capacities else 0.0,
+        total_capacity=sum(capacities),
+        max_out_degree=max_out,
+        max_in_degree=max_in,
+        average_degree=(2.0 * m / n) if n else 0.0,
+        density=(m / (n * (n - 1))) if n > 1 else 0.0,
+        source_out_degree=network.out_degree(network.source),
+        sink_in_degree=network.in_degree(network.sink),
+        has_st_path=is_source_sink_connected(network),
+    )

@@ -1,0 +1,474 @@
+"""Synthetic flow-network generators.
+
+The paper evaluates the substrate on R-MAT graphs [7] in two regimes:
+
+* *dense*  graphs with ``|E| proportional to |V|**2``
+* *sparse* graphs with ``|E| proportional to |V|``
+
+with 200..1000 vertices and 500..8000 edges (Section 5.1).  This module
+implements the R-MAT recursive generator from scratch as well as several
+structured generators (grid, layered DAG, parallel paths, bipartite) used by
+the examples, the tests and the ablation benches, plus the two worked
+examples from the paper (Fig. 5a and Fig. 15a).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InvalidGraphError
+from .network import FlowNetwork
+
+__all__ = [
+    "RMATGenerator",
+    "rmat_graph",
+    "dense_random_graph",
+    "sparse_random_graph",
+    "grid_graph",
+    "layered_graph",
+    "bipartite_graph",
+    "path_graph",
+    "parallel_paths_graph",
+    "paper_example_graph",
+    "quasistatic_example_graph",
+]
+
+
+# ---------------------------------------------------------------------------
+# R-MAT generator (Chakrabarti, Zhan, Faloutsos 2004)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RMATGenerator:
+    """Recursive-matrix (R-MAT) graph generator.
+
+    Each edge is placed by recursively descending into one of the four
+    quadrants of the adjacency matrix with probabilities ``(a, b, c, d)``.
+    A small multiplicative noise is applied to the probabilities at every
+    level, as recommended by the original paper, to avoid a degenerate
+    staircase structure.
+
+    Parameters
+    ----------
+    a, b, c, d:
+        Quadrant probabilities; they must sum to 1.
+    noise:
+        Relative noise applied to the probabilities at each recursion level.
+    allow_duplicate_edges:
+        When ``False`` (default) duplicate vertex pairs are resampled, so the
+        produced graph is simple; when ``True`` duplicates become parallel
+        edges.
+    """
+
+    a: float = 0.45
+    b: float = 0.15
+    c: float = 0.15
+    d: float = 0.25
+    noise: float = 0.1
+    allow_duplicate_edges: bool = False
+
+    def __post_init__(self) -> None:
+        total = self.a + self.b + self.c + self.d
+        if abs(total - 1.0) > 1e-9:
+            raise InvalidGraphError(
+                f"R-MAT quadrant probabilities must sum to 1 (got {total})"
+            )
+        if min(self.a, self.b, self.c, self.d) < 0:
+            raise InvalidGraphError("R-MAT quadrant probabilities must be non-negative")
+        if not 0 <= self.noise < 1:
+            raise InvalidGraphError("R-MAT noise must lie in [0, 1)")
+
+    # -- internal helpers ---------------------------------------------------
+
+    def _perturbed(self, rng: random.Random) -> Tuple[float, float, float, float]:
+        """Return noise-perturbed, renormalised quadrant probabilities."""
+        if self.noise == 0.0:
+            return self.a, self.b, self.c, self.d
+        factors = [1.0 + self.noise * (2.0 * rng.random() - 1.0) for _ in range(4)]
+        raw = [self.a * factors[0], self.b * factors[1], self.c * factors[2], self.d * factors[3]]
+        total = sum(raw)
+        return raw[0] / total, raw[1] / total, raw[2] / total, raw[3] / total
+
+    def _sample_pair(self, scale: int, rng: random.Random) -> Tuple[int, int]:
+        """Sample one (row, column) cell of a ``2**scale`` adjacency matrix."""
+        row = 0
+        col = 0
+        for level in range(scale):
+            a, b, c, _d = self._perturbed(rng)
+            u = rng.random()
+            half = 1 << (scale - level - 1)
+            if u < a:
+                pass
+            elif u < a + b:
+                col += half
+            elif u < a + b + c:
+                row += half
+            else:
+                row += half
+                col += half
+        return row, col
+
+    # -- public API ---------------------------------------------------------
+
+    def generate(
+        self,
+        num_vertices: int,
+        num_edges: int,
+        min_capacity: float = 1.0,
+        max_capacity: float = 100.0,
+        seed: Optional[int] = None,
+        ensure_st_path: bool = True,
+        integer_capacities: bool = True,
+    ) -> FlowNetwork:
+        """Generate an R-MAT flow network.
+
+        Vertex ``0`` is used as the source and vertex ``num_vertices - 1`` as
+        the sink.  When ``ensure_st_path`` is set, a random s-t path is added
+        (if not already present) so that the max-flow value is non-trivial,
+        which mirrors how flow benchmarks are commonly prepared.
+        """
+        if num_vertices < 2:
+            raise InvalidGraphError("an R-MAT flow network needs at least two vertices")
+        if num_edges < 1:
+            raise InvalidGraphError("an R-MAT flow network needs at least one edge")
+        if max_capacity < min_capacity or min_capacity <= 0:
+            raise InvalidGraphError("capacities must satisfy 0 < min <= max")
+        rng = random.Random(seed)
+        scale = max(1, math.ceil(math.log2(num_vertices)))
+        source, sink = 0, num_vertices - 1
+        network = FlowNetwork(source=source, sink=sink)
+        for vertex in range(num_vertices):
+            network.add_vertex(vertex)
+
+        seen_pairs = set()
+        attempts = 0
+        max_attempts = 50 * num_edges + 1000
+        while network.num_edges < num_edges and attempts < max_attempts:
+            attempts += 1
+            tail, head = self._sample_pair(scale, rng)
+            if tail >= num_vertices or head >= num_vertices or tail == head:
+                continue
+            # Orient edges "forward" onto the sink side occasionally to avoid
+            # graphs whose max flow is trivially zero.
+            if head == source or tail == sink:
+                tail, head = head, tail
+            if not self.allow_duplicate_edges:
+                if (tail, head) in seen_pairs:
+                    continue
+                seen_pairs.add((tail, head))
+            capacity = self._draw_capacity(rng, min_capacity, max_capacity, integer_capacities)
+            network.add_edge(tail, head, capacity)
+
+        # Fall back to uniformly random pairs if the R-MAT sampling kept
+        # hitting duplicates (can happen for very dense requests).
+        while network.num_edges < num_edges:
+            tail = rng.randrange(num_vertices)
+            head = rng.randrange(num_vertices)
+            if tail == head:
+                continue
+            if head == source or tail == sink:
+                tail, head = head, tail
+            if not self.allow_duplicate_edges and (tail, head) in seen_pairs:
+                continue
+            seen_pairs.add((tail, head))
+            capacity = self._draw_capacity(rng, min_capacity, max_capacity, integer_capacities)
+            network.add_edge(tail, head, capacity)
+
+        if ensure_st_path and not _has_st_path(network):
+            _add_random_st_path(network, rng, min_capacity, max_capacity, integer_capacities)
+        return network
+
+    @staticmethod
+    def _draw_capacity(
+        rng: random.Random,
+        min_capacity: float,
+        max_capacity: float,
+        integer_capacities: bool,
+    ) -> float:
+        if integer_capacities:
+            return float(rng.randint(int(min_capacity), int(max_capacity)))
+        return rng.uniform(min_capacity, max_capacity)
+
+
+def _has_st_path(network: FlowNetwork) -> bool:
+    """Breadth-first reachability check from source to sink."""
+    frontier = [network.source]
+    visited = {network.source}
+    while frontier:
+        vertex = frontier.pop()
+        if vertex == network.sink:
+            return True
+        for edge in network.out_edges(vertex):
+            if edge.head not in visited:
+                visited.add(edge.head)
+                frontier.append(edge.head)
+    return False
+
+
+def _add_random_st_path(
+    network: FlowNetwork,
+    rng: random.Random,
+    min_capacity: float,
+    max_capacity: float,
+    integer_capacities: bool,
+) -> None:
+    """Add a short random source->sink path through existing vertices."""
+    vertices = [v for v in network.vertices() if v not in (network.source, network.sink)]
+    hops = rng.randint(1, min(3, len(vertices))) if vertices else 0
+    waypoints = rng.sample(vertices, hops) if hops else []
+    chain = [network.source, *waypoints, network.sink]
+    for tail, head in zip(chain, chain[1:]):
+        if not network.has_edge(tail, head):
+            capacity = RMATGenerator._draw_capacity(
+                rng, min_capacity, max_capacity, integer_capacities
+            )
+            network.add_edge(tail, head, capacity)
+
+
+def rmat_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: Optional[int] = None,
+    min_capacity: float = 1.0,
+    max_capacity: float = 100.0,
+    **kwargs,
+) -> FlowNetwork:
+    """Convenience wrapper building an R-MAT graph with default parameters."""
+    return RMATGenerator().generate(
+        num_vertices,
+        num_edges,
+        min_capacity=min_capacity,
+        max_capacity=max_capacity,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def dense_random_graph(
+    num_vertices: int,
+    density: float = 0.008,
+    seed: Optional[int] = None,
+    min_capacity: float = 1.0,
+    max_capacity: float = 100.0,
+) -> FlowNetwork:
+    """R-MAT graph in the paper's *dense* regime (``|E| ~ density * |V|**2``)."""
+    num_edges = max(num_vertices, int(round(density * num_vertices * num_vertices)))
+    return rmat_graph(
+        num_vertices,
+        num_edges,
+        seed=seed,
+        min_capacity=min_capacity,
+        max_capacity=max_capacity,
+    )
+
+
+def sparse_random_graph(
+    num_vertices: int,
+    average_degree: float = 4.0,
+    seed: Optional[int] = None,
+    min_capacity: float = 1.0,
+    max_capacity: float = 100.0,
+) -> FlowNetwork:
+    """R-MAT graph in the paper's *sparse* regime (``|E| ~ average_degree * |V|``)."""
+    num_edges = max(num_vertices - 1, int(round(average_degree * num_vertices)))
+    return rmat_graph(
+        num_vertices,
+        num_edges,
+        seed=seed,
+        min_capacity=min_capacity,
+        max_capacity=max_capacity,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Structured generators
+# ---------------------------------------------------------------------------
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    capacity: float = 1.0,
+    terminal_capacity: Optional[float] = None,
+    seed: Optional[int] = None,
+    capacity_jitter: float = 0.0,
+) -> FlowNetwork:
+    """4-connected grid graph with a super-source and super-sink.
+
+    This is the classic structure used by computer-vision graph cuts
+    (Boykov & Kolmogorov): the source connects to every cell of the first
+    column and every cell of the last column connects to the sink.
+    ``capacity_jitter`` adds uniform noise to the inner edge capacities.
+    """
+    if rows < 1 or cols < 2:
+        raise InvalidGraphError("grid graphs require at least 1 row and 2 columns")
+    rng = random.Random(seed)
+    terminal_capacity = capacity * rows if terminal_capacity is None else terminal_capacity
+    network = FlowNetwork(source="s", sink="t")
+
+    def cell(r: int, c: int) -> str:
+        return f"v{r}_{c}"
+
+    def jitter(base: float) -> float:
+        if capacity_jitter == 0.0:
+            return base
+        return max(1e-6, base * (1.0 + capacity_jitter * (2.0 * rng.random() - 1.0)))
+
+    for r in range(rows):
+        for c in range(cols):
+            network.add_vertex(cell(r, c))
+    for r in range(rows):
+        network.add_edge("s", cell(r, 0), terminal_capacity)
+        network.add_edge(cell(r, cols - 1), "t", terminal_capacity)
+        for c in range(cols):
+            if c + 1 < cols:
+                network.add_edge(cell(r, c), cell(r, c + 1), jitter(capacity))
+            if r + 1 < rows:
+                network.add_edge(cell(r, c), cell(r + 1, c), jitter(capacity))
+                network.add_edge(cell(r + 1, c), cell(r, c), jitter(capacity))
+    return network
+
+
+def layered_graph(
+    num_layers: int,
+    layer_width: int,
+    capacity_range: Tuple[float, float] = (1.0, 10.0),
+    seed: Optional[int] = None,
+    connectivity: float = 0.6,
+) -> FlowNetwork:
+    """Layered DAG: source -> layer_1 -> ... -> layer_k -> sink.
+
+    Every vertex of layer ``i`` connects to a random subset of layer
+    ``i + 1``; at least one edge per vertex guarantees s-t connectivity.
+    """
+    if num_layers < 1 or layer_width < 1:
+        raise InvalidGraphError("layered graphs need at least one layer of width one")
+    lo, hi = capacity_range
+    if lo <= 0 or hi < lo:
+        raise InvalidGraphError("capacity range must satisfy 0 < lo <= hi")
+    rng = random.Random(seed)
+    network = FlowNetwork(source="s", sink="t")
+    layers: List[List[str]] = []
+    for layer in range(num_layers):
+        layers.append([f"l{layer}_{i}" for i in range(layer_width)])
+        for name in layers[-1]:
+            network.add_vertex(name)
+    for name in layers[0]:
+        network.add_edge("s", name, rng.uniform(lo, hi))
+    for upper, lower in zip(layers, layers[1:]):
+        for tail in upper:
+            heads = [h for h in lower if rng.random() < connectivity]
+            if not heads:
+                heads = [rng.choice(lower)]
+            for head in heads:
+                network.add_edge(tail, head, rng.uniform(lo, hi))
+    for name in layers[-1]:
+        network.add_edge(name, "t", rng.uniform(lo, hi))
+    return network
+
+
+def bipartite_graph(
+    left: int,
+    right: int,
+    capacity: float = 1.0,
+    connectivity: float = 0.5,
+    seed: Optional[int] = None,
+) -> FlowNetwork:
+    """Bipartite matching network (unit capacities by default)."""
+    if left < 1 or right < 1:
+        raise InvalidGraphError("bipartite graphs need at least one vertex per side")
+    rng = random.Random(seed)
+    network = FlowNetwork(source="s", sink="t")
+    left_names = [f"a{i}" for i in range(left)]
+    right_names = [f"b{j}" for j in range(right)]
+    for name in left_names + right_names:
+        network.add_vertex(name)
+    for name in left_names:
+        network.add_edge("s", name, capacity)
+    for name in right_names:
+        network.add_edge(name, "t", capacity)
+    for tail in left_names:
+        heads = [h for h in right_names if rng.random() < connectivity]
+        if not heads:
+            heads = [rng.choice(right_names)]
+        for head in heads:
+            network.add_edge(tail, head, capacity)
+    return network
+
+
+def path_graph(num_internal: int, capacities: Optional[Sequence[float]] = None) -> FlowNetwork:
+    """Single s -> v1 -> ... -> vk -> t path (max flow = min capacity)."""
+    if num_internal < 0:
+        raise InvalidGraphError("number of internal vertices must be non-negative")
+    count = num_internal + 1
+    if capacities is None:
+        capacities = [1.0] * count
+    if len(capacities) != count:
+        raise InvalidGraphError(
+            f"expected {count} capacities for {num_internal} internal vertices"
+        )
+    network = FlowNetwork(source="s", sink="t")
+    chain = ["s", *[f"v{i}" for i in range(1, num_internal + 1)], "t"]
+    for tail, head, capacity in zip(chain, chain[1:], capacities):
+        network.add_edge(tail, head, capacity)
+    return network
+
+
+def parallel_paths_graph(
+    num_paths: int, path_length: int = 1, capacity: float = 1.0
+) -> FlowNetwork:
+    """``num_paths`` vertex-disjoint s-t paths, each of the given capacity."""
+    if num_paths < 1 or path_length < 1:
+        raise InvalidGraphError("need at least one path of length one")
+    network = FlowNetwork(source="s", sink="t")
+    for p in range(num_paths):
+        chain = ["s", *[f"p{p}_{i}" for i in range(path_length - 1)], "t"]
+        for tail, head in zip(chain, chain[1:]):
+            network.add_edge(tail, head, capacity)
+    return network
+
+
+# ---------------------------------------------------------------------------
+# The paper's worked examples
+# ---------------------------------------------------------------------------
+
+
+def paper_example_graph() -> FlowNetwork:
+    """The example of Fig. 5a: 5 edges, capacities (3, 2, 1, 1, 2), max flow 2.
+
+    Edge indices match the paper's labels x1..x5:
+
+    * x1: s  -> n1, capacity 3
+    * x2: n1 -> n2, capacity 2
+    * x3: n1 -> n3, capacity 1
+    * x4: n2 -> t,  capacity 1
+    * x5: n3 -> t,  capacity 2
+    """
+    network = FlowNetwork(source="s", sink="t")
+    network.add_edge("s", "n1", 3.0)   # x1
+    network.add_edge("n1", "n2", 2.0)  # x2
+    network.add_edge("n1", "n3", 1.0)  # x3
+    network.add_edge("n2", "t", 1.0)   # x4
+    network.add_edge("n3", "t", 2.0)   # x5
+    return network
+
+
+def quasistatic_example_graph() -> FlowNetwork:
+    """The Section 6.5 example (Fig. 15): maximize x1, x1 = x2 + x3.
+
+    The paper's LP (Equation 8) has exactly three variables with capacities
+    4, 1 and 4; the two auxiliary edges of Fig. 15a have infinite capacity
+    and do not appear in the circuit of Fig. 15b.  We therefore model the
+    instance with two parallel edges from ``n1`` straight to the sink, which
+    yields the identical LP (and hence the identical circuit and trajectory).
+    The optimal solution is x1 = 4, x2 = 1, x3 = 3.
+    """
+    network = FlowNetwork(source="s", sink="t")
+    network.add_edge("s", "n1", 4.0)   # x1
+    network.add_edge("n1", "t", 1.0)   # x2
+    network.add_edge("n1", "t", 4.0)   # x3
+    return network

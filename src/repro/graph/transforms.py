@@ -1,0 +1,130 @@
+"""Graph transformations used before mapping onto the analog substrate.
+
+The paper's footnote 1 notes that an undirected max-flow instance can be
+converted into a directed one by replacing each undirected edge with two
+opposite directed edges of the same capacity; :func:`undirected_to_directed`
+implements that conversion.  :func:`split_antiparallel_edges` removes
+antiparallel edge pairs (useful for algorithms or hardware mappings that
+cannot host both `(u, v)` and `(v, u)` in the same cell), and the remaining
+helpers perform capacity scaling and vertex relabelling used by the crossbar
+mapper and the quantizer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Tuple
+
+from ..errors import InvalidGraphError
+from .network import FlowNetwork
+
+__all__ = [
+    "undirected_to_directed",
+    "split_antiparallel_edges",
+    "merge_parallel_edges",
+    "scale_capacities",
+    "relabel_vertices",
+]
+
+Vertex = Hashable
+
+
+def undirected_to_directed(
+    edges: Iterable[Tuple[Vertex, Vertex, float]],
+    source: Vertex = "s",
+    sink: Vertex = "t",
+) -> FlowNetwork:
+    """Build a directed network from undirected ``(u, v, capacity)`` edges.
+
+    Each undirected edge becomes two antiparallel directed edges with the
+    same capacity (paper, footnote 1).
+    """
+    network = FlowNetwork(source=source, sink=sink)
+    for u, v, capacity in edges:
+        network.add_edge(u, v, capacity)
+        network.add_edge(v, u, capacity)
+    return network
+
+
+def split_antiparallel_edges(network: FlowNetwork) -> FlowNetwork:
+    """Insert a helper vertex into one edge of every antiparallel pair.
+
+    For every pair of edges ``(u, v)`` and ``(v, u)`` the second one is
+    replaced by ``v -> w -> u`` where ``w`` is a fresh vertex and both new
+    edges carry the original capacity.  The max-flow value is unchanged.
+    """
+    result = FlowNetwork(network.source, network.sink)
+    for vertex in network.vertices():
+        result.add_vertex(vertex)
+    seen_pairs = set()
+    helper_count = 0
+    for edge in network.edges():
+        pair = (edge.head, edge.tail)
+        if pair in seen_pairs:
+            helper = f"__anti{helper_count}"
+            helper_count += 1
+            result.add_edge(edge.tail, helper, edge.capacity)
+            result.add_edge(helper, edge.head, edge.capacity)
+        else:
+            seen_pairs.add((edge.tail, edge.head))
+            result.add_edge(edge.tail, edge.head, edge.capacity)
+    return result
+
+
+def merge_parallel_edges(network: FlowNetwork) -> FlowNetwork:
+    """Merge parallel edges by summing their capacities.
+
+    The crossbar has exactly one cell per ordered vertex pair, so parallel
+    edges must be merged before mapping.  Infinite capacities absorb.
+    """
+    result = FlowNetwork(network.source, network.sink)
+    for vertex in network.vertices():
+        result.add_vertex(vertex)
+    totals: Dict[Tuple[Vertex, Vertex], float] = {}
+    order = []
+    for edge in network.edges():
+        key = (edge.tail, edge.head)
+        if key not in totals:
+            totals[key] = 0.0
+            order.append(key)
+        totals[key] += edge.capacity
+    for tail, head in order:
+        result.add_edge(tail, head, totals[(tail, head)])
+    return result
+
+
+def scale_capacities(network: FlowNetwork, factor: float) -> FlowNetwork:
+    """Return a copy of ``network`` with every capacity multiplied by ``factor``.
+
+    Max-flow scales linearly with capacities, which the quantizer exploits to
+    map arbitrary capacities into the supply-voltage range.
+    """
+    if factor <= 0:
+        raise InvalidGraphError("capacity scale factor must be positive")
+    result = FlowNetwork(network.source, network.sink)
+    for vertex in network.vertices():
+        result.add_vertex(vertex)
+    for edge in network.edges():
+        result.add_edge(edge.tail, edge.head, edge.capacity * factor)
+    return result
+
+
+def relabel_vertices(
+    network: FlowNetwork, mapping: Callable[[Vertex], Vertex]
+) -> FlowNetwork:
+    """Return a copy of ``network`` with every vertex passed through ``mapping``.
+
+    The mapping must be injective over the network's vertices; collisions are
+    rejected because they would silently merge vertices.
+    """
+    new_labels: Dict[Vertex, Vertex] = {}
+    for vertex in network.vertices():
+        label = mapping(vertex)
+        if label in new_labels.values():
+            raise InvalidGraphError(f"vertex relabelling is not injective at {vertex!r}")
+        new_labels[vertex] = label
+    result = FlowNetwork(new_labels[network.source], new_labels[network.sink])
+    for vertex in network.vertices():
+        result.add_vertex(new_labels[vertex])
+    for edge in network.edges():
+        result.add_edge(new_labels[edge.tail], new_labels[edge.head], edge.capacity)
+    return result

@@ -1,0 +1,6 @@
+"""Analytical power and energy models (Section 5.2)."""
+
+from .model import PowerModel, PowerEstimate
+from .energy import EnergyComparison, compare_energy
+
+__all__ = ["PowerModel", "PowerEstimate", "EnergyComparison", "compare_energy"]

@@ -1,0 +1,91 @@
+"""Energy-per-solve comparison between the analog substrate and the CPU.
+
+Section 5.2 argues that although the substrate's power draw is comparable to
+a CPU's, its energy per solve is two to three orders of magnitude lower
+because it converges 150x-1500x faster.  :func:`compare_energy` packages that
+comparison for one instance: substrate power x convergence time versus CPU
+power x (estimated) execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..flows.cost_model import CpuCostModel, CpuEstimate
+from .model import PowerEstimate, PowerModel
+
+__all__ = ["EnergyComparison", "compare_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Energy and speed comparison for one solved instance.
+
+    Attributes
+    ----------
+    analog_power_w / analog_time_s / analog_energy_j:
+        Substrate power, convergence time and energy per solve.
+    cpu_power_w / cpu_time_s / cpu_energy_j:
+        CPU package power, estimated execution time and energy per solve.
+    speedup:
+        ``cpu_time_s / analog_time_s``.
+    energy_efficiency:
+        ``cpu_energy_j / analog_energy_j``.
+    """
+
+    analog_power_w: float
+    analog_time_s: float
+    analog_energy_j: float
+    cpu_power_w: float
+    cpu_time_s: float
+    cpu_energy_j: float
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the substrate converges than the CPU executes."""
+        return self.cpu_time_s / self.analog_time_s if self.analog_time_s > 0 else float("inf")
+
+    @property
+    def energy_efficiency(self) -> float:
+        """How much less energy the substrate uses per solve."""
+        return (
+            self.cpu_energy_j / self.analog_energy_j
+            if self.analog_energy_j > 0
+            else float("inf")
+        )
+
+
+def compare_energy(
+    power_estimate: PowerEstimate,
+    convergence_time_s: float,
+    cpu_estimate: CpuEstimate,
+    cpu_power_w: Optional[float] = None,
+) -> EnergyComparison:
+    """Build an :class:`EnergyComparison` from the three ingredient estimates.
+
+    Parameters
+    ----------
+    power_estimate:
+        Substrate power (from :class:`~repro.power.model.PowerModel`).
+    convergence_time_s:
+        Substrate convergence time (measured or estimated).
+    cpu_estimate:
+        CPU execution estimate (from :class:`~repro.flows.cost_model.CpuCostModel`).
+    cpu_power_w:
+        CPU package power; defaults to the cost model's standard 95 W.
+    """
+    if convergence_time_s <= 0:
+        raise ConfigurationError("convergence time must be positive")
+    cpu_power = cpu_power_w if cpu_power_w is not None else CpuCostModel().package_power_w
+    analog_energy = power_estimate.total_power_w * convergence_time_s
+    cpu_energy = cpu_power * cpu_estimate.seconds
+    return EnergyComparison(
+        analog_power_w=power_estimate.total_power_w,
+        analog_time_s=convergence_time_s,
+        analog_energy_j=analog_energy,
+        cpu_power_w=cpu_power,
+        cpu_time_s=cpu_estimate.seconds,
+        cpu_energy_j=cpu_energy,
+    )

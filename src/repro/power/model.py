@@ -1,0 +1,134 @@
+"""Analytical power model of the substrate (Section 5.2).
+
+The paper's model: resistor power can be made negligible by scaling all
+resistances up (only ratios matter), so the op-amps dominate.  One op-amp is
+needed per *present* edge (its negation widget) and one per vertex (its
+conservation widget); absent edges are power-gated.  Hence
+
+    ``P = (|E| + |V|) * P_amp``
+
+with ``P_amp = 500 uA * 1 V = 500 uW`` at the 32 nm node.  Given a power
+budget ``P_tot`` the substrate can host about ``P_tot / P_amp`` active edges:
+10^4 edges at a 5 W embedded budget, 3 * 10^5 at a 150 W server budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..config import OpAmpParameters, SubstrateParameters
+from ..errors import PowerBudgetError
+from ..graph.network import FlowNetwork
+from ..analog.compiler import CompiledMaxFlowCircuit
+
+__all__ = ["PowerModel", "PowerEstimate"]
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Power breakdown for one mapped instance."""
+
+    num_edges: int
+    num_vertices: int
+    opamp_count: int
+    opamp_power_w: float
+    total_power_w: float
+
+    @property
+    def power_per_edge_w(self) -> float:
+        """Average power per active edge."""
+        return self.total_power_w / self.num_edges if self.num_edges else 0.0
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """The Section 5.2 analytical power model.
+
+    Parameters
+    ----------
+    opamp:
+        Op-amp parameters; the default reproduces the paper's 500 uW figure
+        (500 uA at a 1 V supply, 32 nm node).
+    include_vertices:
+        Count one op-amp per vertex in addition to one per edge (the paper's
+        formula ``(|E| + |V|) * P_amp``); the simplified budget estimates in
+        the paper assume ``|V| << |E|`` and drop the vertex term.
+    """
+
+    opamp: OpAmpParameters = OpAmpParameters()
+    include_vertices: bool = True
+
+    @property
+    def opamp_power_w(self) -> float:
+        """Static power of one op-amp."""
+        return self.opamp.power_w
+
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self, target: Union[FlowNetwork, CompiledMaxFlowCircuit, Dict[str, int]]
+    ) -> PowerEstimate:
+        """Estimate the substrate power for a network, compiled circuit or counts.
+
+        ``target`` may be a :class:`FlowNetwork` (uses |E| and |V|), a
+        :class:`CompiledMaxFlowCircuit` (uses the actual number of negative
+        resistors, i.e. op-amps, that were instantiated) or a mapping with
+        ``{"edges": ..., "vertices": ...}``.
+        """
+        if isinstance(target, FlowNetwork):
+            edges, vertices = target.num_edges, target.num_vertices
+            opamps = edges + (vertices if self.include_vertices else 0)
+        elif isinstance(target, CompiledMaxFlowCircuit):
+            edges = len(target.active_edges)
+            vertices = len(target.active_vertices)
+            opamps = target.negative_resistor_count or (
+                edges + (vertices if self.include_vertices else 0)
+            )
+        elif isinstance(target, dict):
+            edges = int(target["edges"])
+            vertices = int(target.get("vertices", 0))
+            opamps = edges + (vertices if self.include_vertices else 0)
+        else:
+            raise PowerBudgetError(f"cannot estimate power for {type(target).__name__}")
+        return PowerEstimate(
+            num_edges=edges,
+            num_vertices=vertices,
+            opamp_count=opamps,
+            opamp_power_w=self.opamp_power_w,
+            total_power_w=opamps * self.opamp_power_w,
+        )
+
+    # ------------------------------------------------------------------
+
+    def max_edges_for_budget(self, budget_w: float, num_vertices: int = 0) -> int:
+        """Largest number of active edges a power budget supports.
+
+        With ``num_vertices = 0`` this reproduces the paper's simplified
+        estimate (``|V| << |E|``): 1e4 edges at 5 W and 3e5 at 150 W.
+        """
+        if budget_w <= 0:
+            raise PowerBudgetError("the power budget must be positive")
+        vertex_power = num_vertices * self.opamp_power_w if self.include_vertices else 0.0
+        remaining = budget_w - vertex_power
+        if remaining <= 0:
+            raise PowerBudgetError(
+                f"the {num_vertices} conservation op-amps alone exceed the budget"
+            )
+        return int(remaining // self.opamp_power_w)
+
+    def check_budget(
+        self, target: Union[FlowNetwork, CompiledMaxFlowCircuit, Dict[str, int]], budget_w: float
+    ) -> PowerEstimate:
+        """Estimate power and raise :class:`PowerBudgetError` if it exceeds the budget."""
+        estimate = self.estimate(target)
+        if estimate.total_power_w > budget_w:
+            raise PowerBudgetError(
+                f"instance needs {estimate.total_power_w:.2f} W but the budget is "
+                f"{budget_w:.2f} W"
+            )
+        return estimate
+
+    def budget_table(self, budgets_w) -> Dict[float, int]:
+        """Supported edge counts for a list of power budgets (Section 5.2 table)."""
+        return {float(b): self.max_edges_for_budget(float(b)) for b in budgets_w}

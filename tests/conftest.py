@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    grid_graph,
+    paper_example_graph,
+    parallel_paths_graph,
+    path_graph,
+    quasistatic_example_graph,
+    rmat_graph,
+)
+
+
+@pytest.fixture
+def paper_example():
+    """The Fig. 5a example instance (max flow 2)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def quasistatic_example():
+    """The Section 6.5 / Fig. 15 example instance (max flow 4)."""
+    return quasistatic_example_graph()
+
+
+@pytest.fixture
+def small_rmat():
+    """A small, deterministic R-MAT instance used across modules."""
+    return rmat_graph(30, 100, seed=7)
+
+
+@pytest.fixture
+def medium_rmat():
+    """A medium R-MAT instance for algorithm cross-checks."""
+    return rmat_graph(80, 320, seed=11)
+
+
+@pytest.fixture
+def small_grid():
+    """A small vision-style grid graph."""
+    return grid_graph(3, 5, capacity=2.0, seed=5, capacity_jitter=0.25)
+
+
+@pytest.fixture
+def unit_path():
+    """A 3-edge unit-capacity path (max flow 1)."""
+    return path_graph(2, [1.0, 1.0, 1.0])
+
+
+@pytest.fixture
+def three_parallel_paths():
+    """Three disjoint unit paths (max flow 3)."""
+    return parallel_paths_graph(3, path_length=2, capacity=1.0)

@@ -1,0 +1,132 @@
+"""Tests for the graph-to-circuit compiler and its widgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analog import MaxFlowCircuitCompiler
+from repro.analog.widgets import WidgetStyle
+from repro.circuit import Capacitor, Diode, OpAmp, Resistor, VoltageSource
+from repro.config import NonIdealityModel, SubstrateParameters
+from repro.errors import CircuitError
+from repro.graph import FlowNetwork, paper_example_graph, rmat_graph
+
+
+class TestCompiledStructure:
+    def test_paper_example_nodes_and_clamps(self):
+        compiled = MaxFlowCircuitCompiler(quantize=False).compile(paper_example_graph())
+        # One circuit node per edge.
+        assert set(compiled.edge_node) == {0, 1, 2, 3, 4}
+        # Three internal vertices get conservation widgets.
+        assert set(compiled.vertex_node) == {"n1", "n2", "n3"}
+        # Two diodes per finite-capacity edge.
+        assert compiled.diode_count == 10
+        # Only edge x1 leaves the source.
+        assert compiled.source_edge_indices == [0]
+        assert compiled.vflow_source == "Vflow"
+
+    def test_negative_resistor_count(self):
+        compiled = MaxFlowCircuitCompiler(quantize=False).compile(paper_example_graph())
+        # One -r/2 per incoming edge of an internal vertex (x1, x2, x3) plus
+        # one -r/N per internal vertex = 3 + 3.
+        assert compiled.negative_resistor_count == 6
+
+    def test_shared_capacity_sources(self):
+        compiled = MaxFlowCircuitCompiler(quantize=True).compile(paper_example_graph())
+        sources = [e for e in compiled.circuit.elements_of_type(VoltageSource) if e.name.startswith("Vcap")]
+        # Capacities 3,2,1,1,2 quantize to three distinct levels -> 3 shared sources.
+        assert len(sources) == 3
+
+    def test_quantize_false_uses_exact_ratios(self):
+        compiled = MaxFlowCircuitCompiler(quantize=False).compile(paper_example_graph())
+        assert compiled.quantization.mode == "identity"
+        assert compiled.quantization.voltage_of_edge[2] == pytest.approx(1.0 / 3.0)
+
+    def test_styles_change_realisation(self):
+        ideal = MaxFlowCircuitCompiler(quantize=False, style="ideal").compile(paper_example_graph())
+        device = MaxFlowCircuitCompiler(quantize=False, style="device").compile(paper_example_graph())
+        assert ideal.opamp_count == 0
+        assert device.opamp_count == ideal.negative_resistor_count
+        assert any(r.resistance < 0 for r in ideal.circuit.elements_of_type(Resistor))
+        assert not any(r.resistance < 0 for r in device.circuit.elements_of_type(Resistor))
+        assert len(device.circuit.elements_of_type(OpAmp)) == device.opamp_count
+
+    def test_finite_gain_style_inflates_magnitude(self):
+        params = SubstrateParameters()
+        ideal = MaxFlowCircuitCompiler(quantize=False, style="ideal").compile(paper_example_graph())
+        fg = MaxFlowCircuitCompiler(quantize=False, style="finite-gain").compile(paper_example_graph())
+        r_ideal = abs(ideal.circuit.element("Rng_n0").resistance)
+        r_fg = abs(fg.circuit.element("Rng_n0").resistance)
+        assert r_fg == pytest.approx(r_ideal * (1 + 1 / params.opamp.open_loop_gain))
+
+    def test_parasitic_capacitance_option(self):
+        without = MaxFlowCircuitCompiler(quantize=False).compile(paper_example_graph())
+        with_caps = MaxFlowCircuitCompiler(
+            quantize=False, nonideal=NonIdealityModel(parasitic_capacitance_f=20e-15)
+        ).compile(paper_example_graph())
+        assert not without.circuit.elements_of_type(Capacitor)
+        assert len(with_caps.circuit.elements_of_type(Capacitor)) >= len(with_caps.edge_node)
+
+    def test_bleed_resistors_added_when_enabled(self):
+        from dataclasses import replace
+
+        params = replace(SubstrateParameters(), bleed_resistance_factor=1000.0)
+        compiled = MaxFlowCircuitCompiler(parameters=params, quantize=False).compile(
+            paper_example_graph()
+        )
+        bleeds = [r for r in compiled.circuit.elements_of_type(Resistor) if r.name.startswith("Rbleed")]
+        assert len(bleeds) == compiled.negative_resistor_count
+        assert all(r.resistance == pytest.approx(1000.0 * params.unit_resistance_ohm) for r in bleeds)
+
+    def test_widget_style_parse(self):
+        assert WidgetStyle.parse("ideal") is WidgetStyle.IDEAL
+        with pytest.raises(CircuitError):
+            WidgetStyle.parse("nonsense")
+
+
+class TestPruningAndDegenerateCases:
+    def test_pruning_drops_unreachable_edges(self):
+        g = paper_example_graph()
+        g.add_edge("n1", "dead_end", 7.0)
+        compiled = MaxFlowCircuitCompiler(quantize=False, prune=True).compile(g)
+        assert 5 not in compiled.edge_node
+        unpruned = MaxFlowCircuitCompiler(quantize=False, prune=False).compile(g)
+        assert 5 in unpruned.edge_node
+
+    def test_edges_into_source_are_dropped(self):
+        g = paper_example_graph()
+        g.add_edge("n2", "s", 5.0)
+        compiled = MaxFlowCircuitCompiler(quantize=False).compile(g)
+        assert 5 not in compiled.edge_node
+
+    def test_no_source_edge_raises(self):
+        g = FlowNetwork()
+        g.add_vertex("a")
+        g.add_edge("a", "t", 1.0)
+        with pytest.raises(CircuitError):
+            MaxFlowCircuitCompiler().compile(g)
+
+    def test_uncapacitated_edge_gets_only_lower_clamp(self):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 2.0)
+        g.add_edge("a", "t", float("inf"))
+        compiled = MaxFlowCircuitCompiler(quantize=False).compile(g)
+        diode_names = [d.name for d in compiled.circuit.elements_of_type(Diode)]
+        assert "Dlo1" in diode_names and "Dhi1" not in diode_names
+
+    def test_variation_is_reproducible_with_seed(self):
+        ni = NonIdealityModel(resistor_tolerance=0.2, resistor_matching=0.01)
+        a = MaxFlowCircuitCompiler(quantize=False, nonideal=ni, seed=3).compile(paper_example_graph())
+        b = MaxFlowCircuitCompiler(quantize=False, nonideal=ni, seed=3).compile(paper_example_graph())
+        c = MaxFlowCircuitCompiler(quantize=False, nonideal=ni, seed=4).compile(paper_example_graph())
+        res_a = [r.resistance for r in a.circuit.elements_of_type(Resistor)]
+        res_b = [r.resistance for r in b.circuit.elements_of_type(Resistor)]
+        res_c = [r.resistance for r in c.circuit.elements_of_type(Resistor)]
+        assert res_a == res_b
+        assert res_a != res_c
+
+    def test_compilation_scales_linearly_with_graph(self):
+        small = MaxFlowCircuitCompiler().compile(rmat_graph(20, 60, seed=1))
+        large = MaxFlowCircuitCompiler().compile(rmat_graph(40, 120, seed=1))
+        assert large.num_elements > small.num_elements
+        assert large.resistor_count > small.resistor_count

@@ -1,0 +1,134 @@
+"""Tests for the quasi-static dynamics (Fig. 15) and convergence-time analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analog import (
+    AnalogMaxFlowSolver,
+    ConvergenceTimeEstimator,
+    QuasiStaticAnalyzer,
+    measure_convergence_time,
+)
+from repro.config import NonIdealityModel, SubstrateParameters
+from repro.errors import SimulationError
+from repro.graph import paper_example_graph, quasistatic_example_graph, rmat_graph
+
+
+class TestQuasiStaticTrajectory:
+    def test_fig15_final_point(self):
+        trajectory = QuasiStaticAnalyzer(num_points=97).trace(quasistatic_example_graph())
+        final = trajectory.final
+        assert final.flow_value == pytest.approx(4.0, rel=1e-3)
+        assert final.edge_flows[0] == pytest.approx(4.0, rel=1e-3)
+        assert final.edge_flows[1] == pytest.approx(1.0, rel=1e-2)
+        assert final.edge_flows[2] == pytest.approx(3.0, rel=1e-2)
+
+    def test_fig15_breakpoints(self):
+        """x2 saturates at Vflow = 9 V and x1/x3 at 19 V (paper's analysis)."""
+        trajectory = QuasiStaticAnalyzer(num_points=121, drive_factor=6.0).trace(
+            quasistatic_example_graph()
+        )
+        breakpoints = trajectory.breakpoints()
+        assert len(breakpoints) >= 1
+        assert breakpoints[0] == pytest.approx(9.0, abs=0.6)
+        assert trajectory.saturation_drive(1e-3) == pytest.approx(19.0, abs=1.0)
+
+    def test_trajectory_moves_through_interior(self):
+        """Before saturation the flow splits across both edges (interior point)."""
+        trajectory = QuasiStaticAnalyzer(num_points=97).trace(quasistatic_example_graph())
+        drive, x2 = trajectory.edge_trajectory(1)
+        drive, x3 = trajectory.edge_trajectory(2)
+        mid = len(drive) // 4
+        assert 0 < x2[mid] < 1.0
+        assert 0 < x3[mid] < 4.0
+        # Initially (low drive) x2 = x3 = Vflow / 9 per the paper's derivation.
+        small = 3
+        assert x2[small] == pytest.approx(drive[small] / 9.0, rel=0.05)
+        assert trajectory.points[small].flow_value == pytest.approx(
+            2.0 * drive[small] / 9.0, rel=0.05
+        )
+
+    def test_flow_curve_is_monotone(self):
+        trajectory = QuasiStaticAnalyzer(num_points=60).trace(paper_example_graph())
+        _, flow = trajectory.flow_curve()
+        assert all(b >= a - 1e-9 for a, b in zip(flow, flow[1:]))
+        assert flow[-1] == pytest.approx(2.0, rel=1e-3)
+
+
+class TestConvergenceMeasurement:
+    def make_compiled(self, gbw_hz=10e9, network=None, vflow=12.0):
+        from dataclasses import replace
+
+        params = replace(SubstrateParameters(), bleed_resistance_factor=1000.0)
+        nonideal = NonIdealityModel(parasitic_capacitance_f=20e-15, opamp_gbw_hz=gbw_hz)
+        solver = AnalogMaxFlowSolver(
+            parameters=params, quantize=False, nonideal=nonideal, style="device"
+        )
+        return solver.compile(network or paper_example_graph(), vflow_v=vflow)
+
+    def test_fig5_waveform_settles_to_maxflow(self):
+        measurement = measure_convergence_time(self.make_compiled(), num_steps=900)
+        assert measurement.converged
+        assert measurement.final_flow_value == pytest.approx(2.0, rel=0.05)
+        assert 1e-9 < measurement.convergence_time_s < 1e-6
+        # The flow rises monotonically overall: it starts near zero.
+        wave = measurement.flow_waveform
+        assert wave.values[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_higher_gbw_converges_faster(self):
+        slow = measure_convergence_time(self.make_compiled(10e9), num_steps=700)
+        fast = measure_convergence_time(self.make_compiled(50e9), num_steps=700)
+        assert fast.convergence_time_s < slow.convergence_time_s
+
+    def test_requires_dynamic_elements(self):
+        compiled = AnalogMaxFlowSolver(quantize=False).compile(paper_example_graph())
+        with pytest.raises(SimulationError):
+            measure_convergence_time(compiled)
+
+
+class TestConvergenceEstimator:
+    def test_estimate_scales_with_depth(self):
+        estimator = ConvergenceTimeEstimator()
+        params = SubstrateParameters()
+        shallow = rmat_graph(30, 200, seed=1)
+        from repro.graph import path_graph
+
+        deep = path_graph(10, [1.0] * 11)
+        assert estimator.estimate(deep, params) > estimator.estimate(shallow, params)
+
+    def test_estimate_scales_with_gbw_and_capacitance(self):
+        estimator = ConvergenceTimeEstimator()
+        params = SubstrateParameters()
+        g = paper_example_graph()
+        slow = estimator.estimate(g, params, NonIdealityModel(opamp_gbw_hz=10e9,
+                                                              parasitic_capacitance_f=20e-15))
+        fast = estimator.estimate(g, params, NonIdealityModel(opamp_gbw_hz=50e9,
+                                                              parasitic_capacitance_f=20e-15))
+        assert fast < slow
+
+    def test_calibration_reduces_prediction_error(self):
+        from dataclasses import replace
+
+        params = replace(SubstrateParameters(), bleed_resistance_factor=1000.0)
+        samples = []
+        for gbw in (10e9, 50e9):
+            nonideal = NonIdealityModel(parasitic_capacitance_f=20e-15, opamp_gbw_hz=gbw)
+            solver = AnalogMaxFlowSolver(
+                parameters=params, quantize=False, nonideal=nonideal, style="device"
+            )
+            compiled = solver.compile(paper_example_graph(), vflow_v=12.0)
+            measured = measure_convergence_time(compiled, num_steps=700)
+            samples.append((paper_example_graph(), params, nonideal, measured.convergence_time_s))
+
+        base = ConvergenceTimeEstimator()
+        calibrated = base.calibrate(samples)
+        for network, p, nonideal, measured in samples:
+            prediction = calibrated.estimate(network, p, nonideal)
+            assert prediction == pytest.approx(measured, rel=0.8)
+
+    def test_calibration_requires_samples(self):
+        with pytest.raises(SimulationError):
+            ConvergenceTimeEstimator().calibrate([])

@@ -1,0 +1,121 @@
+"""Tests for voltage-level quantization (Section 4.1, Fig. 8)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analog import VoltageQuantizer
+from repro.errors import QuantizationError
+from repro.graph import paper_example_graph, rmat_graph
+
+
+class TestFig8Example:
+    def test_paper_levels_with_rounding(self):
+        """Fig. 8: capacities (3, 2, 1) map to (1 V, 0.65 V, 0.35 V) at N=20."""
+        quantizer = VoltageQuantizer(num_levels=20, vdd=1.0, mode="round")
+        result = quantizer.quantize(paper_example_graph())
+        assert result.voltage_of_edge[0] == pytest.approx(1.0)
+        assert result.voltage_of_edge[1] == pytest.approx(0.65)
+        assert result.voltage_of_edge[2] == pytest.approx(0.35)
+        assert result.voltage_of_edge[3] == pytest.approx(0.35)
+        assert result.voltage_of_edge[4] == pytest.approx(0.65)
+
+    def test_floor_mode_matches_printed_formula(self):
+        quantizer = VoltageQuantizer(num_levels=20, vdd=1.0, mode="floor")
+        result = quantizer.quantize(paper_example_graph())
+        # floor(2/3 * 20)/20 = 13/20 and floor(1/3 * 20)/20 = 6/20.
+        assert result.voltage_of_edge[1] == pytest.approx(0.65)
+        assert result.voltage_of_edge[2] == pytest.approx(0.30)
+
+    def test_quantized_maxflow_of_example_is_2_1(self):
+        """The quantized instance's exact max flow equals the paper's 2.1."""
+        from repro.flows import dinic
+        from repro.graph import FlowNetwork
+
+        quantizer = VoltageQuantizer(num_levels=20, vdd=1.0, mode="round")
+        g = paper_example_graph()
+        result = quantizer.quantize(g)
+        quantized = FlowNetwork(g.source, g.sink)
+        for edge in g.edges():
+            quantized.add_edge(edge.tail, edge.head, result.quantized_capacity(edge.index))
+        assert dinic(quantized).flow_value == pytest.approx(2.1)
+
+
+class TestQuantizerMechanics:
+    def test_scale_round_trip(self):
+        quantizer = VoltageQuantizer(num_levels=20, vdd=1.0)
+        result = quantizer.quantize(paper_example_graph())
+        assert result.scale == pytest.approx(3.0)
+        assert result.to_flow(result.to_voltage(2.0)) == pytest.approx(2.0)
+
+    def test_step_and_worst_case_error(self):
+        quantizer = VoltageQuantizer(num_levels=20, vdd=1.0)
+        result = quantizer.quantize(paper_example_graph())
+        assert result.step_voltage == pytest.approx(0.05)
+        assert result.worst_case_edge_error == pytest.approx(3.0 / 20)
+
+    def test_max_capacity_maps_to_vdd(self):
+        quantizer = VoltageQuantizer(num_levels=10, vdd=2.0)
+        g = rmat_graph(20, 60, seed=1)
+        result = quantizer.quantize(g)
+        top_edges = [e.index for e in g.edges() if e.capacity == g.max_capacity()]
+        for index in top_edges:
+            assert result.voltage_of_edge[index] == pytest.approx(2.0)
+
+    def test_zero_promotion_option(self):
+        quantizer = VoltageQuantizer(num_levels=10, vdd=1.0, clamp_zero_to_first_level=True)
+        assert quantizer.level_of(0.01, 100.0) == 1
+        plain = VoltageQuantizer(num_levels=10, vdd=1.0)
+        assert plain.level_of(0.01, 100.0) == 0
+
+    def test_identity_mode_preserves_ratios(self):
+        quantizer = VoltageQuantizer(num_levels=20, vdd=1.0)
+        result = quantizer.identity(paper_example_graph())
+        assert result.voltage_of_edge[1] == pytest.approx(2.0 / 3.0)
+        assert result.scale == pytest.approx(3.0)
+
+    def test_uncapacitated_edges_are_skipped(self):
+        from repro.graph import FlowNetwork
+
+        g = FlowNetwork()
+        g.add_edge("s", "a", 4.0)
+        g.add_edge("a", "t", float("inf"))
+        result = VoltageQuantizer(num_levels=8).quantize(g)
+        assert 0 in result.voltage_of_edge
+        assert 1 not in result.voltage_of_edge
+
+    @pytest.mark.parametrize("kwargs", [dict(num_levels=1), dict(vdd=0.0), dict(mode="bogus")])
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(QuantizationError):
+            VoltageQuantizer(**kwargs)
+
+    def test_levels_out_of_range_rejected(self):
+        quantizer = VoltageQuantizer(num_levels=8)
+        with pytest.raises(QuantizationError):
+            quantizer.voltage_of_level(9)
+        with pytest.raises(QuantizationError):
+            quantizer.level_of(-1.0, 10.0)
+
+
+class TestQuantizationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        capacity=st.floats(min_value=0.0, max_value=100.0),
+        levels=st.integers(min_value=2, max_value=128),
+    )
+    def test_per_edge_error_bounded_by_one_step(self, capacity, levels):
+        quantizer = VoltageQuantizer(num_levels=levels, vdd=1.0, mode="round")
+        max_capacity = 100.0
+        level = quantizer.level_of(capacity, max_capacity)
+        quantized = quantizer.voltage_of_level(level) * max_capacity / 1.0
+        assert abs(quantized - capacity) <= max_capacity / levels + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(levels=st.integers(min_value=2, max_value=64), seed=st.integers(0, 1000))
+    def test_quantized_instance_error_shrinks_with_levels(self, levels, seed):
+        """Quantizing with more levels never increases the worst-case bound."""
+        g = rmat_graph(15, 40, seed=seed)
+        coarse = VoltageQuantizer(num_levels=levels).quantize(g)
+        fine = VoltageQuantizer(num_levels=levels * 2).quantize(g)
+        assert fine.worst_case_edge_error <= coarse.worst_case_edge_error + 1e-12

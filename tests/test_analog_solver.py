@@ -1,0 +1,192 @@
+"""End-to-end tests of the analog max-flow solver (the paper's core claim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analog import AnalogMaxFlowSolver, FlowReadout
+from repro.analog.verification import evaluate_solution
+from repro.config import NonIdealityModel
+from repro.errors import CircuitError
+from repro.flows import dinic
+from repro.graph import (
+    FlowNetwork,
+    paper_example_graph,
+    parallel_paths_graph,
+    path_graph,
+    quasistatic_example_graph,
+    rmat_graph,
+)
+
+
+def ideal_solver(**kwargs) -> AnalogMaxFlowSolver:
+    defaults = dict(quantize=False, adaptive_drive=True)
+    defaults.update(kwargs)
+    return AnalogMaxFlowSolver(**defaults)
+
+
+class TestOptimalityUnderIdealAssumptions:
+    """Section 2's claim: the ideal circuit's steady state is the max flow."""
+
+    @pytest.mark.parametrize(
+        "network, expected",
+        [
+            (paper_example_graph(), 2.0),
+            (quasistatic_example_graph(), 4.0),
+            (path_graph(3, [5.0, 2.0, 7.0, 4.0]), 2.0),
+            (parallel_paths_graph(3, path_length=2, capacity=1.0), 3.0),
+        ],
+        ids=["fig5", "fig15", "path", "parallel"],
+    )
+    def test_known_instances(self, network, expected):
+        result = ideal_solver().solve(network)
+        assert result.flow_value == pytest.approx(expected, rel=1e-3)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rmat_instances_match_exact(self, seed):
+        network = rmat_graph(30, 110, seed=seed)
+        exact = dinic(network).flow_value
+        result = ideal_solver().solve(network)
+        assert result.flow_value == pytest.approx(exact, rel=2e-3)
+
+    def test_edge_flows_are_a_feasible_maxflow(self):
+        network = rmat_graph(25, 90, seed=9)
+        result = ideal_solver().solve(network)
+        quality = result.quality(network)
+        assert quality.max_capacity_violation < 1e-3
+        assert quality.max_conservation_violation < 1e-2
+
+    def test_paper_example_edge_flows(self):
+        result = ideal_solver().solve(paper_example_graph())
+        flows = result.edge_flows
+        assert flows[0] == pytest.approx(2.0, abs=1e-2)
+        assert flows[2] == pytest.approx(1.0, abs=1e-2)
+        assert flows[3] == pytest.approx(1.0, abs=1e-2)
+
+
+class TestReadout:
+    def test_voltage_and_current_readouts_agree(self):
+        result = ideal_solver().solve(paper_example_graph())
+        assert result.flow_value == pytest.approx(result.flow_value_from_current, rel=1e-6)
+
+    def test_disconnected_graph_gives_zero(self):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 2.0)
+        g.add_vertex("t")
+        result = AnalogMaxFlowSolver().solve(g)
+        assert result.flow_value == 0.0
+        assert all(v == 0.0 for v in result.edge_flows.values())
+
+    def test_pruned_edges_report_zero_flow(self):
+        g = paper_example_graph()
+        g.add_edge("n1", "dead", 5.0)
+        result = ideal_solver().solve(g)
+        assert result.edge_flows[5] == 0.0
+
+    def test_flow_waveform_requires_transient(self):
+        compiled = ideal_solver().compile(paper_example_graph())
+        readout = FlowReadout(compiled)
+        with pytest.raises(CircuitError):
+            readout.edge_voltages({"bogus": 1.0})
+
+
+class TestDriveVoltage:
+    def test_insufficient_drive_underestimates(self):
+        """Table 1's literal 3 V under-drives this instance (see EXPERIMENTS.md)."""
+        network = paper_example_graph()
+        low = AnalogMaxFlowSolver(quantize=False).solve(network, vflow_v=3.0)
+        high = AnalogMaxFlowSolver(quantize=False).solve(network, vflow_v=12.0)
+        assert low.flow_value < high.flow_value
+        assert high.flow_value == pytest.approx(2.0, rel=1e-3)
+
+    def test_flow_monotone_in_drive(self):
+        network = rmat_graph(20, 70, seed=3)
+        values = [
+            AnalogMaxFlowSolver(quantize=False).solve(network, vflow_v=v).flow_value
+            for v in (2.0, 4.0, 8.0, 16.0)
+        ]
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+
+    def test_adaptive_drive_reaches_optimum(self):
+        network = rmat_graph(20, 70, seed=3)
+        exact = dinic(network).flow_value
+        result = ideal_solver().solve(network)
+        assert result.flow_value == pytest.approx(exact, rel=2e-3)
+        assert result.vflow_v > 3.0
+
+
+class TestQuantizedAccuracy:
+    """Fig. 10's relative-error claim: errors of a few percent at N = 20."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_error_within_paper_band(self, seed):
+        network = rmat_graph(40, 140, seed=seed)
+        exact = dinic(network).flow_value
+        result = AnalogMaxFlowSolver(quantize=True, adaptive_drive=True).solve(network)
+        quality = evaluate_solution(network, result.flow_value, result.edge_flows, exact)
+        assert quality.relative_error < 0.08
+
+    def test_more_levels_reduce_error(self):
+        network = rmat_graph(40, 140, seed=5)
+        exact = dinic(network).flow_value
+
+        def error(levels):
+            from repro.config import SubstrateParameters
+
+            params = SubstrateParameters().with_voltage_levels(levels)
+            solver = AnalogMaxFlowSolver(parameters=params, quantize=True, adaptive_drive=True)
+            return solver.solve(network).quality(network, exact).relative_error
+
+        coarse = error(5)
+        fine = error(80)
+        assert fine <= coarse + 1e-9
+        assert fine < 0.03
+
+
+class TestNonIdealities:
+    def test_finite_gain_error_is_small(self):
+        """Section 4.2: gain of 1e4 keeps the solution essentially unchanged."""
+        network = paper_example_graph()
+        ideal = AnalogMaxFlowSolver(quantize=False).solve(network, vflow_v=6.0)
+        finite = AnalogMaxFlowSolver(quantize=False, style="finite-gain").solve(
+            network, vflow_v=6.0
+        )
+        assert finite.flow_value == pytest.approx(ideal.flow_value, rel=0.02)
+
+    def test_matching_beats_unmatched_variation(self):
+        """Section 4.3.1: matched mismatch hurts far less than raw tolerance."""
+        network = rmat_graph(25, 80, seed=7)
+        exact = dinic(network).flow_value
+
+        def mean_error(use_matching):
+            errors = []
+            for seed in range(3):
+                ni = NonIdealityModel(
+                    resistor_tolerance=0.25,
+                    resistor_matching=0.002,
+                    use_matching=use_matching,
+                    seed=seed,
+                )
+                from dataclasses import replace
+
+                from repro.config import SubstrateParameters
+
+                params = replace(SubstrateParameters(), bleed_resistance_factor=1000.0)
+                solver = AnalogMaxFlowSolver(
+                    parameters=params, quantize=False, nonideal=ni, seed=seed
+                )
+                result = solver.solve(network, vflow_v=4.0)
+                errors.append(result.quality(network, exact).relative_error)
+            return sum(errors) / len(errors)
+
+        assert mean_error(True) < mean_error(False)
+
+    def test_diode_drop_compensation(self):
+        network = paper_example_graph()
+        ni = NonIdealityModel(diode_forward_voltage_v=0.3)
+        result = AnalogMaxFlowSolver(quantize=False, nonideal=ni, adaptive_drive=True).solve(network)
+        assert result.flow_value == pytest.approx(2.0, rel=0.05)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(CircuitError):
+            AnalogMaxFlowSolver().solve(paper_example_graph(), method="quantum")

@@ -1,0 +1,176 @@
+"""Tests for circuit elements, waveforms and the netlist container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    ConstantWaveform,
+    CurrentSource,
+    Diode,
+    GROUND,
+    Memristor,
+    MemristorState,
+    OpAmp,
+    PiecewiseLinearWaveform,
+    RampWaveform,
+    Resistor,
+    StepWaveform,
+    Switch,
+    VCVS,
+    VoltageSource,
+    Waveform,
+    settling_time,
+)
+from repro.config import MemristorParameters
+from repro.errors import NetlistError, ProgrammingError, SimulationError
+
+
+class TestWaveforms:
+    def test_constant(self):
+        wave = ConstantWaveform(2.5)
+        assert wave(0.0) == 2.5 and wave(1e9) == 2.5
+        assert wave.dc_value == 2.5
+
+    def test_step(self):
+        wave = StepWaveform(final=3.0, initial=1.0, delay=1e-9, rise_time=1e-9)
+        assert wave(0.0) == 1.0
+        assert wave(1.5e-9) == pytest.approx(2.0)
+        assert wave(5e-9) == 3.0
+        assert wave.dc_value == 3.0
+
+    def test_ramp(self):
+        wave = RampWaveform(final=10.0, duration=10.0)
+        assert wave(5.0) == pytest.approx(5.0)
+        assert wave(20.0) == 10.0
+
+    def test_pwl(self):
+        wave = PiecewiseLinearWaveform([(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)])
+        assert wave(0.5) == pytest.approx(1.0)
+        assert wave(2.0) == pytest.approx(2.0)
+        assert wave(10.0) == 2.0
+        with pytest.raises(NetlistError):
+            PiecewiseLinearWaveform([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_waveform_container_and_settling(self):
+        import numpy as np
+
+        times = np.linspace(0, 1, 101)
+        values = 1.0 - np.exp(-times / 0.1)
+        wave = Waveform(times, values, name="rc")
+        assert wave.final_value == pytest.approx(1.0, abs=1e-3)
+        # 1 % band around the final sample (~0.99995) is entered at about
+        # -tau * ln(0.01) ~ 0.46 s.
+        assert 0.40 < wave.settling_time(1e-2) < 0.55
+        assert wave.value_at(0.1) == pytest.approx(1 - 2.718281828 ** -1, abs=1e-2)
+        assert settling_time(times, np.ones_like(times)) == 0.0
+
+    def test_settling_time_unsettled_is_infinite(self):
+        import numpy as np
+
+        times = np.linspace(0, 1, 50)
+        values = times  # keeps growing; last sample defines the reference
+        assert settling_time(times, values, tolerance=1e-6, reference=2.0) == float("inf")
+
+    def test_waveform_validation(self):
+        with pytest.raises(SimulationError):
+            Waveform([0.0, 1.0], [1.0])
+
+
+class TestElements:
+    def test_resistor_rejects_zero(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_negative_resistor_flag(self):
+        assert Resistor("R1", "a", "b", -100.0).is_negative
+        assert not Resistor("R2", "a", "b", 100.0).is_negative
+
+    def test_capacitor_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C1", "a", "b", 0.0)
+
+    def test_switch_resistance_depends_on_state(self):
+        switch = Switch("S1", "a", "b", closed=False)
+        open_resistance = switch.resistance
+        switch.closed = True
+        assert switch.resistance < open_resistance
+
+    def test_diode_states(self):
+        diode = Diode("D1", "a", "b")
+        assert diode.should_conduct(1.0, 0.0)
+        assert not diode.should_conduct(-0.5, 0.0)
+        assert diode.conductance(True) > diode.conductance(False)
+
+    def test_opamp_properties(self):
+        amp = OpAmp("U1", "p", "m", "o")
+        assert amp.open_loop_gain == 1e4
+        assert amp.time_constant > 0
+        assert amp.power_w == pytest.approx(500e-6)
+
+
+class TestMemristor:
+    def test_programming_with_pulses(self):
+        device = Memristor("M1", "a", "b")
+        assert device.state is MemristorState.HRS
+        changed = device.apply_pulse(2.0, 20e-9)
+        assert changed and device.is_on
+        assert device.resistance == pytest.approx(10e3)
+        changed = device.apply_pulse(-2.0, 20e-9)
+        assert changed and not device.is_on
+
+    def test_subthreshold_pulse_ignored(self):
+        device = Memristor("M1", "a", "b")
+        assert not device.apply_pulse(0.5, 20e-9)
+        assert not device.apply_pulse(2.0, 1e-12)  # too short
+        assert device.state is MemristorState.HRS
+
+    def test_tuning_requires_lrs(self):
+        device = Memristor("M1", "a", "b")
+        with pytest.raises(ProgrammingError):
+            device.tune(9000.0)
+        device.apply_pulse(2.0, 20e-9)
+        achieved = device.tune(9990.0)
+        assert achieved == pytest.approx(9990.0, abs=device.parameters.tuning_resolution_ohm)
+
+    def test_drift_moves_towards_hrs(self):
+        device = Memristor(
+            "M1", "a", "b", parameters=MemristorParameters(retention_drift_per_s=1e-3)
+        )
+        device.apply_pulse(2.0, 20e-9)
+        before = device.resistance
+        after = device.drift(1000.0)
+        assert after > before
+
+
+class TestCircuitContainer:
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit()
+        circuit.add(Resistor("R1", "a", GROUND, 100.0))
+        with pytest.raises(NetlistError):
+            circuit.add(Resistor("R1", "b", GROUND, 100.0))
+
+    def test_validation_detects_floating_node(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", GROUND, 1.0))
+        circuit.add(Resistor("R1", "in", "mid", 100.0))
+        problems = circuit.validate()
+        assert any("mid" in p for p in problems)
+
+    def test_validation_passes_for_closed_circuit(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", GROUND, 1.0))
+        circuit.add(Resistor("R1", "in", GROUND, 100.0))
+        assert circuit.validate() == []
+
+    def test_summary_and_lookup(self):
+        circuit = Circuit("test")
+        circuit.add(Resistor("R1", "a", GROUND, 100.0))
+        circuit.add(Resistor("R2", "a", GROUND, 100.0))
+        circuit.add(Capacitor("C1", "a", GROUND, 1e-12))
+        assert circuit.summary() == {"Resistor": 2, "Capacitor": 1}
+        assert circuit.element("C1").capacitance == 1e-12
+        assert len(circuit.connected_elements("a")) == 3
+        assert "R1" in circuit.to_spice()

@@ -1,0 +1,215 @@
+"""Tests for the MNA assembler, DC operating point and transient simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    DCOperatingPoint,
+    Diode,
+    GROUND,
+    MNASystem,
+    OpAmp,
+    Resistor,
+    StepWaveform,
+    TransientSimulator,
+    VCVS,
+    VoltageSource,
+    CurrentSource,
+    dc_sweep,
+    equivalent_resistance,
+    is_passive_at,
+)
+from repro.config import OpAmpParameters
+from repro.errors import SimulationError, SingularCircuitError
+
+
+def divider() -> Circuit:
+    circuit = Circuit("divider")
+    circuit.add(VoltageSource("V1", "in", GROUND, 10.0))
+    circuit.add(Resistor("R1", "in", "mid", 1000.0))
+    circuit.add(Resistor("R2", "mid", GROUND, 1000.0))
+    return circuit
+
+
+class TestDCOperatingPoint:
+    def test_voltage_divider(self):
+        solution = DCOperatingPoint().solve(divider())
+        assert solution.voltage("mid") == pytest.approx(5.0)
+        # 5 mA is delivered by the source (branch current is negative by the
+        # SPICE convention: it flows from + through the source).
+        assert solution.current("V1") == pytest.approx(-0.005)
+
+    def test_current_source(self):
+        circuit = Circuit()
+        circuit.add(CurrentSource("I1", GROUND, "a", 1e-3))
+        circuit.add(Resistor("R1", "a", GROUND, 2000.0))
+        solution = DCOperatingPoint().solve(circuit)
+        assert solution.voltage("a") == pytest.approx(2.0)
+
+    def test_vcvs(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", GROUND, 1.0))
+        circuit.add(Resistor("Rload_in", "in", GROUND, 1e6))
+        circuit.add(VCVS("E1", "out", GROUND, "in", GROUND, gain=5.0))
+        circuit.add(Resistor("Rload", "out", GROUND, 1000.0))
+        solution = DCOperatingPoint().solve(circuit)
+        assert solution.voltage("out") == pytest.approx(5.0)
+
+    def test_diode_clamp(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", GROUND, 5.0))
+        circuit.add(Resistor("R1", "in", "x", 1000.0))
+        circuit.add(VoltageSource("Vc", "clamp", GROUND, 2.0))
+        circuit.add(Diode("D1", "x", "clamp"))
+        solution = DCOperatingPoint().solve(circuit)
+        assert solution.voltage("x") == pytest.approx(2.0, abs=1e-2)
+        assert solution.diode_states["D1"] is True
+
+    def test_diode_off_when_reverse_biased(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", GROUND, 1.0))
+        circuit.add(Resistor("R1", "in", "x", 1000.0))
+        circuit.add(VoltageSource("Vc", "clamp", GROUND, 2.0))
+        circuit.add(Diode("D1", "x", "clamp"))
+        solution = DCOperatingPoint().solve(circuit)
+        assert solution.voltage("x") == pytest.approx(1.0, abs=1e-3)
+        assert solution.diode_states["D1"] is False
+
+    def test_negative_resistor(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", GROUND, 1.0))
+        circuit.add(Resistor("R1", "in", "a", 1000.0))
+        circuit.add(Resistor("RN", "a", GROUND, -2000.0))
+        solution = DCOperatingPoint().solve(circuit)
+        assert solution.voltage("a") == pytest.approx(2.0)
+
+    def test_opamp_finite_gain_follower(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "vin", GROUND, 1.0))
+        circuit.add(OpAmp("U1", "vin", "vout", "vout", parameters=OpAmpParameters(open_loop_gain=1e3)))
+        circuit.add(Resistor("RL", "vout", GROUND, 1e4))
+        solution = DCOperatingPoint().solve(circuit)
+        assert solution.voltage("vout") == pytest.approx(1.0, rel=2e-3)
+        assert solution.voltage("vout") < 1.0  # finite-gain error is negative
+
+    def test_singular_circuit_detected(self):
+        circuit = Circuit()
+        circuit.add(CurrentSource("I1", GROUND, "a", 1e-3))
+        circuit.add(Capacitor("C1", "a", GROUND, 1e-12))  # no DC path to ground
+        with pytest.raises(SingularCircuitError):
+            DCOperatingPoint().solve(circuit)
+
+    def test_warm_start_states_accepted(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", GROUND, 5.0))
+        circuit.add(Resistor("R1", "in", "x", 1000.0))
+        circuit.add(Diode("D1", GROUND, "x"))
+        solution = DCOperatingPoint().solve(circuit, initial_states={"D1": True})
+        assert solution.voltage("x") == pytest.approx(5.0, abs=1e-3)
+        assert solution.diode_states["D1"] is False
+
+
+class TestMNASystem:
+    def test_size_accounts_for_branches(self):
+        system = MNASystem(divider())
+        # two non-ground nodes + one voltage-source branch
+        assert system.size == 3
+
+    def test_voltages_dict(self):
+        circuit = divider()
+        system = MNASystem(circuit)
+        solution = DCOperatingPoint().solve(circuit, mna=system)
+        voltages = solution.voltages
+        assert voltages[GROUND] == 0.0
+        assert set(voltages) == {GROUND, "in", "mid"}
+
+    def test_invalid_dt_rejected(self):
+        system = MNASystem(divider())
+        with pytest.raises(SimulationError):
+            system.matrix(dt=-1.0)
+        with pytest.raises(SimulationError):
+            system.rhs(dt=1e-9, previous=None)
+
+
+class TestTransient:
+    def test_rc_step_response(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", GROUND, StepWaveform(1.0)))
+        circuit.add(Resistor("R1", "in", "out", 1000.0))
+        circuit.add(Capacitor("C1", "out", GROUND, 1e-9))
+        result = TransientSimulator().run(circuit, t_stop=10e-6, dt=10e-9)
+        wave = result.voltage("out")
+        tau = 1e-6
+        assert wave.value_at(tau) == pytest.approx(1 - np.exp(-1), abs=0.02)
+        assert wave.final_value == pytest.approx(1.0, abs=1e-3)
+        # 0.1 % settling of a single pole happens at about 6.9 tau.
+        assert wave.settling_time(1e-3) == pytest.approx(6.9 * tau, rel=0.15)
+
+    def test_opamp_follower_bandwidth(self):
+        def settle_for(gbw):
+            circuit = Circuit()
+            circuit.add(VoltageSource("V1", "vin", GROUND, StepWaveform(1.0)))
+            circuit.add(
+                OpAmp("U1", "vin", "vout", "vout", parameters=OpAmpParameters(gbw_hz=gbw))
+            )
+            circuit.add(Resistor("RL", "vout", GROUND, 1e4))
+            result = TransientSimulator().run(circuit, t_stop=3e-9, dt=1e-12)
+            return result.voltage("vout").settling_time(1e-3)
+
+        slow = settle_for(10e9)
+        fast = settle_for(50e9)
+        assert fast < slow
+        assert slow / fast == pytest.approx(5.0, rel=0.3)
+
+    def test_diode_clamp_transient(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", GROUND, StepWaveform(5.0)))
+        circuit.add(Resistor("R1", "in", "x", 1000.0))
+        circuit.add(Capacitor("C1", "x", GROUND, 1e-12))
+        circuit.add(VoltageSource("Vc", "clamp", GROUND, 2.0))
+        circuit.add(Diode("D1", "x", "clamp"))
+        result = TransientSimulator().run(circuit, t_stop=50e-9, dt=0.05e-9)
+        assert result.voltage("x").final_value == pytest.approx(2.0, abs=0.01)
+        assert result.diode_state_changes >= 1
+
+    def test_record_subset_and_currents(self):
+        circuit = divider()
+        circuit.add(Capacitor("C1", "mid", GROUND, 1e-12))
+        result = TransientSimulator().run(
+            circuit, t_stop=1e-9, dt=1e-11, record_nodes=["mid"], record_currents=["V1"]
+        )
+        assert set(result.node_voltages) == {"mid"}
+        assert "V1" in result.branch_currents
+        with pytest.raises(SimulationError):
+            result.voltage("in")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            TransientSimulator().run(divider(), t_stop=0.0, dt=1e-9)
+        with pytest.raises(SimulationError):
+            TransientSimulator().run(divider(), t_stop=1e-9, dt=1e-9, record_nodes=["zzz"])
+
+
+class TestAnalysisHelpers:
+    def test_equivalent_resistance_of_divider(self):
+        assert equivalent_resistance(divider(), "mid") == pytest.approx(500.0)
+        assert is_passive_at(divider(), "mid")
+
+    def test_equivalent_resistance_with_negative_branch(self):
+        circuit = Circuit()
+        circuit.add(Resistor("R1", "a", GROUND, 1000.0))
+        circuit.add(Resistor("RN", "a", GROUND, -2000.0))
+        # parallel of 1k and -2k -> 2k
+        assert equivalent_resistance(circuit, "a") == pytest.approx(2000.0)
+
+    def test_dc_sweep_restores_waveform(self):
+        circuit = divider()
+        source = circuit.element("V1")
+        original = source.waveform
+        solutions = dc_sweep(circuit, "V1", [1.0, 2.0, 3.0])
+        assert [s.voltage("mid") for s in solutions] == pytest.approx([0.5, 1.0, 1.5])
+        assert source.waveform is original

@@ -1,0 +1,136 @@
+"""Tests for the clustered island architectures, placement, routing and area."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crossbar import (
+    AreaModel,
+    ArchitectureStyle,
+    ClusteredArchitecture,
+    place_network,
+    route_placement,
+)
+from repro.errors import ConfigurationError, MappingError
+from repro.graph import rmat_graph, sparse_random_graph
+
+
+class TestArchitecture:
+    def test_capacities(self):
+        arch = ClusteredArchitecture(num_islands=4, island_size=10)
+        assert arch.total_vertex_capacity == 40
+        assert arch.total_cell_count == 400
+        assert arch.monolithic_cell_count() == 1600
+        assert arch.cell_savings() == pytest.approx(4.0)
+
+    def test_island_positions_1d_vs_2d(self):
+        one_d = ClusteredArchitecture(num_islands=4, island_size=8, style="1d")
+        two_d = ClusteredArchitecture(num_islands=4, island_size=8, style="2d")
+        assert all(island.position[0] == 0 for island in one_d.islands())
+        assert two_d.grid_side == 2
+        assert {island.position for island in two_d.islands()} == {
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        }
+
+    def test_distance_metric(self):
+        arch = ClusteredArchitecture(num_islands=9, island_size=4, style="2d")
+        assert arch.island_distance(0, 8) == 4
+        one_d = ClusteredArchitecture(num_islands=9, island_size=4, style="1d")
+        assert one_d.island_distance(0, 8) == 8
+
+    def test_channel_segments(self):
+        one_d = ClusteredArchitecture(num_islands=4, island_size=4, style="1d")
+        assert len(one_d.channel_segments()) == 3
+        two_d = ClusteredArchitecture(num_islands=4, island_size=4, style="2d")
+        assert len(two_d.channel_segments()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredArchitecture(num_islands=0, island_size=4)
+        with pytest.raises(ConfigurationError):
+            ClusteredArchitecture(num_islands=2, island_size=1)
+        with pytest.raises(ConfigurationError):
+            ClusteredArchitecture(num_islands=2, island_size=4, style="3d")
+
+
+class TestPlacement:
+    def test_every_vertex_assigned_and_capacity_respected(self):
+        network = sparse_random_graph(60, 4.0, seed=2)
+        arch = ClusteredArchitecture(num_islands=8, island_size=12)
+        placement = place_network(network, arch, seed=1)
+        assert set(placement.island_of_vertex) == set(network.vertices())
+        assert placement.max_utilisation() <= 1.0
+        assert placement.num_cut_edges + len(placement.internal_edges) == network.num_edges
+
+    def test_refinement_reduces_or_keeps_cut(self):
+        network = sparse_random_graph(60, 4.0, seed=5)
+        arch = ClusteredArchitecture(num_islands=6, island_size=16)
+        rough = place_network(network, arch, refinement_passes=0, seed=3)
+        refined = place_network(network, arch, refinement_passes=6, seed=3)
+        assert refined.num_cut_edges <= rough.num_cut_edges
+
+    def test_too_large_network_rejected(self):
+        network = rmat_graph(50, 150, seed=1)
+        arch = ClusteredArchitecture(num_islands=2, island_size=10)
+        with pytest.raises(MappingError):
+            place_network(network, arch)
+
+
+class TestRouting:
+    def test_2d_less_congested_than_1d(self):
+        """Section 6.2's hypothesis: 1-D routing saturates before 2-D routing."""
+        network = sparse_random_graph(64, 4.0, seed=7)
+        results = {}
+        for style in ("1d", "2d"):
+            arch = ClusteredArchitecture(num_islands=8, island_size=12, style=style,
+                                         channel_width=16)
+            placement = place_network(network, arch, seed=1)
+            results[style] = route_placement(network, placement)
+        assert results["2d"].max_occupancy <= results["1d"].max_occupancy
+        assert results["1d"].routed_edges == results["2d"].routed_edges
+
+    def test_routability_flag(self):
+        network = sparse_random_graph(40, 3.0, seed=9)
+        arch = ClusteredArchitecture(num_islands=4, island_size=16, channel_width=1)
+        placement = place_network(network, arch, seed=1)
+        narrow = route_placement(network, placement)
+        wide_arch = ClusteredArchitecture(num_islands=4, island_size=16, channel_width=1000)
+        wide_placement = place_network(network, wide_arch, seed=1)
+        wide = route_placement(network, wide_placement)
+        assert wide.routable
+        assert narrow.required_channel_width() >= wide.max_occupancy
+        summary = narrow.summary()
+        assert summary["routed_edges"] == narrow.routed_edges
+
+    def test_no_cut_edges_trivially_routable(self):
+        from repro.graph import path_graph
+
+        network = path_graph(2, [1.0, 1.0, 1.0])
+        arch = ClusteredArchitecture(num_islands=2, island_size=4)
+        placement = place_network(network, arch, seed=0)
+        result = route_placement(network, placement)
+        assert result.max_occupancy >= 0
+        assert result.routable or result.max_occupancy > arch.channel_width
+
+
+class TestAreaModel:
+    def test_memristor_advantage(self):
+        model = AreaModel()
+        assert model.memristor_vs_sram_ratio() > 1.0
+        comparison = model.comparison(1000, 1000)
+        assert comparison["sram_crossbar_mm2"] > comparison["memristor_crossbar_mm2"]
+
+    def test_clustered_smaller_than_monolithic(self):
+        model = AreaModel()
+        arch = ClusteredArchitecture(num_islands=8, island_size=16, channel_width=8)
+        clustered = model.clustered_area_um2(arch)
+        monolithic = model.crossbar_area_um2(
+            arch.total_vertex_capacity, arch.total_vertex_capacity
+        )
+        assert clustered < monolithic
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AreaModel(memristor_switch_f2=0.0)
+        with pytest.raises(ConfigurationError):
+            AreaModel().cell_area_f2("nvm")

@@ -1,0 +1,139 @@
+"""Tests for the crossbar substrate, programming protocol and mapping."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.circuit import MemristorState
+from repro.config import SubstrateParameters
+from repro.crossbar import (
+    CrossbarSubstrate,
+    ProgrammingProtocol,
+    map_network_to_crossbar,
+)
+from repro.errors import CrossbarCapacityError, MappingError, ProgrammingError
+from repro.graph import FlowNetwork, paper_example_graph, rmat_graph
+
+
+def small_substrate(size: int = 32) -> CrossbarSubstrate:
+    return CrossbarSubstrate(replace(SubstrateParameters(), rows=size, columns=size))
+
+
+class TestSubstrate:
+    def test_lazy_materialisation(self):
+        substrate = small_substrate()
+        assert len(substrate.materialised_cells()) == 0
+        cell = substrate.cell(3, 4)
+        assert cell.row == 3 and cell.column == 4
+        assert len(substrate.materialised_cells()) == 1
+        assert substrate.cell(3, 4) is cell
+
+    def test_out_of_range_cell(self):
+        with pytest.raises(CrossbarCapacityError):
+            small_substrate(8).cell(9, 0)
+
+    def test_reset_clears_state(self):
+        substrate = small_substrate()
+        cell = substrate.cell(1, 2)
+        cell.switch.force_state(MemristorState.LRS)
+        cell.assign(0, 5)
+        substrate.reset()
+        assert not cell.is_programmed
+        assert not cell.is_used
+
+    def test_occupancy_report(self):
+        substrate = small_substrate(16)
+        substrate.cell(1, 2).switch.force_state(MemristorState.LRS)
+        report = substrate.occupancy_report()
+        assert report["programmed_cells"] == 1
+        assert 0 < report["utilisation"] < 0.01
+
+    def test_hrs_leakage_scales_with_subgrid(self):
+        substrate = small_substrate(32)
+        small = substrate.hrs_leakage_conductance(4)
+        large = substrate.hrs_leakage_conductance(16)
+        assert large > small > 0
+
+
+class TestProgrammingProtocol:
+    def test_voltage_margins_validated(self):
+        substrate = small_substrate()
+        with pytest.raises(ProgrammingError):
+            ProgrammingProtocol(v_high=0.4, v_low=-0.4).validate_voltages(substrate)
+        with pytest.raises(ProgrammingError):
+            ProgrammingProtocol(v_high=1.5, v_low=-1.5).validate_voltages(substrate)
+        set_margin, disturb_margin = ProgrammingProtocol(0.9, -0.9).validate_voltages(substrate)
+        assert set_margin > 0 and disturb_margin > 0
+
+    def test_program_selected_cells_only(self):
+        substrate = small_substrate()
+        targets = {(1, 2): True, (2, 3): True, (1, 3): False}
+        # Materialise the off-target cell so disturb tracking can see it.
+        substrate.cell(1, 3)
+        report = ProgrammingProtocol().program(substrate, targets)
+        assert report.success
+        assert substrate.cell(1, 2).is_programmed
+        assert substrate.cell(2, 3).is_programmed
+        assert not substrate.cell(1, 3).is_programmed
+        assert report.set_pulses == 2
+        assert report.half_selected_cells > 0
+        assert report.programming_time_s > 0
+
+    def test_reprogramming_erases_previous_pattern(self):
+        substrate = small_substrate()
+        protocol = ProgrammingProtocol()
+        protocol.program(substrate, {(1, 2): True})
+        report = protocol.program(substrate, {(2, 3): True})
+        assert report.success
+        assert not substrate.cell(1, 2).is_programmed
+        assert substrate.cell(2, 3).is_programmed
+
+    def test_cycle_count_matches_rows_with_targets(self):
+        substrate = small_substrate()
+        report = ProgrammingProtocol().program(
+            substrate, {(0, 3): True, (0, 5): True, (4, 2): True}
+        )
+        assert report.cycles == 2  # rows 0 and 4
+
+
+class TestMapping:
+    def test_paper_example_layout(self):
+        substrate = small_substrate()
+        g = paper_example_graph()
+        mapping = map_network_to_crossbar(g, substrate)
+        # The source edge sits on the objective row 0 (Fig. 6).
+        assert mapping.cell_of_edge[0][0] == 0
+        # Every edge has a distinct cell.
+        assert len(set(mapping.cell_of_edge.values())) == g.num_edges
+        assert mapping.occupied_cells == g.num_edges
+
+    def test_capacity_limit_enforced(self):
+        substrate = small_substrate(8)
+        with pytest.raises(CrossbarCapacityError):
+            map_network_to_crossbar(rmat_graph(20, 60, seed=1), substrate)
+
+    def test_parallel_edges_merged(self):
+        substrate = small_substrate()
+        g = FlowNetwork()
+        g.add_edge("s", "a", 1.0)
+        g.add_edge("s", "a", 2.0)
+        g.add_edge("a", "t", 4.0)
+        mapping = map_network_to_crossbar(g, substrate)
+        assert mapping.network.num_edges == 2
+        assert mapping.network.max_capacity() == 4.0
+
+    def test_bfs_ordering_accepted(self):
+        substrate = small_substrate()
+        mapping = map_network_to_crossbar(paper_example_graph(), substrate, ordering="bfs")
+        assert mapping.index_of_vertex["s"] == 1
+        with pytest.raises(MappingError):
+            map_network_to_crossbar(paper_example_graph(), small_substrate(), ordering="zzz")
+
+    def test_target_pattern_matches_cells(self):
+        substrate = small_substrate()
+        mapping = map_network_to_crossbar(paper_example_graph(), substrate)
+        pattern = mapping.target_pattern()
+        assert all(pattern[coords] for coords in mapping.cell_of_edge.values())
+        assert len(pattern) == mapping.occupied_cells

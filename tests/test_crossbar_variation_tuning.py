@@ -1,0 +1,126 @@
+"""Tests for the process-variation model and the resistance-tuning procedure."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analog import MaxFlowCircuitCompiler, FlowReadout
+from repro.circuit import DCOperatingPoint
+from repro.config import MemristorParameters, NonIdealityModel
+from repro.crossbar import ProcessVariationModel, ResistanceTuner
+from repro.crossbar.tuning import negation_error
+from repro.errors import ConfigurationError, SubstrateError
+from repro.flows import dinic
+from repro.graph import rmat_graph
+
+
+class TestProcessVariationModel:
+    def test_sample_reproducible(self):
+        model = ProcessVariationModel()
+        a = model.sample(["r1", "r2"], seed=5)
+        b = model.sample(["r1", "r2"], seed=5)
+        assert a.device_factors == b.device_factors
+        assert a.common_factor == b.common_factor
+
+    def test_matched_mismatch_is_smaller(self):
+        model = ProcessVariationModel(absolute_tolerance=0.25, matched_mismatch=0.005)
+        names = [f"r{i}" for i in range(200)]
+        matched = model.sample(names, matched=True, seed=1)
+        unmatched = model.sample(names, matched=False, seed=1)
+        assert matched.worst_ratio_error() < unmatched.worst_ratio_error()
+
+    def test_monte_carlo_count(self):
+        model = ProcessVariationModel()
+        samples = model.monte_carlo(["a", "b"], num_samples=7, seed=3)
+        assert len(samples) == 7
+
+    def test_to_nonideality(self):
+        model = ProcessVariationModel(absolute_tolerance=0.3, matched_mismatch=0.01)
+        ni = model.to_nonideality(matched=True, seed=2)
+        assert ni.resistor_tolerance == 0.3
+        assert ni.resistor_matching == 0.01
+        assert ni.use_matching
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariationModel(absolute_tolerance=-0.1)
+        with pytest.raises(ConfigurationError):
+            ProcessVariationModel(distribution="weird")
+
+    def test_resistance_application(self):
+        sample = ProcessVariationModel().sample(["r1"], seed=0)
+        value = sample.resistance("r1", 10e3)
+        assert value > 0
+        assert value == pytest.approx(10e3 * sample.common_factor * sample.device_factors["r1"])
+
+
+class TestNegationErrorMetric:
+    def test_perfect_widget_has_zero_error(self):
+        assert negation_error(10e3, 10e3, 5e3) == pytest.approx(0.0)
+
+    def test_error_grows_with_mismatch(self):
+        small = negation_error(10e3, 10.05e3, 5e3)
+        large = negation_error(10e3, 11e3, 5e3)
+        assert 0 < small < large
+
+    def test_invalid_resistances(self):
+        with pytest.raises(SubstrateError):
+            negation_error(0.0, 1.0, 1.0)
+
+
+class TestResistanceTuner:
+    def test_tuning_reduces_widget_error(self):
+        tuner = ResistanceTuner()
+        widgets = {
+            "w0": (10.3e3, 9.8e3, 5.4e3),
+            "w1": (9.9e3, 10.4e3, 4.7e3),
+            "w2": (10.1e3, 10.2e3, 5.2e3),
+        }
+        report = tuner.tune_widgets(widgets)
+        assert report.widgets_tuned == 3
+        assert report.error_after < report.error_before
+        assert report.improvement > 5
+        assert report.worst_after < report.worst_before
+
+    def test_resolution_limits_precision(self):
+        coarse = ResistanceTuner(memristor=MemristorParameters(tuning_resolution_ohm=500.0))
+        fine = ResistanceTuner(memristor=MemristorParameters(tuning_resolution_ohm=1.0))
+        widgets = {"w": (10.3e3, 9.7e3, 5.4e3)}
+        assert fine.tune_widgets(widgets).error_after <= coarse.tune_widgets(widgets).error_after
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SubstrateError):
+            ResistanceTuner().tune_widgets({})
+        with pytest.raises(SubstrateError):
+            ResistanceTuner(iterations=0)
+
+    def test_tune_circuit_improves_solution(self):
+        """Section 4.3.2: post-fabrication tuning recovers mismatch-induced error."""
+        from dataclasses import replace
+        from repro.config import SubstrateParameters
+
+        network = rmat_graph(20, 60, seed=11)
+        exact = dinic(network).flow_value
+        params = replace(SubstrateParameters(), bleed_resistance_factor=1000.0)
+        errors = {"before": [], "after": []}
+        for seed in range(3):
+            ni = NonIdealityModel(resistor_tolerance=0.2, resistor_matching=0.02, seed=seed)
+            compiled = MaxFlowCircuitCompiler(
+                parameters=params, quantize=False, nonideal=ni, seed=seed
+            ).compile(network, vflow_v=4.0)
+            readout = FlowReadout(compiled)
+            before = readout.from_dc(DCOperatingPoint().solve(compiled.circuit))["flow_value"]
+            ResistanceTuner().tune_circuit(compiled.circuit)
+            after = readout.from_dc(DCOperatingPoint().solve(compiled.circuit))["flow_value"]
+            errors["before"].append(abs(before - exact) / exact)
+            errors["after"].append(abs(after - exact) / exact)
+        assert statistics.mean(errors["after"]) <= statistics.mean(errors["before"]) + 0.02
+
+    def test_tune_circuit_requires_ideal_widgets(self):
+        compiled = MaxFlowCircuitCompiler(quantize=False, style="device").compile(
+            rmat_graph(10, 25, seed=1)
+        )
+        with pytest.raises(SubstrateError):
+            ResistanceTuner().tune_circuit(compiled.circuit)

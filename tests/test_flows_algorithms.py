@@ -1,0 +1,180 @@
+"""Tests for the classical max-flow algorithms and their shared machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AlgorithmError, InfeasibleFlowError
+from repro.flows import (
+    ALGORITHMS,
+    CpuCostModel,
+    Dinic,
+    EdmondsKarp,
+    FordFulkerson,
+    LinearProgrammingSolver,
+    PushRelabel,
+    dinic,
+    edmonds_karp,
+    ford_fulkerson,
+    get_algorithm,
+    min_cut,
+    min_cut_from_flow,
+    push_relabel,
+    solve_lp_maxflow,
+    solve_max_flow,
+    validate_max_flow,
+)
+from repro.graph import (
+    bipartite_graph,
+    grid_graph,
+    paper_example_graph,
+    parallel_paths_graph,
+    path_graph,
+    quasistatic_example_graph,
+    rmat_graph,
+)
+
+ALL_SOLVERS = [FordFulkerson(), EdmondsKarp(), Dinic(), PushRelabel(),
+               PushRelabel(selection="fifo"), LinearProgrammingSolver()]
+
+
+def known_instances():
+    """(network, expected max flow) pairs with hand-checkable answers."""
+    return [
+        (paper_example_graph(), 2.0),
+        (quasistatic_example_graph(), 4.0),
+        (path_graph(3, [5.0, 2.0, 7.0, 4.0]), 2.0),
+        (parallel_paths_graph(3, path_length=2, capacity=1.5), 4.5),
+        (grid_graph(2, 3, capacity=1.0), 2.0),
+        (bipartite_graph(4, 4, connectivity=1.0, seed=0), 4.0),
+    ]
+
+
+class TestKnownInstances:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("case", range(len(known_instances())))
+    def test_expected_value(self, solver, case):
+        network, expected = known_instances()[case]
+        result = solver.solve(network, validate=True)
+        assert result.flow_value == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    def test_flow_is_feasible_on_rmat(self, solver):
+        network = rmat_graph(40, 160, seed=13)
+        result = solver.solve(network, validate=True)
+        assert network.is_feasible_flow(result.edge_flows, 1e-6, 1e-6)
+
+    def test_all_algorithms_agree_on_rmat(self):
+        network = rmat_graph(60, 220, seed=21)
+        values = [solver.solve(network).flow_value for solver in ALL_SOLVERS]
+        assert max(values) - min(values) < 1e-5
+
+    def test_agreement_with_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        network = rmat_graph(50, 200, seed=5)
+        digraph = networkx.DiGraph()
+        for edge in network.edges():
+            if digraph.has_edge(edge.tail, edge.head):
+                digraph[edge.tail][edge.head]["capacity"] += edge.capacity
+            else:
+                digraph.add_edge(edge.tail, edge.head, capacity=edge.capacity)
+        reference, _ = networkx.maximum_flow(digraph, network.source, network.sink)
+        assert dinic(network).flow_value == pytest.approx(reference, abs=1e-6)
+
+    def test_zero_flow_when_disconnected(self):
+        network = path_graph(1, [1.0, 1.0])
+        disconnected = network.copy()
+        # Build a graph where the sink is unreachable.
+        from repro.graph import FlowNetwork
+
+        g = FlowNetwork()
+        g.add_edge("s", "a", 1.0)
+        g.add_vertex("t")
+        for solver in ALL_SOLVERS:
+            assert solver.solve(g).flow_value == pytest.approx(0.0)
+
+
+class TestResultContents:
+    def test_operation_counters_populated(self):
+        result = push_relabel(rmat_graph(40, 150, seed=2))
+        assert result.operations.total() > 0
+        assert result.operations.pushes > 0
+
+    def test_wall_time_recorded(self):
+        result = dinic(paper_example_graph())
+        assert result.wall_time_s >= 0.0
+
+    def test_flow_by_edge_keys(self):
+        g = paper_example_graph()
+        keyed = dinic(g).flow_by_edge(g)
+        assert keyed[("s", "n1")] == pytest.approx(2.0)
+
+    def test_validate_max_flow_rejects_bad_result(self):
+        from repro.flows.base import MaxFlowResult
+
+        g = paper_example_graph()
+        bogus = MaxFlowResult(flow_value=10.0, edge_flows={0: 10.0}, algorithm="bogus")
+        with pytest.raises(InfeasibleFlowError):
+            validate_max_flow(g, bogus)
+
+
+class TestVariantsAndRegistry:
+    def test_push_relabel_variants_agree(self):
+        g = rmat_graph(50, 200, seed=8)
+        highest = PushRelabel(selection="highest").solve(g).flow_value
+        fifo = PushRelabel(selection="fifo").solve(g).flow_value
+        no_gap = PushRelabel(use_gap_heuristic=False).solve(g).flow_value
+        periodic = PushRelabel(global_relabel_frequency=25).solve(g).flow_value
+        assert highest == pytest.approx(fifo) == pytest.approx(no_gap) == pytest.approx(periodic)
+
+    def test_invalid_selection_rejected(self):
+        with pytest.raises(AlgorithmError):
+            PushRelabel(selection="weird")
+
+    def test_registry(self):
+        assert set(ALGORITHMS) >= {"dinic", "push-relabel", "edmonds-karp", "ford-fulkerson"}
+        assert get_algorithm("dinic").name == "dinic"
+        with pytest.raises(AlgorithmError):
+            get_algorithm("nope")
+        g = paper_example_graph()
+        assert solve_max_flow(g, "edmonds-karp").flow_value == pytest.approx(2.0)
+
+
+class TestMinCut:
+    def test_min_cut_equals_max_flow(self):
+        for seed in range(4):
+            g = rmat_graph(40, 150, seed=seed)
+            flow = dinic(g)
+            cut = min_cut_from_flow(g, flow)
+            assert cut.cut_value == pytest.approx(flow.flow_value, abs=1e-6)
+            assert g.source in cut.source_side
+            assert g.sink in cut.sink_side
+
+    def test_cut_edges_are_saturated(self):
+        g = paper_example_graph()
+        flow = dinic(g)
+        cut = min_cut_from_flow(g, flow)
+        for index in cut.cut_edges:
+            assert flow.edge_flows[index] == pytest.approx(g.edge(index).capacity)
+
+    def test_indicator_matches_lp_convention(self):
+        g = paper_example_graph()
+        cut = min_cut(g)
+        labels = cut.indicator(g)
+        assert labels[g.source] == 1
+        assert labels[g.sink] == 0
+
+
+class TestCpuCostModel:
+    def test_estimate_scales_with_operations(self):
+        small = push_relabel(rmat_graph(30, 90, seed=1))
+        large = push_relabel(rmat_graph(120, 480, seed=1))
+        model = CpuCostModel()
+        assert model.estimate(large).seconds > model.estimate(small).seconds
+        assert model.estimate(small).seconds > 0
+
+    def test_energy_positive(self):
+        estimate = CpuCostModel().estimate(push_relabel(paper_example_graph()))
+        assert estimate.energy_j > 0
+        assert estimate.cycles > 0
+        assert estimate.microseconds == pytest.approx(estimate.seconds * 1e6)

@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the max-flow substrate invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows import Dinic, EdmondsKarp, PushRelabel, min_cut_from_flow
+from repro.graph import FlowNetwork, rmat_graph
+from repro.graph.analysis import upper_bound_flow
+
+
+@st.composite
+def flow_networks(draw):
+    """Random small flow networks with integer capacities."""
+    num_vertices = draw(st.integers(min_value=2, max_value=12))
+    vertices = list(range(num_vertices))
+    source, sink = 0, num_vertices - 1
+    network = FlowNetwork(source=source, sink=sink)
+    for vertex in vertices:
+        network.add_vertex(vertex)
+    max_edges = min(30, num_vertices * (num_vertices - 1))
+    num_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_vertices - 1),
+                st.integers(min_value=0, max_value=num_vertices - 1),
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    capacities = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=20),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    for (tail, head), capacity in zip(pairs, capacities):
+        if tail == head:
+            continue
+        network.add_edge(tail, head, float(capacity))
+    return network
+
+
+@settings(max_examples=40, deadline=None)
+@given(network=flow_networks())
+def test_algorithms_agree_and_are_feasible(network):
+    dinic_result = Dinic().solve(network)
+    ek_result = EdmondsKarp().solve(network)
+    pr_result = PushRelabel().solve(network)
+    assert dinic_result.flow_value == pytest.approx(ek_result.flow_value, abs=1e-6)
+    assert dinic_result.flow_value == pytest.approx(pr_result.flow_value, abs=1e-6)
+    for result in (dinic_result, ek_result, pr_result):
+        assert network.is_feasible_flow(result.edge_flows, 1e-6, 1e-6)
+        assert result.flow_value >= -1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(network=flow_networks())
+def test_maxflow_equals_mincut(network):
+    flow = Dinic().solve(network)
+    cut = min_cut_from_flow(network, flow)
+    assert cut.cut_value == pytest.approx(flow.flow_value, abs=1e-6)
+    # Every s-t cut is an upper bound on the flow value.
+    assert flow.flow_value <= network.cut_capacity({network.source}) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(network=flow_networks())
+def test_flow_bounded_by_degree_cuts(network):
+    flow_value = Dinic().solve(network).flow_value
+    assert flow_value <= upper_bound_flow(network) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(network=flow_networks(), factor=st.integers(min_value=1, max_value=5))
+def test_flow_scales_linearly_with_capacities(network, factor):
+    from repro.graph.transforms import scale_capacities
+
+    base = Dinic().solve(network).flow_value
+    scaled = Dinic().solve(scale_capacities(network, float(factor))).flow_value
+    assert scaled == pytest.approx(base * factor, abs=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_rmat_generator_always_produces_connected_instances(seed):
+    network = rmat_graph(20, 50, seed=seed)
+    assert network.num_vertices == 20
+    assert network.num_edges >= 50
+    assert Dinic().solve(network).flow_value >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(network=flow_networks())
+def test_integral_capacities_give_integral_maxflow(network):
+    value = Dinic().solve(network).flow_value
+    assert value == pytest.approx(round(value), abs=1e-6)

@@ -1,0 +1,141 @@
+"""Tests for the synthetic graph generators (R-MAT and structured graphs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graph import (
+    RMATGenerator,
+    bipartite_graph,
+    dense_random_graph,
+    grid_graph,
+    layered_graph,
+    paper_example_graph,
+    parallel_paths_graph,
+    path_graph,
+    quasistatic_example_graph,
+    rmat_graph,
+    sparse_random_graph,
+)
+from repro.graph.analysis import is_source_sink_connected
+from repro.flows import dinic
+
+
+class TestRMAT:
+    def test_requested_size_is_met(self):
+        g = rmat_graph(50, 200, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges >= 200
+
+    def test_deterministic_for_seed(self):
+        a = rmat_graph(40, 150, seed=42)
+        b = rmat_graph(40, 150, seed=42)
+        assert [(e.tail, e.head, e.capacity) for e in a.edges()] == [
+            (e.tail, e.head, e.capacity) for e in b.edges()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = rmat_graph(40, 150, seed=1)
+        b = rmat_graph(40, 150, seed=2)
+        assert [(e.tail, e.head) for e in a.edges()] != [(e.tail, e.head) for e in b.edges()]
+
+    def test_capacities_within_range(self):
+        g = rmat_graph(40, 150, seed=3, min_capacity=5, max_capacity=9)
+        assert all(5 <= e.capacity <= 9 for e in g.edges())
+
+    def test_integer_capacities_by_default(self):
+        g = rmat_graph(30, 90, seed=4)
+        assert all(float(e.capacity).is_integer() for e in g.edges())
+
+    def test_st_connected(self):
+        for seed in range(5):
+            assert is_source_sink_connected(rmat_graph(30, 60, seed=seed))
+
+    def test_no_duplicate_edges_by_default(self):
+        g = rmat_graph(30, 120, seed=5)
+        pairs = [(e.tail, e.head) for e in g.edges()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            RMATGenerator(a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            rmat_graph(1, 5)
+        with pytest.raises(InvalidGraphError):
+            rmat_graph(10, 0)
+
+    def test_dense_and_sparse_regimes(self):
+        dense = dense_random_graph(100, density=0.05, seed=1)
+        sparse = sparse_random_graph(100, average_degree=4.0, seed=1)
+        assert dense.num_edges >= 0.05 * 100 * 100 * 0.8
+        assert sparse.num_edges <= 6 * 100
+        assert dense.num_edges > sparse.num_edges
+        # The dense regime scales quadratically, the sparse one linearly.
+        dense_big = dense_random_graph(200, density=0.05, seed=1)
+        sparse_big = sparse_random_graph(200, average_degree=4.0, seed=1)
+        assert dense_big.num_edges / dense.num_edges > 3.0
+        assert sparse_big.num_edges / sparse.num_edges < 3.0
+
+
+class TestStructuredGenerators:
+    def test_path_graph_flow_is_min_capacity(self):
+        g = path_graph(3, [4.0, 2.0, 5.0, 3.0])
+        assert dinic(g).flow_value == pytest.approx(2.0)
+
+    def test_parallel_paths_flow(self):
+        g = parallel_paths_graph(4, path_length=3, capacity=2.0)
+        assert dinic(g).flow_value == pytest.approx(8.0)
+
+    def test_grid_graph_structure(self):
+        g = grid_graph(3, 4, capacity=1.0)
+        assert is_source_sink_connected(g)
+        assert g.out_degree("s") == 3
+        assert g.in_degree("t") == 3
+
+    def test_grid_graph_maxflow_bounded_by_rows(self):
+        g = grid_graph(3, 4, capacity=1.0)
+        assert dinic(g).flow_value == pytest.approx(3.0)
+
+    def test_layered_graph_connectivity(self):
+        g = layered_graph(4, 5, seed=1)
+        assert is_source_sink_connected(g)
+        assert dinic(g).flow_value > 0
+
+    def test_bipartite_graph(self):
+        g = bipartite_graph(5, 5, connectivity=1.0, seed=0)
+        assert dinic(g).flow_value == pytest.approx(5.0)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: grid_graph(0, 3),
+            lambda: layered_graph(0, 3),
+            lambda: bipartite_graph(0, 3),
+            lambda: path_graph(-1),
+            lambda: parallel_paths_graph(0),
+        ],
+    )
+    def test_invalid_arguments(self, factory):
+        with pytest.raises(InvalidGraphError):
+            factory()
+
+
+class TestPaperExamples:
+    def test_fig5_example(self):
+        g = paper_example_graph()
+        assert g.num_edges == 5
+        assert [e.capacity for e in g.edges()] == [3.0, 2.0, 1.0, 1.0, 2.0]
+        assert dinic(g).flow_value == pytest.approx(2.0)
+
+    def test_fig15_example(self):
+        g = quasistatic_example_graph()
+        assert g.num_edges == 3
+        assert dinic(g).flow_value == pytest.approx(4.0)
+        result = dinic(g)
+        # The optimum is x1 = 4, x2 = 1, x3 = 3.
+        assert result.edge_flows[0] == pytest.approx(4.0)
+        assert result.edge_flows[1] == pytest.approx(1.0)
+        assert result.edge_flows[2] == pytest.approx(3.0)

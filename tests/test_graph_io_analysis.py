@@ -1,0 +1,143 @@
+"""Tests for DIMACS I/O, graph analysis and transforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.flows import dinic
+from repro.graph import (
+    FlowNetwork,
+    from_edge_list,
+    graph_statistics,
+    is_source_sink_connected,
+    merge_parallel_edges,
+    paper_example_graph,
+    prune_useless_vertices,
+    read_dimacs,
+    reachable_from,
+    reaches,
+    relabel_vertices,
+    rmat_graph,
+    scale_capacities,
+    split_antiparallel_edges,
+    to_edge_list,
+    undirected_to_directed,
+    upper_bound_flow,
+    write_dimacs,
+)
+
+
+class TestDimacsIO:
+    def test_round_trip(self, tmp_path):
+        g = rmat_graph(25, 80, seed=9)
+        path = tmp_path / "graph.dimacs"
+        write_dimacs(g, path, comment="round trip test")
+        loaded = read_dimacs(path)
+        assert loaded.num_vertices == g.num_vertices
+        assert loaded.num_edges == g.num_edges
+        assert dinic(loaded).flow_value == pytest.approx(dinic(g).flow_value)
+
+    def test_read_inline_text(self):
+        text = "c tiny\np max 3 2\nn 1 s\nn 3 t\na 1 2 4\na 2 3 2\n"
+        g = read_dimacs(text)
+        assert g.num_vertices == 3
+        assert dinic(g).flow_value == pytest.approx(2.0)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "n 1 s\nn 2 t\na 1 2 3\n",          # missing problem line
+            "p max 2 1\na 1 2 3\n",              # missing terminals
+            "p max 2 1\nn 1 s\nn 2 t\na 1 5 3\n",  # arc out of range
+            "p max 2 1\nn 1 s\nn 2 q\na 1 2 3\n",  # bad node role
+        ],
+    )
+    def test_malformed_inputs(self, text):
+        with pytest.raises(InvalidGraphError):
+            read_dimacs(text)
+
+    def test_edge_list_round_trip(self):
+        g = paper_example_graph()
+        triples = to_edge_list(g)
+        rebuilt = from_edge_list(triples, source="s", sink="t")
+        assert dinic(rebuilt).flow_value == pytest.approx(2.0)
+
+
+class TestAnalysis:
+    def test_reachability(self):
+        g = paper_example_graph()
+        assert reachable_from(g, "s") == {"s", "n1", "n2", "n3", "t"}
+        assert reaches(g, "t") == {"s", "n1", "n2", "n3", "t"}
+
+    def test_prune_removes_dead_ends(self):
+        g = paper_example_graph()
+        g.add_edge("n1", "dead", 5.0)
+        g.add_edge("isolated_a", "isolated_b", 3.0)
+        pruned = prune_useless_vertices(g)
+        assert not pruned.has_vertex("dead")
+        assert not pruned.has_vertex("isolated_a")
+        assert dinic(pruned).flow_value == pytest.approx(2.0)
+
+    def test_upper_bound_flow(self):
+        g = paper_example_graph()
+        assert upper_bound_flow(g) == pytest.approx(3.0)
+        assert dinic(g).flow_value <= upper_bound_flow(g)
+
+    def test_statistics(self):
+        g = paper_example_graph()
+        stats = graph_statistics(g)
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 5
+        assert stats.max_capacity == 3.0
+        assert stats.has_st_path
+        assert stats.source_out_degree == 1
+        assert stats.is_sparse()
+
+    def test_connectivity_check(self):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 1.0)
+        assert not is_source_sink_connected(g)
+        g.add_edge("a", "t", 1.0)
+        assert is_source_sink_connected(g)
+
+
+class TestTransforms:
+    def test_undirected_to_directed_doubles_edges(self):
+        g = undirected_to_directed([("s", "a", 2.0), ("a", "t", 3.0)])
+        assert g.num_edges == 4
+        assert dinic(g).flow_value == pytest.approx(2.0)
+
+    def test_split_antiparallel(self):
+        g = undirected_to_directed([("s", "a", 2.0), ("a", "t", 2.0)])
+        split = split_antiparallel_edges(g)
+        # No antiparallel pair remains.
+        for edge in split.edges():
+            assert not any(
+                other.tail == edge.head and other.head == edge.tail
+                for other in split.edges()
+            )
+        assert dinic(split).flow_value == pytest.approx(dinic(g).flow_value)
+
+    def test_merge_parallel_edges(self):
+        g = FlowNetwork()
+        g.add_edge("s", "t", 1.0)
+        g.add_edge("s", "t", 2.0)
+        merged = merge_parallel_edges(g)
+        assert merged.num_edges == 1
+        assert merged.edges()[0].capacity == pytest.approx(3.0)
+
+    def test_scale_capacities_scales_flow(self):
+        g = paper_example_graph()
+        scaled = scale_capacities(g, 2.5)
+        assert dinic(scaled).flow_value == pytest.approx(5.0)
+        with pytest.raises(InvalidGraphError):
+            scale_capacities(g, 0.0)
+
+    def test_relabel_vertices(self):
+        g = paper_example_graph()
+        relabeled = relabel_vertices(g, lambda v: f"v_{v}")
+        assert relabeled.source == "v_s"
+        assert dinic(relabeled).flow_value == pytest.approx(2.0)
+        with pytest.raises(InvalidGraphError):
+            relabel_vertices(g, lambda v: "same")
