@@ -1,0 +1,30 @@
+# Developer entry points. Everything runs from the repository root with the
+# library on PYTHONPATH; no install step required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+# Modules whose docstring examples are part of the documented API surface.
+DOCTEST_MODULES := src/repro/service \
+	src/repro/flows/registry.py \
+	src/repro/analog/solver.py \
+	src/repro/circuit/linsolve.py \
+	src/repro/circuit/nonlinear.py
+
+.PHONY: test bench-smoke docs-check
+
+## tier-1 suite plus the documented-API doctests
+test:
+	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest --doctest-modules $(DOCTEST_MODULES) -q
+
+## fast benchmark smoke at a small scale (service batch + Fig. 8)
+bench-smoke:
+	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest \
+		benchmarks/bench_service_batch.py \
+		benchmarks/bench_fig08_quantization.py \
+		-o python_files='bench_*.py' -q -s
+
+## broken intra-doc links + docstring coverage of repro.service
+docs-check:
+	$(PYTHON) tools/docs_check.py

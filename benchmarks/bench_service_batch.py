@@ -1,0 +1,47 @@
+"""Batched solving service throughput on a Fig. 10-style mixed suite.
+
+Not a paper figure: this bench exercises the serving path the ROADMAP targets
+— many instances per call, mixed analog/classical backends, a shared worker
+pool — and prints the per-instance report plus the aggregate throughput the
+service achieved.  Scaled by ``REPRO_BENCH_SCALE`` like the Fig. 10 sweeps.
+
+Run with:  pytest benchmarks/bench_service_batch.py -o python_files=bench_*.py -s
+or:        python benchmarks/bench_service_batch.py  (smoke-sized)
+"""
+
+from __future__ import annotations
+
+from repro.bench import BatchServiceSuiteRunner, fig10_sparse_suite
+
+from conftest import bench_scale
+
+
+def _run_suite(scale: float):
+    runner = BatchServiceSuiteRunner(backends=("push-relabel", "dinic", "analog"))
+    # The service is about throughput, not the full Fig. 10 sweep: a handful
+    # of sparse instances mixed across three backends is representative.
+    workloads = fig10_sparse_suite(scale=scale * 0.2)[:4]
+    return runner.run_suite(workloads)
+
+
+def test_service_batch_throughput(benchmark):
+    report = benchmark.pedantic(_run_suite, args=(bench_scale(),), iterations=1, rounds=1)
+
+    print()
+    print(report.format(title="batched solving service (mixed backends)"))
+
+    assert report.num_failed == 0
+    # Three backends per workload (small scales can dedupe the suite).
+    counts = report.backend_counts()
+    assert set(counts) == {"push-relabel", "dinic", "analog"}
+    assert len(set(counts.values())) == 1 and report.num_requests >= 3
+    # Classical backends are exact; the reference is computed with Dinic, so
+    # the push-relabel rows must agree to numerical noise.
+    for result in report.results:
+        if result.backend != "analog":
+            assert result.relative_error is not None and result.relative_error < 1e-9
+
+
+if __name__ == "__main__":
+    report = _run_suite(0.1)
+    print(report.format(title="batched solving service (smoke)"))

@@ -26,8 +26,15 @@ from repro import (
 from repro.analog import ConvergenceTimeEstimator
 
 
-def main() -> None:
-    parameters = replace(SubstrateParameters(), rows=96, columns=96)
+def main(
+    vertices: int = 48,
+    edges: int = 180,
+    crossbar_rows: int = 96,
+    crossbar_columns: int = 96,
+    seeds=(11, 23),
+) -> None:
+    """Program/solve/reprogram rounds; shrink the sizes for smoke runs."""
+    parameters = replace(SubstrateParameters(), rows=crossbar_rows, columns=crossbar_columns)
     substrate = CrossbarSubstrate(parameters)
     engine = CrossbarMaxFlowEngine(
         substrate=substrate,
@@ -36,8 +43,8 @@ def main() -> None:
     estimator = ConvergenceTimeEstimator()
     power_model = PowerModel()
 
-    for round_index, seed in enumerate((11, 23), start=1):
-        network = rmat_graph(48, 180, seed=seed)
+    for round_index, seed in enumerate(seeds, start=1):
+        network = rmat_graph(vertices, edges, seed=seed)
         exact = push_relabel(network).flow_value
         result = engine.solve(network, vflow_v=12.0)
 

@@ -22,13 +22,13 @@ SMOOTHNESS = 2.0
 CONTRAST = 6.0
 
 
-def synthetic_image(seed: int = 7):
+def synthetic_image(seed: int = 7, width: int = WIDTH, height: int = HEIGHT):
     """A noisy image with a bright disc (foreground) on a dark background."""
     rng = random.Random(seed)
-    image = [[0.0] * WIDTH for _ in range(HEIGHT)]
-    cx, cy, radius = WIDTH * 0.45, HEIGHT * 0.5, min(WIDTH, HEIGHT) * 0.3
-    for y in range(HEIGHT):
-        for x in range(WIDTH):
+    image = [[0.0] * width for _ in range(height)]
+    cx, cy, radius = width * 0.45, height * 0.5, min(width, height) * 0.3
+    for y in range(height):
+        for x in range(width):
             inside = math.hypot(x - cx, y - cy) <= radius
             base = 0.8 if inside else 0.2
             image[y][x] = min(1.0, max(0.0, base + rng.gauss(0.0, 0.08)))
@@ -37,13 +37,14 @@ def synthetic_image(seed: int = 7):
 
 def segmentation_graph(image) -> FlowNetwork:
     """Boykov-Kolmogorov style segmentation network."""
+    height, width = len(image), len(image[0])
     network = FlowNetwork(source="fg", sink="bg")
 
     def pixel(x: int, y: int) -> str:
         return f"p{x}_{y}"
 
-    for y in range(HEIGHT):
-        for x in range(WIDTH):
+    for y in range(height):
+        for x in range(width):
             intensity = image[y][x]
             # Terminal links: bright pixels are likely foreground.
             network.add_edge("fg", pixel(x, y), CONTRAST * intensity)
@@ -51,16 +52,16 @@ def segmentation_graph(image) -> FlowNetwork:
             # Smoothness links to the right and bottom neighbours.
             for dx, dy in ((1, 0), (0, 1)):
                 nx, ny = x + dx, y + dy
-                if nx < WIDTH and ny < HEIGHT:
+                if nx < width and ny < height:
                     network.add_edge(pixel(x, y), pixel(nx, ny), SMOOTHNESS)
                     network.add_edge(pixel(nx, ny), pixel(x, y), SMOOTHNESS)
     return network
 
 
-def labels_from_cut(source_side) -> list:
-    grid = [["." for _ in range(WIDTH)] for _ in range(HEIGHT)]
-    for y in range(HEIGHT):
-        for x in range(WIDTH):
+def labels_from_cut(source_side, width: int = WIDTH, height: int = HEIGHT) -> list:
+    grid = [["." for _ in range(width)] for _ in range(height)]
+    for y in range(height):
+        for x in range(width):
             if f"p{x}_{y}" in source_side:
                 grid[y][x] = "#"
     return grid
@@ -70,8 +71,9 @@ def render(grid) -> str:
     return "\n".join("".join(row) for row in grid)
 
 
-def main() -> None:
-    image = synthetic_image()
+def main(width: int = WIDTH, height: int = HEIGHT) -> None:
+    """Segment a synthetic image; shrink ``width``/``height`` for smoke runs."""
+    image = synthetic_image(width=width, height=height)
     network = segmentation_graph(image)
     print(f"segmentation graph: {network.num_vertices} vertices, {network.num_edges} edges")
 
@@ -84,7 +86,7 @@ def main() -> None:
           f"(error {abs(analog.flow_value - exact_flow.flow_value) / exact_flow.flow_value:.1%})")
 
     print("\nexact segmentation ('#' = foreground):")
-    print(render(labels_from_cut(cut.source_side)))
+    print(render(labels_from_cut(cut.source_side, width, height)))
 
     # An approximate segmentation from the analog solution: pixels whose
     # foreground terminal link is *not* saturated stay connected to the
@@ -94,7 +96,7 @@ def main() -> None:
         if analog.edge_flows.get(edge.index, 0.0) < edge.capacity * 0.98:
             analog_side.add(edge.head)
     print("\nanalog-substrate segmentation (saturation heuristic):")
-    print(render(labels_from_cut(analog_side)))
+    print(render(labels_from_cut(analog_side, width, height)))
 
 
 if __name__ == "__main__":

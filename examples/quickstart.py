@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from repro import (
     AnalogMaxFlowSolver,
+    BatchSolveService,
     FlowNetwork,
     PowerModel,
+    SolveRequest,
     paper_example_graph,
     push_relabel,
 )
@@ -52,9 +54,30 @@ def solve_and_report(name: str, network: FlowNetwork) -> None:
     print()
 
 
+def batch_service_demo() -> None:
+    """Solve several instances through the batched service in one call."""
+    service = BatchSolveService(
+        max_workers=4,
+        analog_solver=AnalogMaxFlowSolver(quantize=True, adaptive_drive=True),
+    )
+    networks = {"paper": paper_example_graph(), "water": build_custom_network()}
+    requests = []
+    for tag, network in networks.items():
+        exact = push_relabel(network).flow_value
+        for backend in ("dinic", "analog"):
+            requests.append(
+                SolveRequest(
+                    network=network, backend=backend, tag=tag, reference_value=exact
+                )
+            )
+    report = service.solve_batch(requests)
+    print(report.format(title="=== Batched solving service (mixed backends) ==="))
+
+
 def main() -> None:
     solve_and_report("Paper example (Fig. 5a)", paper_example_graph())
     solve_and_report("Custom water-distribution network", build_custom_network())
+    batch_service_demo()
 
 
 if __name__ == "__main__":

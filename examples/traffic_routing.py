@@ -19,10 +19,9 @@ import random
 from repro import AnalogMaxFlowSolver, FlowNetwork, QuasiStaticAnalyzer, min_cut, push_relabel
 
 
-def build_city(seed: int = 3) -> FlowNetwork:
-    """A 4x5 street grid with two fast arterial roads and capacity noise."""
+def build_city(seed: int = 3, rows: int = 4, cols: int = 5) -> FlowNetwork:
+    """A rows x cols street grid with a fast arterial road and capacity noise."""
     rng = random.Random(seed)
-    rows, cols = 4, 5
     network = FlowNetwork(source="residential", sink="downtown")
 
     def junction(r: int, c: int) -> str:
@@ -43,8 +42,9 @@ def build_city(seed: int = 3) -> FlowNetwork:
     return network
 
 
-def main() -> None:
-    network = build_city()
+def main(rows: int = 4, cols: int = 5, num_points: int = 25) -> None:
+    """Run the full analysis; shrink ``rows``/``cols``/``num_points`` for smoke runs."""
+    network = build_city(rows=rows, cols=cols)
     exact = push_relabel(network)
     cut = min_cut(network, exact)
     analog = AnalogMaxFlowSolver(quantize=True, adaptive_drive=True).solve(network)
@@ -59,7 +59,7 @@ def main() -> None:
         print(f"  {edge.tail} -> {edge.head}  ({edge.capacity:.0f} veh/h)")
 
     print("\nthroughput vs drive voltage (quasi-static ramp, Section 6.5):")
-    trajectory = QuasiStaticAnalyzer(num_points=25, drive_factor=8.0).trace(network)
+    trajectory = QuasiStaticAnalyzer(num_points=num_points, drive_factor=8.0).trace(network)
     for point in trajectory.points[:: max(1, len(trajectory.points) // 10)]:
         bar = "#" * int(40 * point.flow_value / max(exact.flow_value, 1.0))
         print(f"  Vflow {point.vflow_v:8.1f} V -> {point.flow_value:8.0f} veh/h {bar}")

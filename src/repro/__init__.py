@@ -16,7 +16,10 @@ The package is organised by subsystem:
 * :mod:`repro.decomposition` — dual decomposition for very large graphs;
 * :mod:`repro.power` — the analytical power/energy model;
 * :mod:`repro.bench` — workload suites and experiment runners used by the
-  ``benchmarks/`` directory.
+  ``benchmarks/`` directory;
+* :mod:`repro.service` — the batched solving service: backend registry
+  (analog + classical), worker pools, compiled-circuit memoization and
+  aggregate batch reports.
 
 Quick start::
 
@@ -87,6 +90,7 @@ from .crossbar import (
 )
 from .decomposition import DualDecompositionSolver
 from .power import PowerModel, compare_energy
+from .service import BatchReport, BatchSolveService, SolveRequest, SolveResult
 
 __version__ = "1.0.0"
 
@@ -146,4 +150,9 @@ __all__ = [
     "DualDecompositionSolver",
     "PowerModel",
     "compare_energy",
+    # batched solving service
+    "BatchReport",
+    "BatchSolveService",
+    "SolveRequest",
+    "SolveResult",
 ]

@@ -11,6 +11,7 @@ error discussed in Section 6.5 (and exercised by ablation bench A4).
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -68,7 +69,21 @@ class AnalogMaxFlowResult:
     compiled: CompiledMaxFlowCircuit = field(default=None, repr=False)
 
     def quality(self, network: FlowNetwork, exact_value: Optional[float] = None) -> SolutionQuality:
-        """Evaluate this result against the exact optimum of ``network``."""
+        """Evaluate this result against the exact optimum of ``network``.
+
+        Parameters
+        ----------
+        network:
+            The instance this result was solved from.
+        exact_value:
+            Known exact max-flow value; computed with a classical algorithm
+            when omitted.
+
+        Returns
+        -------
+        SolutionQuality
+            Relative error, feasibility violations and related metrics.
+        """
         return evaluate_solution(network, self.flow_value, self.edge_flows, exact_value)
 
 
@@ -96,6 +111,20 @@ class AnalogMaxFlowSolver:
         solves.
     seed:
         Seed for the non-ideality random draws.
+
+    Examples
+    --------
+    Solve a two-edge bottleneck network on the (ideal, unquantized)
+    substrate; the steady state recovers the exact optimum of 1:
+
+    >>> from repro import FlowNetwork
+    >>> from repro.analog import AnalogMaxFlowSolver
+    >>> g = FlowNetwork()
+    >>> _ = g.add_edge("s", "a", 2.0)
+    >>> _ = g.add_edge("a", "t", 1.0)
+    >>> result = AnalogMaxFlowSolver(quantize=False, adaptive_drive=True).solve(g)
+    >>> abs(result.flow_value - 1.0) < 0.01
+    True
     """
 
     def __init__(
@@ -125,7 +154,14 @@ class AnalogMaxFlowSolver:
     # ------------------------------------------------------------------
 
     def compiler(self) -> MaxFlowCircuitCompiler:
-        """The compiler configured consistently with this solver."""
+        """The compiler configured consistently with this solver.
+
+        Returns
+        -------
+        MaxFlowCircuitCompiler
+            A fresh compiler carrying this solver's parameters, non-ideality
+            model, quantization and widget-style settings.
+        """
         return MaxFlowCircuitCompiler(
             parameters=self.parameters,
             nonideal=self.nonideal,
@@ -137,7 +173,23 @@ class AnalogMaxFlowSolver:
         )
 
     def compile(self, network: FlowNetwork, vflow_v: Optional[float] = None) -> CompiledMaxFlowCircuit:
-        """Compile ``network`` without solving it."""
+        """Compile ``network`` without solving it.
+
+        Parameters
+        ----------
+        network:
+            The instance to compile.
+        vflow_v:
+            Override of the objective drive voltage (Table 1 default
+            otherwise).
+
+        Returns
+        -------
+        CompiledMaxFlowCircuit
+            The netlist plus readout bookkeeping; hand it to
+            :meth:`solve_compiled` (possibly many times, e.g. via the batch
+            service's compiled-circuit cache).
+        """
         return self.compiler().compile(network, vflow_v=vflow_v)
 
     # ------------------------------------------------------------------
@@ -163,6 +215,20 @@ class AnalogMaxFlowSolver:
         measure_convergence:
             For ``method="transient"``: also report the 0.1 % settling time
             of the flow value.
+
+        Returns
+        -------
+        AnalogMaxFlowResult
+            Decoded flow value, per-edge flows and solve metadata.
+
+        Examples
+        --------
+        >>> from repro import FlowNetwork
+        >>> from repro.analog import AnalogMaxFlowSolver
+        >>> g = FlowNetwork()
+        >>> _ = g.add_edge("s", "t", 3.0)
+        >>> AnalogMaxFlowSolver().solve(g).method
+        'dc'
         """
         start = time.perf_counter()
         if not is_source_sink_connected(network):
@@ -221,8 +287,60 @@ class AnalogMaxFlowSolver:
             compiled=compiled,
         )
 
-    def _dc_at_drive(self, network: FlowNetwork, vflow: float):
-        compiled = self.compile(network, vflow_v=vflow)
+    def solve_compiled(self, compiled: CompiledMaxFlowCircuit) -> AnalogMaxFlowResult:
+        """Solve an already-compiled circuit (DC) and decode the flow.
+
+        The compile step dominates the cost of small DC solves, so callers
+        that see the same topology repeatedly — most prominently the batch
+        service's compiled-circuit cache — compile once with :meth:`compile`
+        and hand the result here for each solve.
+
+        Parameters
+        ----------
+        compiled:
+            A circuit produced by :meth:`compile` (or a compatible
+            :class:`~repro.analog.compiler.MaxFlowCircuitCompiler`).
+
+        Returns
+        -------
+        AnalogMaxFlowResult
+            Same shape of result as :meth:`solve` with ``method="dc"``.
+
+        Examples
+        --------
+        >>> from repro import FlowNetwork
+        >>> from repro.analog import AnalogMaxFlowSolver
+        >>> g = FlowNetwork()
+        >>> _ = g.add_edge("s", "t", 2.0)
+        >>> solver = AnalogMaxFlowSolver(quantize=False)
+        >>> compiled = solver.compile(g, vflow_v=6.0)
+        >>> round(solver.solve_compiled(compiled).vflow_v, 1)
+        6.0
+        """
+        start = time.perf_counter()
+        solution = DCOperatingPoint().solve(compiled.circuit)
+        if not solution.converged:
+            # The source-stepping fallback temporarily rewrites the drive
+            # source's waveform on the circuit.  ``compiled`` may be shared
+            # (the batch service's cache hands one instance to many worker
+            # threads), so step on a private copy and return that copy.
+            compiled = copy.deepcopy(compiled)
+            solution = self._source_stepped_dc(compiled, compiled.vflow_v)
+        decoded = FlowReadout(compiled).from_dc(solution)
+        result = AnalogMaxFlowResult(
+            flow_value=decoded["flow_value"],
+            flow_value_from_current=decoded["flow_value_from_current"],
+            edge_flows=decoded["edge_flows"],
+            edge_voltages=decoded["edge_voltages"],
+            method="dc",
+            vflow_v=compiled.vflow_v,
+            dc_iterations=solution.iterations,
+            compiled=compiled,
+        )
+        result.solver_wall_time_s = time.perf_counter() - start
+        return result
+
+    def _dc_solution(self, compiled: CompiledMaxFlowCircuit):
         solution = DCOperatingPoint().solve(compiled.circuit)
         if not solution.converged:
             # Drive stepping (the SPICE "source stepping" continuation): ramp
@@ -230,7 +348,12 @@ class AnalogMaxFlowSolver:
             # diode states at every step.  High drives activate many clamps
             # at once, which can trap the plain fixed-point iteration in a
             # cycle; following the physical turn-on sequence avoids that.
-            solution = self._source_stepped_dc(compiled, vflow)
+            solution = self._source_stepped_dc(compiled, compiled.vflow_v)
+        return solution
+
+    def _dc_at_drive(self, network: FlowNetwork, vflow: float):
+        compiled = self.compile(network, vflow_v=vflow)
+        solution = self._dc_solution(compiled)
         readout = FlowReadout(compiled)
         decoded = readout.from_dc(solution)
         return compiled, decoded, solution.iterations

@@ -12,7 +12,7 @@ from .workloads import (
     fig10_sparse_suite,
     workload_network,
 )
-from .runner import Fig10Runner, Fig10Row
+from .runner import BatchServiceSuiteRunner, Fig10Runner, Fig10Row
 from .reporting import format_table, format_series, relative
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "workload_network",
     "Fig10Runner",
     "Fig10Row",
+    "BatchServiceSuiteRunner",
     "format_table",
     "format_series",
     "relative",

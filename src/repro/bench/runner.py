@@ -29,9 +29,10 @@ from ..analog.solver import AnalogMaxFlowSolver
 from ..config import NonIdealityModel, SubstrateParameters
 from ..flows.cost_model import CpuCostModel
 from ..flows.push_relabel import PushRelabel
+from ..flows.registry import get_algorithm
 from .workloads import Fig10Workload
 
-__all__ = ["Fig10Row", "Fig10Runner"]
+__all__ = ["Fig10Row", "Fig10Runner", "BatchServiceSuiteRunner"]
 
 
 @dataclass
@@ -200,3 +201,88 @@ class Fig10Runner:
         calibrated on the transient measurements before it is needed)."""
         ordered = sorted(workloads, key=lambda w: w.num_vertices)
         return [self.run_workload(w) for w in ordered]
+
+
+class BatchServiceSuiteRunner:
+    """Run a workload suite through the batched solving service.
+
+    Where :class:`Fig10Runner` reproduces the paper's one-instance-at-a-time
+    comparison, this runner measures the serving path: every workload is
+    submitted to :class:`~repro.service.batch.BatchSolveService` once per
+    backend, all instances solve concurrently, and the returned
+    :class:`~repro.service.api.BatchReport` carries per-instance flow values,
+    relative errors against an exact baseline and the batch's aggregate
+    throughput.
+
+    Parameters
+    ----------
+    backends:
+        Backend names submitted per workload (defaults to the paper's CPU
+        baseline plus the analog substrate).
+    max_workers:
+        Worker-pool width of the underlying service.
+    analog_solver:
+        Analog solver configuration; defaults to the accuracy configuration
+        of :class:`Fig10Runner` (quantized, adaptive drive).
+    drive_voltage:
+        Objective drive for the analog solves.
+    reference_algorithm:
+        Classical algorithm used to compute the exact reference values.
+
+    Examples
+    --------
+    >>> from repro.bench import BatchServiceSuiteRunner, fig10_sparse_suite
+    >>> runner = BatchServiceSuiteRunner(max_workers=2)
+    >>> report = runner.run_suite(fig10_sparse_suite(scale=0.04)[:2])
+    >>> report.num_ok == report.num_requests
+    True
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[str] = ("push-relabel", "analog"),
+        max_workers: Optional[int] = None,
+        analog_solver: Optional[AnalogMaxFlowSolver] = None,
+        drive_voltage: float = 6.0,
+        reference_algorithm: str = "dinic",
+    ) -> None:
+        from ..service import BatchSolveService
+
+        self.backends = tuple(backends)
+        self.drive_voltage = drive_voltage
+        self.reference_algorithm = reference_algorithm
+        solver = (
+            analog_solver
+            if analog_solver is not None
+            else AnalogMaxFlowSolver(quantize=True, style="ideal", adaptive_drive=True)
+        )
+        self.service = BatchSolveService(max_workers=max_workers, analog_solver=solver)
+
+    def run_suite(self, workloads: Sequence[Fig10Workload]):
+        """Solve every workload with every backend in one batch call.
+
+        Returns
+        -------
+        repro.service.api.BatchReport
+            One result per (workload, backend) pair, tagged with the
+            workload name.
+        """
+        from ..service import SolveRequest
+
+        reference_solver = get_algorithm(self.reference_algorithm)
+        requests = []
+        for workload in sorted(workloads, key=lambda w: w.num_vertices):
+            network = workload.generate()
+            exact = reference_solver.solve(network).flow_value
+            for backend in self.backends:
+                options = {"vflow_v": self.drive_voltage} if backend == "analog" else {}
+                requests.append(
+                    SolveRequest(
+                        network=network,
+                        backend=backend,
+                        options=options,
+                        tag=workload.name,
+                        reference_value=exact,
+                    )
+                )
+        return self.service.solve_batch(requests)

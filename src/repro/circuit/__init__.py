@@ -14,6 +14,8 @@ capability in pure Python/SciPy:
 * :mod:`~repro.circuit.memristor` — behavioural memristor (LRS/HRS state,
   threshold switching, drift, variation)
 * :mod:`~repro.circuit.mna` — sparse Modified Nodal Analysis assembly
+* :mod:`~repro.circuit.linsolve` — dense/sparse linear-solver policy (dense
+  LAPACK for tiny systems, sparse LU for large ones)
 * :mod:`~repro.circuit.dc` — DC operating point solver (linear solve plus
   diode-state fixed-point iteration)
 * :mod:`~repro.circuit.transient` — backward-Euler transient analysis with
@@ -37,10 +39,11 @@ from .elements import (
     RampWaveform,
     ConstantWaveform,
 )
-from .nonlinear import Diode
+from .nonlinear import Diode, desired_conduction_states
 from .opamp import OpAmp
 from .memristor import Memristor, MemristorState
 from .mna import MNASystem
+from .linsolve import Factorization, LinearSystemSolver
 from .dc import DCOperatingPoint, DCSolution
 from .transient import TransientSimulator, TransientResult
 from .waveform import Waveform, settling_time
@@ -60,10 +63,13 @@ __all__ = [
     "RampWaveform",
     "ConstantWaveform",
     "Diode",
+    "desired_conduction_states",
     "OpAmp",
     "Memristor",
     "MemristorState",
     "MNASystem",
+    "Factorization",
+    "LinearSystemSolver",
     "DCOperatingPoint",
     "DCSolution",
     "TransientSimulator",

@@ -16,11 +16,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
-from scipy.sparse.linalg import splu
 
 from ..errors import ConvergenceError, SingularCircuitError
+from .linsolve import LinearSystemSolver
 from .mna import MNASystem
 from .netlist import Circuit
+from .nonlinear import desired_conduction_states
 
 __all__ = ["DCOperatingPoint", "DCSolution"]
 
@@ -72,6 +73,9 @@ class DCOperatingPoint:
     state_hysteresis_v:
         Voltage hysteresis applied when toggling a diode's state, which
         prevents chattering around the exact threshold.
+    linear_solver:
+        Dense/sparse solving policy (``mode="auto"`` by default: dense
+        LAPACK below the size threshold, sparse LU above it).
     """
 
     def __init__(
@@ -80,11 +84,13 @@ class DCOperatingPoint:
         state_hysteresis_v: float = 1e-9,
         strict: bool = False,
         acceptable_violation_v: float = 1e-6,
+        linear_solver: Optional[LinearSystemSolver] = None,
     ) -> None:
         self.max_iterations = max_iterations
         self.state_hysteresis_v = state_hysteresis_v
         self.strict = strict
         self.acceptable_violation_v = acceptable_violation_v
+        self.linear_solver = linear_solver if linear_solver is not None else LinearSystemSolver()
 
     # ------------------------------------------------------------------
 
@@ -203,14 +209,7 @@ class DCOperatingPoint:
     def _solve_linear(self, system: MNASystem, states: Dict[str, bool]) -> np.ndarray:
         matrix = system.matrix(diode_states=states, dt=None)
         rhs = system.rhs(t=None, diode_states=states, dt=None, previous=None)
-        try:
-            lu = splu(matrix)
-            solution = lu.solve(rhs)
-        except RuntimeError as exc:
-            raise SingularCircuitError(f"MNA matrix is singular: {exc}") from exc
-        if not np.all(np.isfinite(solution)):
-            raise SingularCircuitError("MNA solve produced non-finite values")
-        return solution
+        return self.linear_solver.solve(matrix, rhs)
 
     def _desired_states(
         self,
@@ -219,20 +218,17 @@ class DCOperatingPoint:
         current_states: Dict[str, bool],
     ) -> Tuple[Dict[str, bool], Dict[str, float]]:
         """Desired state per diode and the violation magnitude of wrong ones."""
-        desired: Dict[str, bool] = {}
-        violations: Dict[str, float] = {}
-        hysteresis = self.state_hysteresis_v
-        for diode in system.diodes:
-            v_d = system.node_voltage(solution, diode.anode) - system.node_voltage(
-                solution, diode.cathode
-            )
-            threshold = diode.parameters.forward_voltage_v
-            currently_on = current_states.get(diode.name, diode.initial_state)
-            if currently_on:
-                wants_on = v_d > threshold - hysteresis
-            else:
-                wants_on = v_d > threshold + hysteresis
-            desired[diode.name] = wants_on
-            if wants_on != currently_on:
-                violations[diode.name] = abs(v_d - threshold)
+        if not system.diodes:
+            return {}, {}
+        drops = system.diode_voltage_drops(solution)
+        currently_on = system.diode_states_array(current_states)
+        wants_on = desired_conduction_states(
+            drops, system.diode_thresholds, currently_on, self.state_hysteresis_v
+        )
+        desired = dict(zip(system.diode_names, wants_on.tolist()))
+        deviation = np.abs(drops - system.diode_thresholds)
+        violations = {
+            system.diode_names[i]: float(deviation[i])
+            for i in np.nonzero(wants_on != currently_on)[0]
+        }
         return desired, violations

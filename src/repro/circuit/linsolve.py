@@ -1,0 +1,171 @@
+"""Linear-system solving policy for the MNA hot path.
+
+Every analysis in :mod:`repro.circuit` ultimately solves ``A x = b`` with the
+MNA matrix ``A``.  Two regimes matter in practice:
+
+* **tiny circuits** (a few dozen unknowns, e.g. the paper's worked examples
+  and the per-step solves of small transients) — the sparse LU machinery of
+  ``scipy.sparse.linalg.splu`` costs more in Python/SuperLU overhead than the
+  factorisation itself; a dense LAPACK factorisation is faster;
+* **large circuits** (hundreds to thousands of unknowns, e.g. Fig. 10-style
+  R-MAT instances) — the MNA matrix is extremely sparse (a handful of stamps
+  per element) and a dense factorisation hits an O(n^2) memory wall long
+  before the sparse one breaks a sweat.
+
+:class:`LinearSystemSolver` picks the regime automatically (``mode="auto"``)
+with a size threshold, and can be pinned to either path (``"dense"`` /
+``"sparse"``) — the pinned modes are what the equivalence tests use to assert
+that both paths produce the same solution to < 1e-9.
+
+Factorisations are returned as lightweight handles so callers that solve the
+same matrix against many right-hand sides (the transient simulator's per
+diode-state-pattern cache, the DC iteration) pay the factorisation once.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+from scipy import sparse
+from scipy.linalg import lu_factor, lu_solve
+from scipy.sparse.linalg import splu
+
+from ..errors import SimulationError, SingularCircuitError
+
+__all__ = ["Factorization", "LinearSystemSolver", "DENSE_SIZE_THRESHOLD"]
+
+#: Below this number of unknowns the dense LAPACK path wins (measured on the
+#: seed's own circuits; the crossover is flat between ~40 and ~150 unknowns,
+#: so the exact value is uncritical).
+DENSE_SIZE_THRESHOLD = 64
+
+Matrix = Union[sparse.spmatrix, np.ndarray]
+
+
+class Factorization:
+    """An LU factorisation handle with a uniform ``solve`` interface.
+
+    Wraps either a dense LAPACK ``(lu, piv)`` pair or a SuperLU object so the
+    callers (DC iteration, transient per-pattern cache) never need to know
+    which path produced it.
+
+    Parameters
+    ----------
+    handle:
+        The underlying factorisation object.
+    kind:
+        ``"dense"`` or ``"sparse"``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.circuit.linsolve import LinearSystemSolver
+    >>> f = LinearSystemSolver(mode="dense").factorize(np.eye(2))
+    >>> f.kind
+    'dense'
+    >>> f.solve(np.array([1.0, 2.0]))
+    array([1., 2.])
+    """
+
+    __slots__ = ("handle", "kind")
+
+    def __init__(self, handle: object, kind: str) -> None:
+        self.handle = handle
+        self.kind = kind
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` for the factorised matrix ``A``.
+
+        Raises
+        ------
+        SingularCircuitError
+            When the solution contains non-finite values (the factorised
+            matrix was singular to working precision).
+        """
+        if self.kind == "dense":
+            solution = lu_solve(self.handle, rhs)
+        else:
+            solution = self.handle.solve(rhs)
+        if not np.all(np.isfinite(solution)):
+            raise SingularCircuitError("MNA solve produced non-finite values")
+        return solution
+
+
+class LinearSystemSolver:
+    """Dense/sparse solving policy for MNA systems.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (default) selects dense below ``dense_threshold`` unknowns
+        and sparse at or above it; ``"dense"`` / ``"sparse"`` pin one path.
+    dense_threshold:
+        Crossover size for ``mode="auto"``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from scipy import sparse
+    >>> from repro.circuit.linsolve import LinearSystemSolver
+    >>> solver = LinearSystemSolver()
+    >>> a = sparse.csc_matrix(np.array([[2.0, 0.0], [0.0, 4.0]]))
+    >>> solver.solve(a, np.array([2.0, 8.0]))
+    array([1., 2.])
+    """
+
+    def __init__(self, mode: str = "auto", dense_threshold: int = DENSE_SIZE_THRESHOLD) -> None:
+        if mode not in ("auto", "dense", "sparse"):
+            raise SimulationError(f"unknown linear solver mode {mode!r}")
+        if dense_threshold < 0:
+            raise SimulationError("dense_threshold must be nonnegative")
+        self.mode = mode
+        self.dense_threshold = dense_threshold
+
+    # ------------------------------------------------------------------
+
+    def chosen_kind(self, size: int) -> str:
+        """The path (``"dense"`` or ``"sparse"``) used for a ``size``-unknown system."""
+        if self.mode == "auto":
+            return "dense" if size < self.dense_threshold else "sparse"
+        return self.mode
+
+    def factorize(self, matrix: Matrix) -> Factorization:
+        """LU-factorise ``matrix``, returning a reusable :class:`Factorization`.
+
+        Parameters
+        ----------
+        matrix:
+            Square MNA matrix, sparse (any scipy format) or dense.
+
+        Raises
+        ------
+        SingularCircuitError
+            When the matrix is exactly singular.
+        """
+        size = matrix.shape[0]
+        kind = self.chosen_kind(size)
+        if kind == "dense":
+            dense = matrix.toarray() if sparse.issparse(matrix) else np.asarray(matrix, dtype=float)
+            try:
+                handle = lu_factor(dense, check_finite=False)
+            except (ValueError, np.linalg.LinAlgError) as exc:
+                raise SingularCircuitError(f"MNA matrix is singular: {exc}") from exc
+            # LAPACK getrf only *warns* on an exactly-zero pivot; the sparse
+            # path raises.  Align the dense path by inspecting U's diagonal
+            # (warning filters are process-global, so trapping the warning
+            # would not be thread-safe on this hot path).
+            lu = handle[0]
+            if not np.all(np.isfinite(lu)) or (lu.size and np.any(np.diagonal(lu) == 0.0)):
+                raise SingularCircuitError("MNA matrix is singular: zero pivot in dense LU")
+            return Factorization(handle, "dense")
+        csc = matrix.tocsc() if sparse.issparse(matrix) else sparse.csc_matrix(matrix)
+        try:
+            handle = splu(csc)
+        except RuntimeError as exc:
+            raise SingularCircuitError(f"MNA matrix is singular: {exc}") from exc
+        return Factorization(handle, "sparse")
+
+    def solve(self, matrix: Matrix, rhs: np.ndarray) -> np.ndarray:
+        """Factorise-and-solve convenience for single right-hand sides."""
+        return self.factorize(matrix).solve(rhs)

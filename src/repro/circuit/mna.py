@@ -79,6 +79,19 @@ class MNASystem:
         self.vcvs: List[VCVS] = circuit.elements_of_type(VCVS)  # type: ignore[assignment]
         self.opamps: List[OpAmp] = circuit.elements_of_type(OpAmp)  # type: ignore[assignment]
 
+        # Vectorised diode views used by the DC/transient state iteration:
+        # slot -1 (ground) indexes a zero appended to the solution vector.
+        self.diode_names: List[str] = [d.name for d in self.diodes]
+        self._diode_anode_slots = np.array(
+            [self._slot(d.anode) for d in self.diodes], dtype=np.intp
+        )
+        self._diode_cathode_slots = np.array(
+            [self._slot(d.cathode) for d in self.diodes], dtype=np.intp
+        )
+        self.diode_thresholds = np.array(
+            [d.parameters.forward_voltage_v for d in self.diodes], dtype=float
+        )
+
     # ------------------------------------------------------------------
     # Index helpers
     # ------------------------------------------------------------------
@@ -293,6 +306,24 @@ class MNASystem:
             raise NetlistError(
                 f"element {element_name!r} has no branch current unknown"
             ) from exc
+
+    def diode_voltage_drops(self, solution: np.ndarray) -> np.ndarray:
+        """Anode-minus-cathode voltage per diode, in declaration order.
+
+        The vectorised counterpart of :meth:`diode_voltages`; the DC and
+        transient state iterations evaluate every diode per linear solve, so
+        this is on the hot path for clamp-heavy circuits.
+        """
+        if not self.diodes:
+            return np.zeros(0)
+        padded = np.append(solution[: self.size], 0.0)
+        return padded[self._diode_anode_slots] - padded[self._diode_cathode_slots]
+
+    def diode_states_array(self, states: Dict[str, bool]) -> np.ndarray:
+        """Boolean array of per-diode states in declaration order."""
+        return np.array(
+            [states.get(d.name, d.initial_state) for d in self.diodes], dtype=bool
+        )
 
     def diode_voltages(
         self, solution: np.ndarray

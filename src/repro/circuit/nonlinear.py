@@ -17,11 +17,57 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from ..config import DiodeParameters
 from ..errors import NetlistError
 from .netlist import CircuitElement
 
-__all__ = ["Diode"]
+__all__ = ["Diode", "desired_conduction_states"]
+
+
+def desired_conduction_states(
+    voltage_drops: np.ndarray,
+    thresholds: np.ndarray,
+    currently_on: np.ndarray,
+    hysteresis: float = 1e-9,
+) -> np.ndarray:
+    """Vectorised diode state update with hysteresis.
+
+    A diode wants to conduct when its voltage drop exceeds its forward
+    threshold; the hysteresis band keeps a diode in its current state while
+    the drop sits within ``hysteresis`` of the threshold, which prevents
+    chattering around the exact switching point.  This is the array form of
+    :meth:`Diode.should_conduct` used by the DC and transient solvers, which
+    re-evaluate every diode after each linear solve.
+
+    Parameters
+    ----------
+    voltage_drops:
+        Anode-minus-cathode voltage per diode
+        (:meth:`~repro.circuit.mna.MNASystem.diode_voltage_drops`).
+    thresholds:
+        Forward voltage per diode.
+    currently_on:
+        Current conducting state per diode.
+    hysteresis:
+        Half-width of the dead band around each threshold.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of desired states, aligned with the inputs.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> desired_conduction_states(
+    ...     np.array([0.5, -0.5]), np.zeros(2), np.array([True, True])
+    ... )
+    array([ True, False])
+    """
+    effective = np.where(currently_on, thresholds - hysteresis, thresholds + hysteresis)
+    return voltage_drops > effective
 
 
 class Diode(CircuitElement):

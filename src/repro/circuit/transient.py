@@ -16,11 +16,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.sparse.linalg import splu
 
 from ..errors import ConvergenceError, SimulationError, SingularCircuitError
+from .linsolve import Factorization, LinearSystemSolver
 from .mna import MNASystem
 from .netlist import GROUND, Circuit
+from .nonlinear import desired_conduction_states
 from .waveform import Waveform, settling_time
 
 __all__ = ["TransientSimulator", "TransientResult"]
@@ -86,10 +87,18 @@ class TransientSimulator:
     ----------
     max_state_iterations:
         Maximum diode-state iterations per time step.
+    linear_solver:
+        Dense/sparse solving policy for the per-pattern factorisations
+        (``mode="auto"`` by default).
     """
 
-    def __init__(self, max_state_iterations: int = 50) -> None:
+    def __init__(
+        self,
+        max_state_iterations: int = 50,
+        linear_solver: Optional[LinearSystemSolver] = None,
+    ) -> None:
         self.max_state_iterations = max_state_iterations
+        self.linear_solver = linear_solver if linear_solver is not None else LinearSystemSolver()
 
     def run(
         self,
@@ -159,7 +168,7 @@ class TransientSimulator:
         current_data = {n: np.zeros(num_steps + 1) for n in recorded_currents}
         self._record(system, x, 0, node_data, current_data)
 
-        lu_cache: Dict[Tuple[Tuple[str, bool], ...], object] = {}
+        lu_cache: Dict[Tuple[Tuple[str, bool], ...], Factorization] = {}
         state_changes = 0
 
         for step in range(1, num_steps + 1):
@@ -189,7 +198,7 @@ class TransientSimulator:
         dt: float,
         x_prev: np.ndarray,
         states: Dict[str, bool],
-        lu_cache: Dict[Tuple[Tuple[str, bool], ...], object],
+        lu_cache: Dict[Tuple[Tuple[str, bool], ...], Factorization],
     ) -> Tuple[np.ndarray, Dict[str, bool]]:
         """One backward-Euler step with diode-state iteration."""
         current_states = dict(states)
@@ -201,16 +210,19 @@ class TransientSimulator:
             if lu is None:
                 matrix = system.matrix(diode_states=current_states, dt=dt)
                 try:
-                    lu = splu(matrix.tocsc())
-                except RuntimeError as exc:
+                    lu = self.linear_solver.factorize(matrix)
+                except SingularCircuitError as exc:
                     raise SingularCircuitError(
                         f"transient MNA matrix is singular at t={t}: {exc}"
                     ) from exc
                 lu_cache[key] = lu
             rhs = system.rhs(t=t, diode_states=current_states, dt=dt, previous=x_prev)
-            solution = lu.solve(rhs)
-            if not np.all(np.isfinite(solution)):
-                raise SingularCircuitError(f"non-finite transient solution at t={t}")
+            try:
+                solution = lu.solve(rhs)
+            except SingularCircuitError as exc:
+                raise SingularCircuitError(
+                    f"non-finite transient solution at t={t}: {exc}"
+                ) from exc
             desired = self._desired_states(system, solution, current_states)
             if desired == current_states:
                 return solution, current_states
@@ -230,18 +242,15 @@ class TransientSimulator:
     def _desired_states(
         system: MNASystem, solution: np.ndarray, current: Dict[str, bool]
     ) -> Dict[str, bool]:
-        desired: Dict[str, bool] = {}
-        for diode in system.diodes:
-            v_d = system.node_voltage(solution, diode.anode) - system.node_voltage(
-                solution, diode.cathode
-            )
-            threshold = diode.parameters.forward_voltage_v
-            hysteresis = 1e-9
-            if current.get(diode.name, diode.initial_state):
-                desired[diode.name] = v_d > threshold - hysteresis
-            else:
-                desired[diode.name] = v_d > threshold + hysteresis
-        return desired
+        if not system.diodes:
+            return {}
+        wants_on = desired_conduction_states(
+            system.diode_voltage_drops(solution),
+            system.diode_thresholds,
+            system.diode_states_array(current),
+            hysteresis=1e-9,
+        )
+        return dict(zip(system.diode_names, wants_on.tolist()))
 
     @staticmethod
     def _record(

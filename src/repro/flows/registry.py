@@ -1,9 +1,17 @@
 """Registry of classical max-flow solvers.
 
-Allows benchmarks and examples to select a baseline by name:
+Benchmarks, examples and the batch service select a CPU baseline by name;
+the registry maps those names to solver factories so call sites never import
+algorithm classes directly.  The same names are valid backend names for
+:class:`repro.service.batch.BatchSolveService`.
 
->>> from repro.flows import solve_max_flow
->>> result = solve_max_flow(network, algorithm="push-relabel")
+>>> from repro import FlowNetwork
+>>> from repro.flows.registry import solve_max_flow
+>>> g = FlowNetwork()
+>>> _ = g.add_edge("s", "a", 3.0)
+>>> _ = g.add_edge("a", "t", 2.0)
+>>> solve_max_flow(g, algorithm="push-relabel").flow_value
+2.0
 """
 
 from __future__ import annotations
@@ -22,6 +30,9 @@ from .push_relabel import PushRelabel
 __all__ = ["ALGORITHMS", "get_algorithm", "solve_max_flow"]
 
 
+#: Solver factories by public algorithm name.  Every entry is a zero-argument
+#: callable returning a fresh solver instance, so concurrent callers (the
+#: batch service's worker pool) never share mutable solver state.
 ALGORITHMS: Dict[str, Callable[[], object]] = {
     "ford-fulkerson": FordFulkerson,
     "edmonds-karp": EdmondsKarp,
@@ -33,7 +44,34 @@ ALGORITHMS: Dict[str, Callable[[], object]] = {
 
 
 def get_algorithm(name: str):
-    """Instantiate the solver registered under ``name``."""
+    """Instantiate the solver registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Key in :data:`ALGORITHMS` (``"dinic"``, ``"push-relabel"``, ...).
+
+    Returns
+    -------
+    FlowAlgorithm
+        A fresh solver instance.
+
+    Raises
+    ------
+    AlgorithmError
+        For unknown names; the message lists the known ones.
+
+    Examples
+    --------
+    >>> from repro.flows.registry import get_algorithm
+    >>> get_algorithm("dinic").name
+    'dinic'
+    >>> get_algorithm("simplex")
+    Traceback (most recent call last):
+        ...
+    repro.errors.AlgorithmError: unknown algorithm 'simplex'; known: dinic, \
+edmonds-karp, ford-fulkerson, lp-reference, push-relabel, push-relabel-fifo
+    """
     try:
         factory = ALGORITHMS[name]
     except KeyError as exc:
@@ -45,6 +83,32 @@ def get_algorithm(name: str):
 def solve_max_flow(
     network: FlowNetwork, algorithm: str = "dinic", validate: bool = False
 ) -> MaxFlowResult:
-    """Solve ``network`` with the named classical algorithm."""
+    """Solve ``network`` with the named classical algorithm.
+
+    Parameters
+    ----------
+    network:
+        The flow network to solve.
+    algorithm:
+        Key in :data:`ALGORITHMS`.
+    validate:
+        When set, the returned flow is checked for feasibility and an
+        :class:`~repro.errors.InfeasibleFlowError` is raised on violation.
+
+    Returns
+    -------
+    MaxFlowResult
+        Flow value, per-edge flows and operation counters.
+
+    Examples
+    --------
+    >>> from repro import FlowNetwork
+    >>> from repro.flows.registry import solve_max_flow
+    >>> g = FlowNetwork()
+    >>> _ = g.add_edge("s", "t", 4.5)
+    >>> result = solve_max_flow(g, algorithm="edmonds-karp", validate=True)
+    >>> result.flow_value, result.algorithm
+    (4.5, 'edmonds-karp')
+    """
     solver = get_algorithm(algorithm)
     return solver.solve(network, validate=validate)

@@ -165,7 +165,9 @@ class RMATGenerator:
 
         # Fall back to uniformly random pairs if the R-MAT sampling kept
         # hitting duplicates (can happen for very dense requests).
-        while network.num_edges < num_edges:
+        fallback_attempts = 0
+        while network.num_edges < num_edges and fallback_attempts < max_attempts:
+            fallback_attempts += 1
             tail = rng.randrange(num_vertices)
             head = rng.randrange(num_vertices)
             if tail == head:
@@ -177,6 +179,28 @@ class RMATGenerator:
             seen_pairs.add((tail, head))
             capacity = self._draw_capacity(rng, min_capacity, max_capacity, integer_capacities)
             network.add_edge(tail, head, capacity)
+
+        # A duplicate-free request can exceed the number of orientable
+        # distinct pairs (e.g. 48 edges on 8 vertices): enumerate whatever
+        # remains instead of sampling forever, and accept a saturated graph
+        # with fewer edges than requested once every pair is used.
+        if network.num_edges < num_edges and not self.allow_duplicate_edges:
+            remaining = [
+                (tail, head)
+                for tail in range(num_vertices)
+                for head in range(num_vertices)
+                if tail != head
+                and head != source
+                and tail != sink
+                and (tail, head) not in seen_pairs
+            ]
+            rng.shuffle(remaining)
+            for tail, head in remaining[: num_edges - network.num_edges]:
+                seen_pairs.add((tail, head))
+                capacity = self._draw_capacity(
+                    rng, min_capacity, max_capacity, integer_capacities
+                )
+                network.add_edge(tail, head, capacity)
 
         if ensure_st_path and not _has_st_path(network):
             _add_random_st_path(network, rng, min_capacity, max_capacity, integer_capacities)

@@ -1,0 +1,52 @@
+"""Batched solving service (the production front door).
+
+Everything upstream of this package solves *one* instance at a time; this
+package turns the reproduction into a serving system:
+
+* :mod:`~repro.service.api` — :class:`SolveRequest` / :class:`SolveResult`
+  / :class:`BatchReport`, the wire-level data model;
+* :mod:`~repro.service.backends` — the backend registry dispatching each
+  request to the analog pipeline or a classical algorithm;
+* :mod:`~repro.service.cache` — topology hashing and the compiled-circuit
+  LRU memo;
+* :mod:`~repro.service.batch` — :class:`BatchSolveService`, the concurrent
+  batch executor.
+
+Quick start::
+
+    from repro import FlowNetwork
+    from repro.service import BatchSolveService, SolveRequest
+
+    service = BatchSolveService(max_workers=4)
+    report = service.solve_batch(
+        [SolveRequest(network=g, backend=b) for g in instances for b in ("dinic", "analog")]
+    )
+    print(report.format(title="mixed batch"))
+"""
+
+from .api import BatchReport, SolveRequest, SolveResult
+from .backends import (
+    AnalogBackend,
+    ClassicalBackend,
+    SolveBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from .batch import BatchSolveService
+from .cache import CompiledCircuitCache, network_signature
+
+__all__ = [
+    "BatchReport",
+    "SolveRequest",
+    "SolveResult",
+    "SolveBackend",
+    "AnalogBackend",
+    "ClassicalBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "BatchSolveService",
+    "CompiledCircuitCache",
+    "network_signature",
+]

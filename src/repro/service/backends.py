@@ -1,0 +1,257 @@
+"""Solver backends and the shared backend registry.
+
+A backend turns one :class:`~repro.service.api.SolveRequest` into one
+:class:`~repro.service.api.SolveResult`.  Two families ship with the
+service:
+
+* :class:`AnalogBackend` — the paper's pipeline (quantize → compile → MNA
+  solve → readout) via :class:`~repro.analog.solver.AnalogMaxFlowSolver`,
+  with compiled circuits memoized per network topology;
+* :class:`ClassicalBackend` — any algorithm registered in
+  :data:`repro.flows.registry.ALGORITHMS` (Dinic, push-relabel, ...).
+
+The module-level registry maps backend names to factories so batch requests
+select backends by name; :func:`register_backend` admits project-specific
+backends (e.g. a crossbar-engine backend) without touching the service.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..analog.solver import AnalogMaxFlowSolver
+from ..errors import AlgorithmError
+from ..flows.registry import ALGORITHMS, get_algorithm
+from ..graph.analysis import is_source_sink_connected
+from .api import SolveRequest, SolveResult
+from .cache import CompiledCircuitCache, network_signature
+
+__all__ = [
+    "SolveBackend",
+    "AnalogBackend",
+    "ClassicalBackend",
+    "register_backend",
+    "create_backend",
+    "available_backends",
+]
+
+
+class SolveBackend:
+    """Base class: solve one request, returning a normalised result.
+
+    Subclasses implement :meth:`_solve` returning ``(flow_value, edge_flows,
+    detail, cache_hit)``; the base class handles timing, error capture and
+    reference-error computation so every backend reports uniformly.
+    """
+
+    name = "abstract"
+
+    def solve(self, request: SolveRequest) -> SolveResult:
+        """Solve ``request``, never raising: failures become ``ok=False`` results."""
+        start = time.perf_counter()
+        try:
+            flow_value, edge_flows, detail, cache_hit = self._solve(request)
+        except Exception as exc:  # noqa: BLE001 - per-instance fault isolation
+            return SolveResult(
+                request=request,
+                ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+                wall_time_s=time.perf_counter() - start,
+            )
+        relative_error = None
+        reference = request.reference_value
+        if reference is not None:
+            if reference == 0:
+                relative_error = 0.0 if flow_value == 0 else float("inf")
+            else:
+                relative_error = abs(flow_value - reference) / abs(reference)
+        return SolveResult(
+            request=request,
+            flow_value=flow_value,
+            edge_flows=edge_flows,
+            wall_time_s=time.perf_counter() - start,
+            cache_hit=cache_hit,
+            relative_error=relative_error,
+            detail=detail,
+        )
+
+    # -- to be provided by subclasses ----------------------------------
+
+    def _solve(self, request: SolveRequest):
+        raise NotImplementedError
+
+
+class ClassicalBackend(SolveBackend):
+    """Backend wrapping one classical algorithm from the flows registry.
+
+    Parameters
+    ----------
+    algorithm:
+        Name from :data:`repro.flows.registry.ALGORITHMS`.
+
+    Examples
+    --------
+    >>> from repro import FlowNetwork
+    >>> from repro.service import ClassicalBackend, SolveRequest
+    >>> g = FlowNetwork()
+    >>> _ = g.add_edge("s", "t", 5.0)
+    >>> result = ClassicalBackend("dinic").solve(SolveRequest(network=g))
+    >>> result.ok, round(result.flow_value, 2)
+    (True, 5.0)
+    """
+
+    def __init__(self, algorithm: str) -> None:
+        self.algorithm = algorithm
+        self.name = algorithm
+        get_algorithm(algorithm)  # fail fast on unknown names
+
+    def _solve(self, request: SolveRequest):
+        solver = get_algorithm(self.algorithm)
+        validate = bool(request.options.get("validate", False))
+        result = solver.solve(request.network, validate=validate)
+        return result.flow_value, result.edge_flows, result, False
+
+
+class AnalogBackend(SolveBackend):
+    """Backend running the analog substrate pipeline, with compile memoization.
+
+    Parameters
+    ----------
+    solver:
+        Configured :class:`~repro.analog.solver.AnalogMaxFlowSolver`
+        (Table 1 defaults when omitted).
+    cache:
+        Compiled-circuit cache shared across requests; ``None`` disables
+        memoization.
+
+    Notes
+    -----
+    The cache is consulted only for plain DC solves: transient solves and
+    adaptive-drive solves recompile at varying drive voltages, so they go
+    through :meth:`AnalogMaxFlowSolver.solve` untouched.  Cache keys combine
+    the network topology hash with the solver configuration and drive
+    voltage, so two differently-configured backends never share entries.
+
+    Examples
+    --------
+    >>> from repro import FlowNetwork
+    >>> from repro.service import AnalogBackend, CompiledCircuitCache, SolveRequest
+    >>> g = FlowNetwork()
+    >>> _ = g.add_edge("s", "t", 2.0)
+    >>> backend = AnalogBackend(cache=CompiledCircuitCache())
+    >>> first = backend.solve(SolveRequest(network=g))
+    >>> second = backend.solve(SolveRequest(network=g))
+    >>> first.cache_hit, second.cache_hit
+    (False, True)
+    """
+
+    name = "analog"
+
+    def __init__(
+        self,
+        solver: Optional[AnalogMaxFlowSolver] = None,
+        cache: Optional[CompiledCircuitCache] = None,
+    ) -> None:
+        self.solver = solver if solver is not None else AnalogMaxFlowSolver()
+        self.cache = cache
+
+    def _config_signature(self) -> str:
+        s = self.solver
+        return repr(
+            (
+                s.parameters,
+                s.nonideal,
+                s.quantize,
+                str(s.style),
+                s.prune,
+                s.quantizer_mode,
+                s.seed,
+            )
+        )
+
+    def _solve(self, request: SolveRequest):
+        method = request.options.get("method", "dc")
+        vflow_v = request.options.get("vflow_v")
+        cacheable = (
+            self.cache is not None
+            and method == "dc"
+            and not self.solver.adaptive_drive
+            and is_source_sink_connected(request.network)
+        )
+        if cacheable:
+            drive = float(vflow_v) if vflow_v is not None else self.solver.parameters.vflow_v
+            key = (network_signature(request.network), self._config_signature(), drive)
+            hit, compiled = self.cache.lookup(key)
+            if not hit:
+                compiled = self.solver.compile(request.network, vflow_v=drive)
+                self.cache.store(key, compiled)
+            result = self.solver.solve_compiled(compiled)
+            return result.flow_value, result.edge_flows, result, hit
+        result = self.solver.solve(
+            request.network,
+            method=method,
+            vflow_v=vflow_v,
+            measure_convergence=bool(request.options.get("measure_convergence", False)),
+        )
+        return result.flow_value, result.edge_flows, result, False
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+BackendFactory = Callable[[], SolveBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {"analog": AnalogBackend}
+for _name in ALGORITHMS:
+    _REGISTRY[_name] = (lambda n: lambda: ClassicalBackend(n))(_name)
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a custom backend factory under ``name`` (overwrites).
+
+    Examples
+    --------
+    >>> from repro.service import register_backend, available_backends
+    >>> from repro.service.backends import ClassicalBackend
+    >>> register_backend("bfs", lambda: ClassicalBackend("edmonds-karp"))
+    >>> "bfs" in available_backends()
+    True
+    """
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(
+    name: str,
+    analog_solver: Optional[AnalogMaxFlowSolver] = None,
+    cache: Optional[CompiledCircuitCache] = None,
+) -> SolveBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registered backend name (``"analog"``, ``"dinic"``, ...).
+    analog_solver, cache:
+        Configuration injected into the ``"analog"`` backend; ignored by
+        the others.
+
+    Raises
+    ------
+    AlgorithmError
+        For unknown backend names.
+    """
+    if name == "analog":
+        return AnalogBackend(solver=analog_solver, cache=cache)
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(available_backends())
+        raise AlgorithmError(f"unknown backend {name!r}; known: {known}") from exc
+    return factory()

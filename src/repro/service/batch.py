@@ -1,0 +1,199 @@
+"""The batched solving service.
+
+:class:`BatchSolveService` is the front door for heavy traffic: it accepts a
+batch of flow networks (or fully-specified
+:class:`~repro.service.api.SolveRequest` objects mixing analog and classical
+backends), fans the instances out over a worker pool, memoizes compiled
+analog circuits across the batch, and returns one
+:class:`~repro.service.api.BatchReport` with per-instance results and
+aggregate statistics.
+
+Worker pools
+------------
+``executor="thread"`` (default) runs instances on a thread pool.  The MNA
+hot path spends its time inside scipy's LAPACK/SuperLU calls, which release
+the GIL, so threads overlap well and share one compiled-circuit cache.
+``executor="process"`` sidesteps the GIL entirely for Python-bound classical
+solvers at the cost of pickling instances and forgoing the shared cache
+(each worker process compiles for itself).  ``executor="serial"`` runs
+in-line, which is the reference behaviour for debugging.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..analog.solver import AnalogMaxFlowSolver
+from ..errors import AlgorithmError
+from ..graph.network import FlowNetwork
+from .api import BatchReport, SolveRequest, SolveResult
+from .backends import SolveBackend, create_backend
+from .cache import CompiledCircuitCache
+
+__all__ = ["BatchSolveService"]
+
+RequestLike = Union[SolveRequest, FlowNetwork]
+
+
+def _default_max_workers() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+def _process_worker(payload) -> SolveResult:
+    """Top-level worker for the process pool (must be picklable)."""
+    request, analog_solver = payload
+    backend = create_backend(request.backend, analog_solver=analog_solver, cache=None)
+    return backend.solve(request)
+
+
+class BatchSolveService:
+    """Solve many max-flow instances concurrently through one call.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-pool width; defaults to ``min(8, cpu_count)``.
+    executor:
+        ``"thread"`` (default), ``"process"`` or ``"serial"`` — see the
+        module docstring for the trade-offs.
+    analog_solver:
+        Configured :class:`~repro.analog.solver.AnalogMaxFlowSolver` used by
+        every ``"analog"`` request (Table 1 defaults when omitted).
+    cache_size:
+        Capacity of the shared compiled-circuit cache (``0`` disables it).
+
+    Examples
+    --------
+    A mixed batch — the same instance through a classical and the analog
+    backend — in one call:
+
+    >>> from repro import FlowNetwork
+    >>> from repro.service import BatchSolveService, SolveRequest
+    >>> g = FlowNetwork()
+    >>> _ = g.add_edge("s", "a", 3.0)
+    >>> _ = g.add_edge("a", "t", 2.0)
+    >>> service = BatchSolveService(max_workers=2)
+    >>> report = service.solve_batch(
+    ...     [
+    ...         SolveRequest(network=g, backend="dinic", tag="exact"),
+    ...         SolveRequest(network=g, backend="analog", tag="substrate"),
+    ...     ]
+    ... )
+    >>> report.num_ok
+    2
+    >>> round(report.by_tag("exact")[0].flow_value, 2)
+    2.0
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        executor: str = "thread",
+        analog_solver: Optional[AnalogMaxFlowSolver] = None,
+        cache_size: int = 128,
+    ) -> None:
+        if executor not in ("thread", "process", "serial"):
+            raise AlgorithmError(f"unknown executor {executor!r}")
+        if max_workers is not None and max_workers < 1:
+            raise AlgorithmError("max_workers must be at least 1")
+        self.max_workers = max_workers if max_workers is not None else _default_max_workers()
+        self.executor = executor
+        self.analog_solver = analog_solver if analog_solver is not None else AnalogMaxFlowSolver()
+        self.cache = CompiledCircuitCache(max_entries=cache_size)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_request(item: RequestLike) -> SolveRequest:
+        if isinstance(item, SolveRequest):
+            return item
+        if isinstance(item, FlowNetwork):
+            return SolveRequest(network=item)
+        raise AlgorithmError(
+            f"batch items must be SolveRequest or FlowNetwork, got {type(item).__name__}"
+        )
+
+    def _backends_for(self, requests: List[SolveRequest]) -> Dict[str, SolveBackend]:
+        """One backend instance per distinct name; unknown names fail fast."""
+        return {
+            name: create_backend(name, analog_solver=self.analog_solver, cache=self.cache)
+            for name in {r.backend for r in requests}
+        }
+
+    # ------------------------------------------------------------------
+
+    def solve(self, network: FlowNetwork, backend: str = "analog", **options: Any) -> SolveResult:
+        """Solve a single instance (sugar for a one-request batch).
+
+        Parameters
+        ----------
+        network:
+            The instance to solve.
+        backend:
+            Registered backend name.
+        **options:
+            Backend-specific options (see :class:`SolveRequest`).
+
+        Examples
+        --------
+        >>> from repro import FlowNetwork
+        >>> from repro.service import BatchSolveService
+        >>> g = FlowNetwork()
+        >>> _ = g.add_edge("s", "t", 1.5)
+        >>> round(BatchSolveService().solve(g, backend="push-relabel").flow_value, 2)
+        1.5
+        """
+        request = SolveRequest(network=network, backend=backend, options=dict(options))
+        backend_obj = create_backend(backend, analog_solver=self.analog_solver, cache=self.cache)
+        return backend_obj.solve(request)
+
+    def solve_batch(self, requests: Iterable[RequestLike]) -> BatchReport:
+        """Solve a batch of instances and aggregate the outcome.
+
+        Parameters
+        ----------
+        requests:
+            :class:`SolveRequest` objects and/or bare
+            :class:`~repro.graph.network.FlowNetwork` instances (which get
+            the default ``"analog"`` backend).
+
+        Returns
+        -------
+        BatchReport
+            Per-instance results in request order plus aggregate stats.
+            Backend exceptions are captured per instance (``ok=False``);
+            only malformed batches (unknown backend name, wrong item type)
+            raise.
+        """
+        reqs = [self._as_request(item) for item in requests]
+        start = time.perf_counter()
+        if not reqs:
+            return BatchReport(
+                results=[],
+                total_wall_time_s=0.0,
+                max_workers=self.max_workers,
+                executor=self.executor,
+                cache_stats=self.cache.stats(),
+            )
+        backends = self._backends_for(reqs)
+
+        if self.executor == "process" and len(reqs) > 1:
+            payloads = [(r, self.analog_solver) for r in reqs]
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                results = list(pool.map(_process_worker, payloads))
+        elif self.executor == "thread" and len(reqs) > 1 and self.max_workers > 1:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                results = list(pool.map(lambda r: backends[r.backend].solve(r), reqs))
+        else:
+            results = [backends[r.backend].solve(r) for r in reqs]
+
+        return BatchReport(
+            results=results,
+            total_wall_time_s=time.perf_counter() - start,
+            max_workers=self.max_workers,
+            executor=self.executor,
+            cache_stats=self.cache.stats(),
+        )

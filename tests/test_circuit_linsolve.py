@@ -1,0 +1,98 @@
+"""Dense/sparse linear-solver policy: both paths must agree to < 1e-9."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import AnalogMaxFlowSolver, paper_example_graph, rmat_graph
+from repro.circuit import (
+    Circuit,
+    DCOperatingPoint,
+    LinearSystemSolver,
+    Resistor,
+    TransientSimulator,
+    VoltageSource,
+)
+from repro.circuit.linsolve import DENSE_SIZE_THRESHOLD
+from repro.errors import SimulationError, SingularCircuitError
+
+
+def _divider_circuit() -> Circuit:
+    circuit = Circuit()
+    circuit.add(VoltageSource("V1", "in", "0", 2.0))
+    circuit.add(Resistor("R1", "in", "mid", 1000.0))
+    circuit.add(Resistor("R2", "mid", "0", 1000.0))
+    return circuit
+
+
+def _compiled_circuits():
+    """Representative circuits: the worked example and an R-MAT instance."""
+    solver = AnalogMaxFlowSolver(quantize=True)
+    yield "paper", solver.compile(paper_example_graph(), vflow_v=6.0).circuit
+    yield "rmat", solver.compile(rmat_graph(12, 30, seed=5), vflow_v=6.0).circuit
+
+
+def test_mode_validation():
+    with pytest.raises(SimulationError):
+        LinearSystemSolver(mode="iterative")
+    with pytest.raises(SimulationError):
+        LinearSystemSolver(dense_threshold=-1)
+
+
+def test_auto_mode_crossover():
+    solver = LinearSystemSolver()
+    assert solver.chosen_kind(DENSE_SIZE_THRESHOLD - 1) == "dense"
+    assert solver.chosen_kind(DENSE_SIZE_THRESHOLD) == "sparse"
+    assert LinearSystemSolver(mode="dense").chosen_kind(10_000) == "dense"
+    assert LinearSystemSolver(mode="sparse").chosen_kind(2) == "sparse"
+
+
+def test_dense_and_sparse_agree_on_random_systems():
+    rng = np.random.default_rng(42)
+    for size in (3, 20, 80):
+        a = rng.standard_normal((size, size)) + size * np.eye(size)
+        b = rng.standard_normal(size)
+        x_dense = LinearSystemSolver(mode="dense").solve(a, b)
+        x_sparse = LinearSystemSolver(mode="sparse").solve(sparse.csc_matrix(a), b)
+        assert np.allclose(x_dense, x_sparse, atol=1e-9)
+
+
+def test_singular_matrix_raises_on_both_paths():
+    singular = np.zeros((3, 3))
+    for mode in ("dense", "sparse"):
+        with pytest.raises(SingularCircuitError):
+            LinearSystemSolver(mode=mode).solve(singular, np.ones(3))
+
+
+@pytest.mark.parametrize("name,circuit", list(_compiled_circuits()) + [("divider", _divider_circuit())])
+def test_dc_solutions_match_between_paths(name, circuit):
+    dense = DCOperatingPoint(linear_solver=LinearSystemSolver(mode="dense")).solve(circuit)
+    sparse_ = DCOperatingPoint(linear_solver=LinearSystemSolver(mode="sparse")).solve(circuit)
+    assert dense.diode_states == sparse_.diode_states
+    # 1e-9 relative: the clamp circuits span nine decades of conductance, so
+    # the two pivoting orders differ at the condition-number floor, not at
+    # machine epsilon.
+    for node, voltage in dense.voltages.items():
+        assert abs(voltage - sparse_.voltages[node]) < 1e-9 * max(1.0, abs(voltage)), (name, node)
+    for element, current in dense.branch_currents.items():
+        assert abs(current - sparse_.branch_currents[element]) < 1e-9 * max(
+            1.0, abs(current)
+        ), (name, element)
+
+
+def test_transient_matches_between_paths():
+    from repro.circuit import Capacitor, StepWaveform
+
+    circuit = Circuit()
+    circuit.add(VoltageSource("V1", "in", "0", StepWaveform(final=1.0, initial=0.0, delay=1e-6)))
+    circuit.add(Resistor("R1", "in", "out", 1e3))
+    circuit.add(Capacitor("C1", "out", "0", 1e-9))
+    runs = {}
+    for mode in ("dense", "sparse"):
+        sim = TransientSimulator(linear_solver=LinearSystemSolver(mode=mode))
+        runs[mode] = sim.run(circuit, t_stop=1e-5, dt=1e-7, record_nodes=["out"])
+    assert np.allclose(
+        runs["dense"].node_voltages["out"], runs["sparse"].node_voltages["out"], atol=1e-9
+    )

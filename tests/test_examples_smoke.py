@@ -1,0 +1,59 @@
+"""Smoke tests: every script in ``examples/`` must import and run.
+
+The examples are referenced from the README and ``docs/``; running each
+``main()`` on tiny inputs here keeps them from rotting.  Each example's
+``main`` accepts scale parameters whose defaults reproduce the full-size
+demo, so the smoke runs stay fast without forking the example code.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Tiny-input arguments per example script (keyword args for its main()).
+SMOKE_ARGS = {
+    "quickstart.py": {},
+    "traffic_routing.py": {"rows": 2, "cols": 3, "num_points": 5},
+    "image_segmentation.py": {"width": 4, "height": 3},
+    "crossbar_reconfiguration.py": {
+        "vertices": 10,
+        "edges": 20,
+        "crossbar_rows": 32,
+        "crossbar_columns": 32,
+        "seeds": (11,),
+    },
+}
+
+
+def _load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_every_example_script_has_smoke_args():
+    """A new example must be added to SMOKE_ARGS (or it will rot silently)."""
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert scripts == sorted(SMOKE_ARGS), (
+        "examples/ and SMOKE_ARGS disagree; add new scripts to the smoke test"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(SMOKE_ARGS))
+def test_example_runs_on_tiny_inputs(script, capsys):
+    module = _load_example(EXAMPLES_DIR / script)
+    assert hasattr(module, "main"), f"{script} must expose a main() entry point"
+    module.main(**SMOKE_ARGS[script])
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{script} printed nothing"
