@@ -9,21 +9,27 @@ DOCTEST_MODULES := src/repro/service \
 	src/repro/flows/registry.py \
 	src/repro/analog/solver.py \
 	src/repro/circuit/linsolve.py \
-	src/repro/circuit/nonlinear.py
+	src/repro/circuit/nonlinear.py \
+	src/repro/circuit/stamps.py
 
-.PHONY: test bench-smoke docs-check
+.PHONY: test bench-smoke docs-check perf-gate
 
 ## tier-1 suite plus the documented-API doctests
 test:
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) -m pytest --doctest-modules $(DOCTEST_MODULES) -q
 
-## fast benchmark smoke at a small scale (service batch + Fig. 8)
+## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly)
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest \
 		benchmarks/bench_service_batch.py \
 		benchmarks/bench_fig08_quantization.py \
+		benchmarks/bench_assembly.py \
 		-o python_files='bench_*.py' -q -s
+
+## record assembly/DC-iteration medians to BENCH_assembly.json (perf trajectory)
+perf-gate:
+	$(PYTHON) tools/perf_gate.py
 
 ## broken intra-doc links + docstring coverage of repro.service
 docs-check:

@@ -1,0 +1,89 @@
+"""Assembly-engine benchmark: compiled stamp templates vs the reference loop.
+
+Measures, on Fig. 10-style R-MAT instances (dense and sparse regimes, via
+the shared :mod:`repro.bench.assembly` harness):
+
+* **assembly time** — ``matrix(states) + rhs()`` through the compiled
+  template vs the element-by-element reference assembler;
+* **DC end-to-end** — the full diode-state iteration (assembly + solve) with
+  compiled assembly + SMW low-rank updates vs legacy per-iteration
+  reassembly/refactorisation, including solution agreement;
+* **SMW vs refactorise** — the same compiled solver with the low-rank path
+  disabled (``smw_crossover=0``), isolating the Sherman–Morrison–Woodbury
+  contribution.
+
+At the default ``REPRO_BENCH_SCALE`` (0.25) the dense instances exceed 500
+unknowns and the acceptance thresholds are asserted (>= 5x assembly, >= 2x
+DC end-to-end, < 1e-9 relative solution agreement); tiny smoke scales only
+print the table.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, measure_assembly_class
+from conftest import bench_scale
+
+
+def _as_row(regime: str, metrics: dict) -> dict:
+    return {
+        "instance": f"{regime}:{metrics['workload']}",
+        "unknowns": metrics["unknowns"],
+        "diodes": metrics["diodes"],
+        "asm_legacy_ms": round(metrics["assembly_legacy_s"] * 1e3, 3),
+        "asm_compiled_ms": round(metrics["assembly_compiled_s"] * 1e3, 4),
+        "asm_speedup": round(
+            metrics["assembly_legacy_s"] / metrics["assembly_compiled_s"], 1
+        ),
+        "dc_legacy_ms": round(metrics["dc_legacy_s"] * 1e3, 1),
+        "dc_compiled_ms": round(metrics["dc_compiled_s"] * 1e3, 1),
+        "dc_speedup": round(metrics["dc_legacy_s"] / metrics["dc_compiled_s"], 2),
+        "smw_speedup": round(metrics["dc_no_smw_s"] / metrics["dc_compiled_s"], 2),
+        "iterations": metrics["iterations"],
+        "refactorizations": metrics["refactorizations"],
+        "smw_solves": metrics["smw_solves"],
+        "rel_agreement": float(f"{metrics['rel_agreement']:.2e}"),
+        "same_states": metrics["same_states"],
+    }
+
+
+def _run_suite():
+    scale = bench_scale()
+    return [
+        _as_row(regime, measure_assembly_class(regime, scale))
+        for regime in ("dense", "sparse")
+    ]
+
+
+def test_assembly_engine(benchmark):
+    rows = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            rows, title="Compiled stamp templates vs reference loop assembly"
+        )
+    )
+
+    for row in rows:
+        assert row["same_states"], f"{row['instance']}: diode patterns diverged"
+        # The >= 500-unknown acceptance thresholds; smoke scales (tiny
+        # instances) only exercise the machinery.
+        if row["unknowns"] < 500:
+            continue
+        assert row["asm_speedup"] >= 5.0, (
+            f"{row['instance']}: compiled assembly only "
+            f"{row['asm_speedup']}x faster"
+        )
+        assert row["rel_agreement"] < 1e-8, (
+            f"{row['instance']}: compiled/legacy operating points disagree "
+            f"({row['rel_agreement']:.2e} relative)"
+        )
+        if row["instance"].startswith("dense"):
+            assert row["dc_speedup"] >= 2.0, (
+                f"{row['instance']}: DC end-to-end only {row['dc_speedup']}x"
+            )
+            assert row["rel_agreement"] < 1e-9
+        else:
+            # The sparse regime is factorisation-bound; the assembly win is
+            # diluted but must still be visible end-to-end.
+            assert row["dc_speedup"] >= 1.2

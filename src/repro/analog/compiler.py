@@ -87,6 +87,27 @@ class CompiledMaxFlowCircuit:
     opamp_count: int = 0
     resistor_count: int = 0
     diode_count: int = 0
+    #: Lazily-built MNA system (with its compiled stamp template); use
+    #: :meth:`mna` instead of touching this field.
+    _mna: Optional["MNASystem"] = field(default=None, repr=False, compare=False)
+
+    def mna(self) -> "MNASystem":
+        """Memoized :class:`~repro.circuit.mna.MNASystem` of this circuit.
+
+        Built (together with its compiled stamp template) on first use and
+        cached on the compiled circuit, so repeated solves of one compiled
+        instance — most prominently cache hits in the batch service — skip
+        both index assignment and stamp-template construction.  The cached
+        system is read-only during solves and therefore safe to share
+        across worker threads.
+        """
+        if self._mna is None:
+            from ..circuit.mna import MNASystem
+
+            system = MNASystem(self.circuit)
+            system.compiled()  # build the stamp template eagerly
+            self._mna = system
+        return self._mna
 
     @property
     def num_circuit_nodes(self) -> int:

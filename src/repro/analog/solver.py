@@ -318,7 +318,7 @@ class AnalogMaxFlowSolver:
         6.0
         """
         start = time.perf_counter()
-        solution = DCOperatingPoint().solve(compiled.circuit)
+        solution = DCOperatingPoint().solve(compiled.circuit, mna=compiled.mna())
         if not solution.converged:
             # The source-stepping fallback temporarily rewrites the drive
             # source's waveform on the circuit.  ``compiled`` may be shared
@@ -341,7 +341,7 @@ class AnalogMaxFlowSolver:
         return result
 
     def _dc_solution(self, compiled: CompiledMaxFlowCircuit):
-        solution = DCOperatingPoint().solve(compiled.circuit)
+        solution = DCOperatingPoint().solve(compiled.circuit, mna=compiled.mna())
         if not solution.converged:
             # Drive stepping (the SPICE "source stepping" continuation): ramp
             # Vflow from a benign level up to the target, warm-starting the
@@ -364,7 +364,13 @@ class AnalogMaxFlowSolver:
 
         start = min(compiled.parameters.vdd_v, vflow)
         levels = [start + (vflow - start) * i / (steps - 1) for i in range(steps)]
-        solutions = dc_sweep(compiled.circuit, compiled.vflow_source, levels, warm_start=True)
+        solutions = dc_sweep(
+            compiled.circuit,
+            compiled.vflow_source,
+            levels,
+            warm_start=True,
+            mna=compiled.mna(),
+        )
         return solutions[-1]
 
     def _solve_transient(

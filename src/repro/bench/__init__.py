@@ -14,8 +14,11 @@ from .workloads import (
 )
 from .runner import BatchServiceSuiteRunner, Fig10Runner, Fig10Row
 from .reporting import format_table, format_series, relative
+from .assembly import assembly_workload, measure_assembly_class
 
 __all__ = [
+    "assembly_workload",
+    "measure_assembly_class",
     "Fig10Workload",
     "fig10_dense_suite",
     "fig10_sparse_suite",

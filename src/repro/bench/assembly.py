@@ -1,0 +1,131 @@
+"""Shared measurement harness for the MNA assembly engine.
+
+One instance-selection + measurement implementation consumed by both
+``benchmarks/bench_assembly.py`` (pytest-enforced speedup thresholds) and
+``tools/perf_gate.py`` (the ``BENCH_assembly.json`` perf-trajectory record),
+so the two can never silently measure different things.
+
+Each metric is timed ``repeats`` times and collapsed with ``reducer`` —
+``min`` (best-of, sheds scheduler noise) for the benchmark assertions,
+``statistics.median`` for the recorded trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..analog.solver import AnalogMaxFlowSolver
+from ..circuit.dc import DCOperatingPoint
+from ..circuit.mna import MNASystem
+from .workloads import Fig10Workload, fig10_dense_suite, fig10_sparse_suite
+
+__all__ = ["assembly_workload", "measure_assembly_class"]
+
+#: Inner loop count for the sub-millisecond compiled-assembly timing.
+ASSEMBLY_LOOPS = 5
+
+
+def assembly_workload(regime: str, scale: float) -> Fig10Workload:
+    """The canonical Fig. 10 workload measured for an instance class.
+
+    ``dense`` takes the largest instance of the suite (most diodes per
+    unknown), ``sparse`` the middle one (largest that keeps the legacy
+    reference solves affordable at full scale).
+    """
+    if regime == "dense":
+        return fig10_dense_suite(scale)[-1]
+    if regime == "sparse":
+        suite = fig10_sparse_suite(scale)
+        return suite[len(suite) // 2]
+    raise ValueError(f"unknown instance class {regime!r}")
+
+
+def _timed(func: Callable[[], object], repeats: int, reducer) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return float(reducer(samples))
+
+
+def measure_assembly_class(
+    regime: str,
+    scale: float,
+    repeats: int = 3,
+    reducer: Callable = min,
+) -> Dict[str, object]:
+    """Measure one instance class; all times are seconds (unrounded).
+
+    Returns a dict with instance metadata (``workload``, ``unknowns``,
+    ``diodes``), assembly timings (``assembly_legacy_s`` /
+    ``assembly_compiled_s`` per ``matrix + rhs`` call), end-to-end DC solve
+    timings (``dc_legacy_s`` / ``dc_compiled_s`` / ``dc_no_smw_s``),
+    iteration counters of the compiled solve, and the compiled-vs-legacy
+    solution agreement (``rel_agreement``, relative to the solution's
+    infinity norm; ``same_states``).
+    """
+    workload = assembly_workload(regime, scale)
+    compiled = AnalogMaxFlowSolver(quantize=False).compile(workload.generate())
+    circuit = compiled.circuit
+    system = MNASystem(circuit)
+    template = system.compiled()
+    states = system.default_diode_states()
+    state_arr = system.default_diode_state_array
+
+    def legacy_assembly():
+        for _ in range(ASSEMBLY_LOOPS):
+            system.matrix(diode_states=states)
+            system.rhs_reference(diode_states=states)
+
+    def compiled_assembly():
+        for _ in range(ASSEMBLY_LOOPS):
+            template.matrix(state_arr)
+            template.rhs(states=state_arr)
+
+    assembly_legacy = _timed(legacy_assembly, repeats, reducer) / ASSEMBLY_LOOPS
+    assembly_compiled = _timed(compiled_assembly, repeats, reducer) / ASSEMBLY_LOOPS
+
+    dc_legacy = _timed(
+        lambda: DCOperatingPoint(assembly="legacy").solve(circuit, mna=system),
+        repeats,
+        reducer,
+    )
+    dc_compiled = _timed(
+        lambda: DCOperatingPoint().solve(circuit, mna=system), repeats, reducer
+    )
+    dc_no_smw = _timed(
+        lambda: DCOperatingPoint(smw_crossover=0).solve(circuit, mna=system),
+        repeats,
+        reducer,
+    )
+
+    legacy_solution = DCOperatingPoint(assembly="legacy").solve(circuit, mna=system)
+    compiled_solution = DCOperatingPoint().solve(circuit, mna=system)
+    norm = max(1.0, float(np.abs(legacy_solution.vector).max()))
+    agreement = (
+        max(
+            abs(legacy_solution.voltages[node] - compiled_solution.voltages[node])
+            for node in legacy_solution.voltages
+        )
+        / norm
+    )
+
+    return {
+        "workload": workload.name,
+        "unknowns": system.size,
+        "diodes": len(system.diodes),
+        "assembly_legacy_s": assembly_legacy,
+        "assembly_compiled_s": assembly_compiled,
+        "dc_legacy_s": dc_legacy,
+        "dc_compiled_s": dc_compiled,
+        "dc_no_smw_s": dc_no_smw,
+        "iterations": compiled_solution.iterations,
+        "refactorizations": compiled_solution.refactorizations,
+        "smw_solves": compiled_solution.smw_solves,
+        "rel_agreement": agreement,
+        "same_states": compiled_solution.diode_states == legacy_solution.diode_states,
+    }

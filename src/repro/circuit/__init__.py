@@ -14,6 +14,9 @@ capability in pure Python/SciPy:
 * :mod:`~repro.circuit.memristor` — behavioural memristor (LRS/HRS state,
   threshold switching, drift, variation)
 * :mod:`~repro.circuit.mna` — sparse Modified Nodal Analysis assembly
+* :mod:`~repro.circuit.stamps` — compiled stamp templates: precomputed
+  sparsity pattern + scatter assembly, vectorised RHS and
+  Sherman–Morrison–Woodbury low-rank diode-flip solves
 * :mod:`~repro.circuit.linsolve` — dense/sparse linear-solver policy (dense
   LAPACK for tiny systems, sparse LU for large ones)
 * :mod:`~repro.circuit.dc` — DC operating point solver (linear solve plus
@@ -40,6 +43,7 @@ from .elements import (
     ConstantWaveform,
 )
 from .nonlinear import Diode, desired_conduction_states
+from .stamps import CompiledMNA
 from .opamp import OpAmp
 from .memristor import Memristor, MemristorState
 from .mna import MNASystem

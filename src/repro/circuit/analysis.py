@@ -84,6 +84,7 @@ def dc_sweep(
     source_name: str,
     values: Sequence[float],
     warm_start: bool = True,
+    mna: Optional[MNASystem] = None,
 ) -> List[DCSolution]:
     """Sweep the DC value of a voltage source and solve the DC point at each value.
 
@@ -96,13 +97,16 @@ def dc_sweep(
     warm_start:
         Reuse the previous operating point's diode states as the initial
         guess of the next one (makes the sweep both faster and more robust).
+    mna:
+        Pre-built :class:`~repro.circuit.mna.MNASystem` (with its compiled
+        stamp template) to reuse across the sweep points.
     """
     element = circuit.element(source_name)
     if not isinstance(element, VoltageSource):
         raise SingularCircuitError(f"{source_name!r} is not a voltage source")
     original_waveform = element.waveform
     solver = DCOperatingPoint()
-    system = MNASystem(circuit)
+    system = mna if mna is not None else MNASystem(circuit)
     solutions: List[DCSolution] = []
     previous_states: Optional[Dict[str, bool]] = None
     try:

@@ -8,16 +8,30 @@ iteration (solve, re-evaluate each diode's desired state, repeat), with an
 anti-cycling fallback that flips only the most-violated diode once a pattern
 repeats — the standard approach for ideal-diode (linear complementarity)
 circuits.
+
+Hot-path structure (``assembly="compiled"``, the default): matrices and
+right-hand sides come from the compiled stamp template
+(:class:`~repro.circuit.stamps.CompiledMNA`) — a pure NumPy scatter per
+iteration — and consecutive iterations that differ in only a few diode
+states are solved against one cached base LU factorisation via
+Sherman–Morrison–Woodbury low-rank updates.  The solver refactorises only
+when the flip count exceeds the ``smw_crossover`` threshold, and scrubs
+any SMW round-off from the accepted pattern (converged or anti-cycling
+fallback) before returning, so the reported operating point matches a
+direct solve.  ``assembly="legacy"`` restores the original
+assemble-and-factorise-per-iteration behaviour (used by the equivalence
+tests and the assembly benchmark).
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConvergenceError, SingularCircuitError
+from ..errors import ConvergenceError, SimulationError, SingularCircuitError
 from .linsolve import LinearSystemSolver
 from .mna import MNASystem
 from .netlist import Circuit
@@ -44,6 +58,11 @@ class DCSolution:
         Number of diode-state iterations performed.
     vector:
         Raw MNA solution vector (useful for warm-starting transients).
+    refactorizations:
+        LU factorisations performed (compiled assembly only).
+    smw_solves:
+        Iterations solved by a Sherman–Morrison–Woodbury low-rank update
+        instead of a fresh factorisation (compiled assembly only).
     """
 
     voltages: Dict[str, float]
@@ -53,6 +72,8 @@ class DCSolution:
     vector: np.ndarray = field(repr=False, default=None)
     converged: bool = True
     residual_violation_v: float = 0.0
+    refactorizations: int = 0
+    smw_solves: int = 0
 
     def voltage(self, node: str) -> float:
         """Voltage of ``node`` (ground is 0 V)."""
@@ -61,6 +82,108 @@ class DCSolution:
     def current(self, element: str) -> float:
         """Branch current of a source element."""
         return self.branch_currents[element]
+
+
+class _CompiledLinearEngine:
+    """Per-solve linear engine: cached base LU + SMW low-rank diode flips.
+
+    Keeps one base factorisation and the diode pattern it was assembled at.
+    A solve whose pattern differs from the base in at most ``crossover``
+    diodes is answered by :meth:`CompiledMNA.smw_solve`; larger flips (or a
+    singular update) rebase on a fresh factorisation.
+
+    The engine outlives a single :meth:`DCOperatingPoint.solve` call: the
+    solver instance caches it per stamp template, so repeated solves of one
+    system (``dc_sweep``, source stepping) keep the base factorisation warm
+    across operating points — a sweep level whose diode pattern matches the
+    previous level's pays no factorisation at all.  :meth:`revalidate` drops
+    the base when live element state the factorisation depends on (switch /
+    memristor conductances) changed between solves.
+    """
+
+    def __init__(
+        self, system: MNASystem, solver: LinearSystemSolver, crossover: int
+    ) -> None:
+        self.template = system.compiled()
+        self.solver = solver
+        self.crossover = crossover
+        self.base_factorization = None
+        self.base_states: Optional[np.ndarray] = None
+        self._base_variable_conductances: list = []
+        self.refactorizations = 0
+        self.smw_solves = 0
+
+    def _variable_conductances(self) -> list:
+        return [e.conductance for e in self.template._variable_conductors]
+
+    def revalidate(self) -> None:
+        """Drop the cached base if live conductor state moved under it."""
+        if (
+            self.base_factorization is not None
+            and self._variable_conductances() != self._base_variable_conductances
+        ):
+            self.base_factorization = None
+            self.base_states = None
+
+    def _rebase(self, state_arr: np.ndarray):
+        self.base_factorization = self.solver.factorize(
+            self.template.matrix(state_arr)
+        )
+        self.base_states = state_arr.copy()
+        self._base_variable_conductances = self._variable_conductances()
+        self.refactorizations += 1
+        return self.base_factorization
+
+    def solve(self, state_arr: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """Solve at ``state_arr``; returns ``(solution, used_smw)``."""
+        rhs = self.template.rhs(t=None, states=state_arr)
+        if self.base_factorization is not None:
+            flips = int(np.count_nonzero(state_arr != self.base_states))
+            if flips == 0:
+                return self.base_factorization.solve(rhs), False
+            if flips <= self.crossover:
+                try:
+                    solution = self.template.smw_solve(
+                        self.base_factorization, self.base_states, state_arr, rhs
+                    )
+                    self.smw_solves += 1
+                    return solution, True
+                except (np.linalg.LinAlgError, SingularCircuitError):
+                    pass  # singular update: fall through to a fresh factorisation
+        return self._rebase(state_arr).solve(rhs), False
+
+    def solve_exact(self, state_arr: np.ndarray) -> np.ndarray:
+        """Direct (non-SMW) solve at ``state_arr``, rebasing on it."""
+        rhs = self.template.rhs(t=None, states=state_arr)
+        return self._rebase(state_arr).solve(rhs)
+
+    def polish(self, state_arr: np.ndarray, solution: np.ndarray) -> np.ndarray:
+        """Scrub SMW round-off from an accepted iterate.
+
+        One step of iterative refinement through the same low-rank solve:
+        assembling the matrix is a cheap scatter, so the residual costs one
+        sparse mat-vec and the correction ``k + 1`` triangular solves —
+        far cheaper than the full refactorisation it replaces.  Falls back
+        to a direct factorisation in the (rare) case the refined residual
+        is still above working precision.
+        """
+        matrix = self.template.matrix(state_arr)
+        rhs = self.template.rhs(t=None, states=state_arr)
+        residual = rhs - matrix.dot(solution)
+        try:
+            refined = solution + self.template.smw_solve(
+                self.base_factorization, self.base_states, state_arr, residual
+            )
+        except (np.linalg.LinAlgError, SingularCircuitError):
+            return self._rebase(state_arr).solve(rhs)
+        residual = rhs - matrix.dot(refined)
+        denominator = (
+            np.abs(matrix).sum(axis=1).max() * np.abs(refined).max()
+            + np.abs(rhs).max()
+        )
+        if np.abs(residual).max() > 1e-11 * max(denominator, 1e-300):
+            return self._rebase(state_arr).solve(rhs)
+        return refined
 
 
 class DCOperatingPoint:
@@ -76,6 +199,17 @@ class DCOperatingPoint:
     linear_solver:
         Dense/sparse solving policy (``mode="auto"`` by default: dense
         LAPACK below the size threshold, sparse LU above it).
+    assembly:
+        ``"compiled"`` (default) assembles through the compiled stamp
+        template and applies SMW low-rank updates between iterations;
+        ``"legacy"`` re-runs the element-by-element reference assembler and
+        factorises every iteration.
+    smw_crossover:
+        Maximum number of flipped diodes answered by a low-rank SMW update
+        before the solver refactorises and rebases.  ``None`` (default)
+        selects ``min(64, max(4, size // 32))``; ``0`` disables SMW entirely (every
+        pattern change refactorises) — the knob the assembly benchmark
+        sweeps to measure the SMW-vs-refactorise speedup.
     """
 
     def __init__(
@@ -85,14 +219,56 @@ class DCOperatingPoint:
         strict: bool = False,
         acceptable_violation_v: float = 1e-6,
         linear_solver: Optional[LinearSystemSolver] = None,
+        assembly: str = "compiled",
+        smw_crossover: Optional[int] = None,
     ) -> None:
+        if assembly not in ("compiled", "legacy"):
+            raise SimulationError(f"unknown assembly mode {assembly!r}")
+        if smw_crossover is not None and smw_crossover < 0:
+            raise SimulationError("smw_crossover must be nonnegative")
         self.max_iterations = max_iterations
         self.state_hysteresis_v = state_hysteresis_v
         self.strict = strict
         self.acceptable_violation_v = acceptable_violation_v
         self.linear_solver = linear_solver if linear_solver is not None else LinearSystemSolver()
+        self.assembly = assembly
+        self.smw_crossover = smw_crossover
+        # Linear engines cached per stamp template: repeated solves of one
+        # system through one solver instance (dc_sweep, source stepping)
+        # reuse the base factorisation across operating points.  Keyed
+        # weakly so dropping the system frees the factorisation too.
+        self._engines: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------
+
+    def _engine_for(self, system: MNASystem) -> _CompiledLinearEngine:
+        """The (possibly cached) linear engine for ``system``.
+
+        Keyed by the compiled stamp template: a template rebuild (in-place
+        element mutation detected by :meth:`MNASystem.compiled`) naturally
+        invalidates the cached engine and its base factorisation, and
+        :meth:`_CompiledLinearEngine.revalidate` handles live switch /
+        memristor changes between solves.
+        """
+        template = system.compiled()
+        crossover = self._crossover(system)
+        engine = self._engines.get(template)
+        if engine is None or engine.crossover != crossover:
+            engine = _CompiledLinearEngine(system, self.linear_solver, crossover)
+            self._engines[template] = engine
+        else:
+            engine.revalidate()
+        return engine
+
+    def _crossover(self, system: MNASystem) -> int:
+        if self.smw_crossover is not None:
+            return self.smw_crossover
+        # An SMW update costs ~(k + 1) triangular solves; a refactorisation
+        # costs tens of solve-equivalents on the sizes that matter (and more
+        # as the system grows).  size//32 tracks that growth; the cap keeps
+        # the k×k capacitance solve and the n×k solve block from eclipsing
+        # the factorisation it replaces on very large instances.
+        return min(64, max(4, system.size // 32))
 
     def solve(
         self,
@@ -115,40 +291,61 @@ class DCOperatingPoint:
         states = dict(system.default_diode_states())
         if initial_states:
             states.update(initial_states)
+        state_arr = system.diode_states_array(states)
+
+        engine: Optional[_CompiledLinearEngine] = None
+        if self.assembly == "compiled":
+            engine = self._engine_for(system)
+        refactorizations_before = engine.refactorizations if engine else 0
+        smw_solves_before = engine.smw_solves if engine else 0
 
         seen_patterns = set()
         single_flip_mode = False
         solution = None
         iterations = 0
         converged = False
+        via_smw = False
         best_violation = float("inf")
         best_solution = None
-        best_states = dict(states)
+        best_states = state_arr.copy()
 
         for iterations in range(1, self.max_iterations + 1):
-            solution = self._solve_linear(system, states)
-            desired, violations = self._desired_states(system, solution, states)
-            total_violation = self._weighted_violation(system, violations, states)
+            if engine is not None:
+                solution, via_smw = engine.solve(state_arr)
+            else:
+                solution = self._solve_linear_legacy(system, state_arr)
+            wants_on, deviation = self._desired_states(system, solution, state_arr)
+            mismatched = wants_on != state_arr
+            total_violation = self._weighted_violation(
+                system, deviation, mismatched, state_arr
+            )
             if total_violation < best_violation:
                 best_violation = total_violation
                 best_solution = solution
-                best_states = dict(states)
-            if desired == states:
+                best_states = state_arr.copy()
+            if not mismatched.any():
                 converged = True
                 best_violation = 0.0
+                best_states = state_arr.copy()
+                if via_smw:
+                    # The accepted iterate came from a low-rank update;
+                    # refine it so the returned operating point carries no
+                    # SMW round-off.
+                    solution = engine.polish(state_arr, solution)
                 best_solution = solution
-                best_states = dict(states)
                 break
-            pattern = self._pattern(states)
+            pattern = np.packbits(state_arr).tobytes()
             if pattern in seen_patterns:
                 single_flip_mode = True
             seen_patterns.add(pattern)
             if single_flip_mode:
                 # Flip only the diode whose state is most strongly violated.
-                worst = max(violations, key=violations.get)
-                states[worst] = not states[worst]
+                masked = np.where(mismatched, deviation, -np.inf)
+                worst = int(np.argmax(masked))
+                state_arr = state_arr.copy()
+                state_arr[worst] = not state_arr[worst]
             else:
-                states = desired
+                state_arr = wants_on
 
         if not converged:
             # Fall back to the least-violated pattern seen.  Cycling between
@@ -162,31 +359,45 @@ class DCOperatingPoint:
                     f"DC diode-state iteration did not converge in {self.max_iterations} "
                     f"iterations (best residual violation {best_violation:.3e} V)"
                 )
-            solution = best_solution
-            states = best_states
+            state_arr = best_states
+            if engine is not None:
+                # The best iterate may have come from a low-rank update;
+                # re-solve its pattern directly so the fallback result is as
+                # accurate as the converged path.
+                solution = engine.solve_exact(state_arr)
+            else:
+                solution = best_solution
 
+        final_states = dict(zip(system.diode_names, (bool(s) for s in state_arr)))
         return DCSolution(
             voltages=system.voltages(solution),
             branch_currents={
                 e.name: system.branch_current(solution, e.name)
                 for e in system.branch_elements
             },
-            diode_states=dict(states),
+            diode_states=final_states,
             iterations=iterations,
             vector=solution,
             converged=converged,
             residual_violation_v=0.0 if converged else best_violation,
+            refactorizations=(
+                engine.refactorizations - refactorizations_before
+                if engine is not None
+                else iterations
+            ),
+            smw_solves=(
+                engine.smw_solves - smw_solves_before if engine is not None else 0
+            ),
         )
 
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _pattern(states: Dict[str, bool]) -> Tuple[Tuple[str, bool], ...]:
-        return tuple(sorted(states.items()))
-
-    @staticmethod
     def _weighted_violation(
-        system: MNASystem, violations: Dict[str, float], states: Dict[str, bool]
+        system: MNASystem,
+        deviation: np.ndarray,
+        mismatched: np.ndarray,
+        state_arr: np.ndarray,
     ) -> float:
         """Violation metric used to rank fallback patterns.
 
@@ -196,39 +407,31 @@ class DCOperatingPoint:
         node exceed the clamp by the violation voltage.  The metric weights
         the two cases accordingly so the fallback never prefers the former.
         """
-        by_name = {d.name: d for d in system.diodes}
-        total = 0.0
-        for name, violation in violations.items():
-            diode = by_name[name]
-            if states.get(name, diode.initial_state):
-                total += violation * diode.parameters.on_conductance_s
-            else:
-                total += violation
-        return total
+        if not mismatched.any():
+            return 0.0
+        weights = np.where(state_arr, system.diode_on_conductances, 1.0)
+        return float(np.sum(deviation[mismatched] * weights[mismatched]))
 
-    def _solve_linear(self, system: MNASystem, states: Dict[str, bool]) -> np.ndarray:
+    def _solve_linear_legacy(
+        self, system: MNASystem, state_arr: np.ndarray
+    ) -> np.ndarray:
+        states = dict(zip(system.diode_names, (bool(s) for s in state_arr)))
         matrix = system.matrix(diode_states=states, dt=None)
-        rhs = system.rhs(t=None, diode_states=states, dt=None, previous=None)
+        rhs = system.rhs_reference(t=None, diode_states=states, dt=None, previous=None)
         return self.linear_solver.solve(matrix, rhs)
 
     def _desired_states(
         self,
         system: MNASystem,
         solution: np.ndarray,
-        current_states: Dict[str, bool],
-    ) -> Tuple[Dict[str, bool], Dict[str, float]]:
-        """Desired state per diode and the violation magnitude of wrong ones."""
+        state_arr: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Desired state per diode and each diode's threshold deviation."""
         if not system.diodes:
-            return {}, {}
+            return np.zeros(0, dtype=bool), np.zeros(0)
         drops = system.diode_voltage_drops(solution)
-        currently_on = system.diode_states_array(current_states)
         wants_on = desired_conduction_states(
-            drops, system.diode_thresholds, currently_on, self.state_hysteresis_v
+            drops, system.diode_thresholds, state_arr, self.state_hysteresis_v
         )
-        desired = dict(zip(system.diode_names, wants_on.tolist()))
         deviation = np.abs(drops - system.diode_thresholds)
-        violations = {
-            system.diode_names[i]: float(deviation[i])
-            for i in np.nonzero(wants_on != currently_on)[0]
-        }
-        return desired, violations
+        return wants_on, deviation

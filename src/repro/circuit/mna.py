@@ -11,6 +11,13 @@ source, every VCVS and every op-amp output.  The assembly is split into
   values at time ``t`` and on the previous solution (capacitor and op-amp
   companion models for backward Euler).
 
+Both are backed by a compiled stamp template
+(:class:`~repro.circuit.stamps.CompiledMNA`, built once per topology via
+:meth:`MNASystem.compiled`): the matrix hot path is a pure NumPy scatter over
+a precomputed sparsity pattern and the RHS is fully vectorised.
+:meth:`MNASystem.matrix` remains the element-by-element reference assembler
+the equivalence tests compare against.
+
 Sign conventions follow SPICE: branch current of a voltage source flows from
 its positive terminal through the source to the negative terminal; a current
 source extracts its current from the positive node and injects it into the
@@ -30,6 +37,7 @@ from .memristor import Memristor
 from .netlist import GROUND, Circuit
 from .nonlinear import Diode
 from .opamp import OpAmp
+from .stamps import CompiledMNA
 
 __all__ = ["MNASystem"]
 
@@ -91,6 +99,18 @@ class MNASystem:
         self.diode_thresholds = np.array(
             [d.parameters.forward_voltage_v for d in self.diodes], dtype=float
         )
+        self.diode_on_conductances = np.array(
+            [d.parameters.on_conductance_s for d in self.diodes], dtype=float
+        )
+        self.diode_off_conductances = np.array(
+            [d.parameters.off_conductance_s for d in self.diodes], dtype=float
+        )
+        self.default_diode_state_array = np.array(
+            [d.initial_state for d in self.diodes], dtype=bool
+        )
+
+        # Compiled stamp template (built lazily, one per topology).
+        self._compiled: Optional["CompiledMNA"] = None
 
     # ------------------------------------------------------------------
     # Index helpers
@@ -105,6 +125,26 @@ class MNASystem:
     def default_diode_states(self) -> Dict[str, bool]:
         """Initial conducting-state guess for every diode."""
         return {d.name: d.initial_state for d in self.diodes}
+
+    def compiled(self) -> CompiledMNA:
+        """The memoized :class:`~repro.circuit.stamps.CompiledMNA` template.
+
+        Built on first use and reused for every subsequent assembly; the hot
+        paths (DC iteration, transient stepping) assemble exclusively through
+        it.  Safe to share across threads once built — assembly reads only
+        immutable index arrays plus live switch/memristor/waveform state.
+
+        In-place mutations of values the template bakes in (resistances,
+        capacitances, controlled-source gains — e.g.
+        :meth:`~repro.crossbar.tuning.ResistanceTuner.tune_circuit`) are
+        detected by a cheap value probe and trigger a rebuild, so a reused
+        system never solves against a stale template.
+        """
+        if self._compiled is not None and self._compiled.is_stale():
+            self._compiled = None
+        if self._compiled is None:
+            self._compiled = CompiledMNA(self)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Matrix assembly
@@ -125,6 +165,13 @@ class MNASystem:
         dt:
             Backward-Euler time step.  ``None`` selects DC assembly:
             capacitors are open circuits and op-amps use their DC gain.
+
+        Notes
+        -----
+        This is the readable element-by-element reference assembler.  The
+        hot paths (DC iteration, transient stepping) assemble through the
+        compiled template instead (:meth:`compiled`), which produces the
+        same matrix via a precomputed scatter with no Python loops.
         """
         if dt is not None and dt <= 0:
             raise SimulationError("time step must be positive")
@@ -135,7 +182,11 @@ class MNASystem:
         vals: List[float] = []
 
         def stamp(i: int, j: int, value: float) -> None:
-            if i >= 0 and j >= 0 and value != 0.0:
+            # Zero-valued stamps (e.g. capacitors in DC assembly) stay in the
+            # pattern: the sparsity structure is then identical for every
+            # diode state and time step, which keeps this reference assembler
+            # bit-compatible with the compiled template's fixed pattern.
+            if i >= 0 and j >= 0:
                 rows.append(i)
                 cols.append(j)
                 vals.append(value)
@@ -154,11 +205,12 @@ class MNASystem:
             conducting = states.get(diode.name, diode.initial_state)
             stamp_conductance(diode.anode, diode.cathode, diode.conductance(conducting))
 
-        if dt is not None:
-            for capacitor in self.capacitors:
-                stamp_conductance(
-                    capacitor.nodes[0], capacitor.nodes[1], capacitor.capacitance / dt
-                )
+        for capacitor in self.capacitors:
+            stamp_conductance(
+                capacitor.nodes[0],
+                capacitor.nodes[1],
+                0.0 if dt is None else capacitor.capacitance / dt,
+            )
 
         for source in self.voltage_sources:
             branch = self.branch_index[source.name]
@@ -227,6 +279,31 @@ class MNASystem:
         dt, previous:
             Backward-Euler step and previous solution vector; required
             together for transient assembly (capacitor and op-amp history).
+
+        Notes
+        -----
+        Delegates to the compiled template's vectorised
+        :meth:`~repro.circuit.stamps.CompiledMNA.rhs` — the legacy and
+        compiled paths share one implementation (and the per-capacitor
+        dict lookups of the original loop are gone).  The loop reference
+        lives on as :meth:`rhs_reference` for the equivalence tests.
+        """
+        return self.compiled().rhs(
+            t=t, states=diode_states, dt=dt, previous=previous
+        )
+
+    def rhs_reference(
+        self,
+        t: Optional[float] = None,
+        diode_states: Optional[Dict[str, bool]] = None,
+        dt: Optional[float] = None,
+        previous: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Loop-based RHS reference implementation.
+
+        Element-by-element assembly kept verbatim from the original
+        assembler; :mod:`tests.test_circuit_stamps` asserts the compiled
+        path matches it to 1e-12.  Not on any hot path.
         """
         if (dt is None) != (previous is None):
             raise SimulationError("transient RHS needs both dt and the previous solution")

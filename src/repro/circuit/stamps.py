@@ -1,0 +1,498 @@
+"""Compiled MNA stamp templates: zero-Python-loop assembly on the hot path.
+
+:meth:`~repro.circuit.mna.MNASystem.matrix` is a readable reference
+implementation: it walks every element, appends COO triplets to Python lists
+and converts to CSC — per call.  The DC diode-state iteration and every
+backward-Euler step re-run that walk even though the *sparsity pattern never
+changes* for a fixed topology: only a handful of values move (diode on/off
+conductances, the ``1/dt`` companion terms, source values, history terms).
+
+:class:`CompiledMNA` compiles the walk once per topology into flat NumPy
+index/value arrays:
+
+* **matrix template** — the full COO pattern (including entries that are zero
+  in DC, e.g. capacitor stamps) is enumerated once, together with a COO→CSC
+  slot map, so :meth:`CompiledMNA.matrix` is a fused scatter: static base
+  values, plus ``1/dt`` companion coefficients, plus per-diode on/off deltas,
+  then one :func:`numpy.bincount` into the precomputed CSC ``data`` array.
+  No Python loop touches an element on this path (the only per-call loops are
+  over *variable* conductors — switches and memristors, whose conductance can
+  change between solves — which number a handful per circuit).
+* **RHS template** — index arrays for current/voltage sources, diode
+  companion currents and the backward-Euler capacitor/op-amp history terms,
+  so :meth:`CompiledMNA.rhs` is a few vectorised scatters.  Ground is mapped
+  to a sacrificial trailing slot instead of being branch-tested per element.
+* **low-rank diode-flip updates** — flipping diode ``d`` changes the matrix
+  by the symmetric rank-1 update ``±Δg_d · (e_a − e_c)(e_a − e_c)ᵀ``.
+  :meth:`CompiledMNA.smw_solve` applies a Sherman–Morrison–Woodbury solve
+  against a cached base :class:`~repro.circuit.linsolve.Factorization` when
+  only a few diodes differ from the factorised pattern, so the DC iteration
+  (:class:`~repro.circuit.dc.DCOperatingPoint`) refactorises only when the
+  flip count crosses its ``smw_crossover`` threshold.
+
+The template is topology-bound: it snapshots resistor conductances, source
+*elements* (their waveforms are re-read every call, so drive stepping and
+``dc_sweep`` keep working) and diode parameters.  Build it through
+:meth:`MNASystem.compiled`, which memoizes one template per system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union, TYPE_CHECKING
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import SimulationError
+from .elements import Switch
+from .memristor import Memristor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mna imports stamps)
+    from .mna import MNASystem
+
+__all__ = ["CompiledMNA"]
+
+StateLike = Union[None, Dict[str, bool], np.ndarray, Sequence[bool]]
+
+
+class CompiledMNA:
+    """Compiled stamp template of one :class:`~repro.circuit.mna.MNASystem`.
+
+    Parameters
+    ----------
+    system:
+        The MNA system to compile.  The template snapshots the topology and
+        every *static* stamp value; switch/memristor conductances and source
+        waveforms are re-read per call so state toggles and waveform swaps
+        (e.g. source stepping) behave exactly like the reference assembler.
+
+    Notes
+    -----
+    Construct via :meth:`MNASystem.compiled` (one memoized template per
+    system) rather than directly.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.circuit import Circuit, MNASystem, Resistor, VoltageSource
+    >>> c = Circuit()
+    >>> _ = c.add(VoltageSource("V1", "a", "0", 1.0))
+    >>> _ = c.add(Resistor("R1", "a", "0", 2.0))
+    >>> system = MNASystem(c)
+    >>> template = system.compiled()
+    >>> np.allclose(template.matrix().toarray(), system.matrix().toarray())
+    True
+    """
+
+    def __init__(self, system: "MNASystem") -> None:
+        self.system = system
+        self.size = system.size
+        self.num_diodes = len(system.diodes)
+        #: Per-diode on/off conductance step ``g_on - g_off`` (declaration order).
+        self.diode_delta_g = (
+            system.diode_on_conductances - system.diode_off_conductances
+        )
+        self._default_states = system.default_diode_state_array.astype(float)
+        self._build_matrix_template()
+        self._build_rhs_template()
+        self._value_snapshot = self._gather_values()
+
+    def _gather_values(self) -> np.ndarray:
+        """Current values of every element quantity baked into the template.
+
+        Switch/memristor conductances and source waveforms are read live per
+        assembly, so they are *not* part of the snapshot; everything here is
+        compiled into the static base/coefficient arrays and therefore goes
+        stale if mutated in place (e.g. post-fabrication resistance tuning).
+        """
+        system = self.system
+        return np.array(
+            [e.conductance for e in self._static_conductors]
+            + [c.capacitance for c in system.capacitors]
+            + [e.gain for e in system.vcvs]
+            + [o.open_loop_gain for o in system.opamps]
+            + [o.time_constant for o in system.opamps],
+            dtype=float,
+        )
+
+    def is_stale(self) -> bool:
+        """True when an in-place element mutation invalidated the template.
+
+        One cheap attribute gather over the static elements, run by
+        :meth:`MNASystem.compiled` once per solve (never inside the
+        iteration hot loop) so in-place tuning of resistances, capacitances
+        or controlled-source gains triggers a rebuild instead of a silently
+        stale operating point.
+        """
+        return not np.array_equal(self._value_snapshot, self._gather_values())
+
+    # ------------------------------------------------------------------
+    # Template construction
+    # ------------------------------------------------------------------
+
+    def _build_matrix_template(self) -> None:
+        system = self.system
+        rows: List[int] = []
+        cols: List[int] = []
+        base: List[float] = []  # value independent of dt and diode states
+        dt_coeff: List[float] = []  # coefficient of 1/dt (0 in DC)
+
+        def entry(i: int, j: int, base_value: float, dt_value: float = 0.0) -> int:
+            """Register a structural entry; returns its COO index (-1 = dropped)."""
+            if i < 0 or j < 0:
+                return -1
+            rows.append(i)
+            cols.append(j)
+            base.append(base_value)
+            dt_coeff.append(dt_value)
+            return len(rows) - 1
+
+        def conductance_entries(a: int, b: int, g: float, gdt: float = 0.0):
+            return (
+                entry(a, a, g, gdt),
+                entry(b, b, g, gdt),
+                entry(a, b, -g, -gdt),
+                entry(b, a, -g, -gdt),
+            )
+
+        # Conductive two-terminal elements.  Resistors have fixed conductance
+        # and go straight into the base values; switches and memristors can
+        # change conductance between solves, so their entries start at zero
+        # and are filled per call from the live element state.
+        self._static_conductors: List[object] = []
+        self._variable_conductors: List[object] = []
+        var_idx: List[int] = []
+        var_sign: List[float] = []
+        var_elem: List[int] = []
+        for element in system.conductive:
+            a, b = system._slot(element.nodes[0]), system._slot(element.nodes[1])
+            if isinstance(element, (Switch, Memristor)):
+                position = len(self._variable_conductors)
+                self._variable_conductors.append(element)
+                for k, sign in zip(conductance_entries(a, b, 0.0), (1.0, 1.0, -1.0, -1.0)):
+                    if k >= 0:
+                        var_idx.append(k)
+                        var_sign.append(sign)
+                        var_elem.append(position)
+            else:
+                self._static_conductors.append(element)
+                conductance_entries(a, b, element.conductance)
+        self._var_idx = np.asarray(var_idx, dtype=np.intp)
+        self._var_sign = np.asarray(var_sign, dtype=float)
+        self._var_elem = np.asarray(var_elem, dtype=np.intp)
+
+        # Diodes: base carries the off-conductance stamp; switching a diode
+        # on adds ``sign * (g_on - g_off)`` at its four entries.
+        diode_idx: List[int] = []
+        diode_delta: List[float] = []
+        diode_of_entry: List[int] = []
+        for d, diode in enumerate(system.diodes):
+            a = system._slot(diode.anode)
+            b = system._slot(diode.cathode)
+            g_off = system.diode_off_conductances[d]
+            delta = self.diode_delta_g[d]
+            for k, sign in zip(conductance_entries(a, b, g_off), (1.0, 1.0, -1.0, -1.0)):
+                if k >= 0:
+                    diode_idx.append(k)
+                    diode_delta.append(sign * delta)
+                    diode_of_entry.append(d)
+        self._diode_idx = np.asarray(diode_idx, dtype=np.intp)
+        self._diode_entry_delta = np.asarray(diode_delta, dtype=float)
+        self._diode_of_entry = np.asarray(diode_of_entry, dtype=np.intp)
+
+        # Capacitors contribute ``C/dt`` in transient assembly, zero in DC.
+        for capacitor in system.capacitors:
+            a = system._slot(capacitor.nodes[0])
+            b = system._slot(capacitor.nodes[1])
+            conductance_entries(a, b, 0.0, capacitor.capacitance)
+
+        for source in system.voltage_sources:
+            branch = system.branch_index[source.name]
+            p, n = system._slot(source.nodes[0]), system._slot(source.nodes[1])
+            entry(p, branch, 1.0)
+            entry(n, branch, -1.0)
+            entry(branch, p, 1.0)
+            entry(branch, n, -1.0)
+
+        for element in system.vcvs:
+            branch = system.branch_index[element.name]
+            out_p, out_n = system._slot(element.nodes[0]), system._slot(element.nodes[1])
+            in_p, in_n = system._slot(element.nodes[2]), system._slot(element.nodes[3])
+            entry(out_p, branch, 1.0)
+            entry(out_n, branch, -1.0)
+            entry(branch, out_p, 1.0)
+            entry(branch, out_n, -1.0)
+            entry(branch, in_p, -element.gain)
+            entry(branch, in_n, element.gain)
+
+        for opamp in system.opamps:
+            branch = system.branch_index[opamp.name]
+            out = system._slot(opamp.output)
+            in_p, in_n = system._slot(opamp.in_positive), system._slot(opamp.in_negative)
+            entry(out, branch, 1.0)
+            # DC stamps 1.0; backward Euler stamps 1 + tau/dt — one entry
+            # covers both with a ``tau`` coefficient on 1/dt.
+            entry(branch, out, 1.0, opamp.time_constant)
+            entry(branch, in_p, -opamp.open_loop_gain)
+            entry(branch, in_n, opamp.open_loop_gain)
+
+        self._base_vals = np.asarray(base, dtype=float)
+        self._dt_vals = np.asarray(dt_coeff, dtype=float)
+        rows_arr = np.asarray(rows, dtype=np.intp)
+        cols_arr = np.asarray(cols, dtype=np.intp)
+
+        # COO -> CSC slot map: stable-sort column-major (rows ascending
+        # within each column, insertion order within duplicates) and record
+        # the group boundaries, so assembly is one gather + one
+        # ``np.add.reduceat``.  Summing duplicates in this order makes the
+        # result bit-identical to ``coo_matrix(...).tocsc()`` on the
+        # reference path, so both assemblers feed SuperLU the exact same
+        # matrix (identical pivoting, identical solutions).
+        if rows_arr.size:
+            order = np.lexsort((rows_arr, cols_arr))
+            sorted_rows = rows_arr[order]
+            sorted_cols = cols_arr[order]
+            new_slot = np.ones(sorted_rows.size, dtype=bool)
+            new_slot[1:] = (sorted_rows[1:] != sorted_rows[:-1]) | (
+                sorted_cols[1:] != sorted_cols[:-1]
+            )
+            self._csc_order = order
+            self._group_starts = np.nonzero(new_slot)[0]
+            self._csc_nnz = int(self._group_starts.size)
+            self._csc_indices = sorted_rows[new_slot].astype(np.int32)
+            counts = np.bincount(sorted_cols[new_slot], minlength=self.size)
+            self._csc_indptr = np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.int32)
+        else:
+            self._csc_order = np.zeros(0, dtype=np.intp)
+            self._group_starts = np.zeros(0, dtype=np.intp)
+            self._csc_nnz = 0
+            self._csc_indices = np.zeros(0, dtype=np.int32)
+            self._csc_indptr = np.zeros(self.size + 1, dtype=np.int32)
+
+    def _build_rhs_template(self) -> None:
+        system = self.system
+        ground = self.size  # sacrificial slot for ground-directed scatters
+
+        def mapped(slot: int) -> int:
+            return ground if slot < 0 else slot
+
+        self._isrc = list(system.current_sources)
+        self._isrc_pos = np.array(
+            [mapped(system._slot(s.nodes[0])) for s in self._isrc], dtype=np.intp
+        )
+        self._isrc_neg = np.array(
+            [mapped(system._slot(s.nodes[1])) for s in self._isrc], dtype=np.intp
+        )
+
+        self._vsrc = list(system.voltage_sources)
+        self._vsrc_branch = np.array(
+            [system.branch_index[s.name] for s in self._vsrc], dtype=np.intp
+        )
+
+        #: Companion current of each diode's *on* state (``-g_on * V_f``).
+        self.diode_equivalent_on_currents = np.array(
+            [d.equivalent_current(True) for d in system.diodes], dtype=float
+        )
+        self._diode_has_companion = bool(
+            np.any(self.diode_equivalent_on_currents != 0.0)
+        )
+        self._diode_anode_mapped = np.array(
+            [mapped(s) for s in system._diode_anode_slots], dtype=np.intp
+        )
+        self._diode_cathode_mapped = np.array(
+            [mapped(s) for s in system._diode_cathode_slots], dtype=np.intp
+        )
+
+        self._cap_values = np.array(
+            [c.capacitance for c in system.capacitors], dtype=float
+        )
+        self._cap_pos = np.array(
+            [mapped(system._slot(c.nodes[0])) for c in system.capacitors], dtype=np.intp
+        )
+        self._cap_neg = np.array(
+            [mapped(system._slot(c.nodes[1])) for c in system.capacitors], dtype=np.intp
+        )
+
+        self._opamp_branch = np.array(
+            [system.branch_index[o.name] for o in system.opamps], dtype=np.intp
+        )
+        self._opamp_out = np.array(
+            [mapped(system._slot(o.output)) for o in system.opamps], dtype=np.intp
+        )
+        self._opamp_tau = np.array(
+            [o.time_constant for o in system.opamps], dtype=float
+        )
+
+    # ------------------------------------------------------------------
+    # State handling
+    # ------------------------------------------------------------------
+
+    def state_array(self, states: StateLike) -> np.ndarray:
+        """Normalise ``states`` (None / dict / array) to a float01 array."""
+        if states is None:
+            return self._default_states
+        if isinstance(states, dict):
+            return self.system.diode_states_array(states).astype(float)
+        array = np.asarray(states)
+        if array.shape != (self.num_diodes,):
+            raise SimulationError(
+                f"expected {self.num_diodes} diode states, got shape {array.shape}"
+            )
+        return array.astype(float)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def matrix(
+        self, states: StateLike = None, dt: Optional[float] = None
+    ) -> sparse.csc_matrix:
+        """Assemble the MNA matrix for the given diode states and time step.
+
+        Equivalent to :meth:`MNASystem.matrix` (to machine precision) but a
+        pure NumPy scatter: no per-element Python loop, no COO→CSC
+        conversion.  ``dt=None`` selects DC assembly.
+        """
+        if dt is not None and dt <= 0:
+            raise SimulationError("time step must be positive")
+        if dt is None:
+            vals = self._base_vals.copy()
+        else:
+            vals = self._base_vals + (1.0 / dt) * self._dt_vals
+        if self._variable_conductors:
+            conductances = np.array(
+                [element.conductance for element in self._variable_conductors]
+            )
+            vals[self._var_idx] += self._var_sign * conductances[self._var_elem]
+        if self._diode_idx.size:
+            on = self.state_array(states)
+            vals[self._diode_idx] += self._diode_entry_delta * on[self._diode_of_entry]
+        if self._csc_nnz:
+            data = np.add.reduceat(vals[self._csc_order], self._group_starts)
+        else:
+            data = np.zeros(0)
+        return sparse.csc_matrix(
+            (data, self._csc_indices, self._csc_indptr),
+            shape=(self.size, self.size),
+        )
+
+    def rhs(
+        self,
+        t: Optional[float] = None,
+        states: StateLike = None,
+        dt: Optional[float] = None,
+        previous: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Assemble the MNA right-hand side (vectorised).
+
+        Mirrors :meth:`MNASystem.rhs`: ``t=None`` reads each source's DC
+        value, ``dt``/``previous`` (together) add the backward-Euler
+        capacitor and op-amp history terms.
+        """
+        if (dt is None) != (previous is None):
+            raise SimulationError(
+                "transient RHS needs both dt and the previous solution"
+            )
+        b = np.zeros(self.size + 1)  # trailing slot absorbs ground scatters
+
+        if self._isrc:
+            values = np.array(
+                [s.dc_value if t is None else s.value_at(t) for s in self._isrc]
+            )
+            np.add.at(b, self._isrc_pos, -values)
+            np.add.at(b, self._isrc_neg, values)
+
+        if self._vsrc:
+            b[self._vsrc_branch] = [
+                s.dc_value if t is None else s.value_at(t) for s in self._vsrc
+            ]
+
+        if self._diode_has_companion:
+            equivalent = self.diode_equivalent_on_currents * self.state_array(states)
+            np.add.at(b, self._diode_anode_mapped, -equivalent)
+            np.add.at(b, self._diode_cathode_mapped, equivalent)
+
+        if dt is not None:
+            dt_inv = 1.0 / dt
+            prev = np.append(np.asarray(previous, dtype=float)[: self.size], 0.0)
+            if self._cap_values.size:
+                v_prev = prev[self._cap_pos] - prev[self._cap_neg]
+                history = self._cap_values * dt_inv * v_prev
+                np.add.at(b, self._cap_pos, history)
+                np.add.at(b, self._cap_neg, -history)
+            if self._opamp_branch.size:
+                b[self._opamp_branch] = self._opamp_tau * dt_inv * prev[self._opamp_out]
+
+        return b[: self.size]
+
+    # ------------------------------------------------------------------
+    # Low-rank diode-flip solves
+    # ------------------------------------------------------------------
+
+    def flip_count(self, base_states: StateLike, states: StateLike) -> int:
+        """Number of diodes whose state differs between two patterns."""
+        base = self.state_array(base_states)
+        current = self.state_array(states)
+        return int(np.count_nonzero(base != current))
+
+    def smw_solve(
+        self,
+        factorization,
+        base_states: StateLike,
+        states: StateLike,
+        rhs: np.ndarray,
+    ) -> np.ndarray:
+        """Solve ``A(states) x = rhs`` from a factorisation of ``A(base_states)``.
+
+        Each flipped diode is a symmetric rank-1 conductance update
+        ``±Δg · (e_a − e_c)(e_a − e_c)ᵀ``; the k flips are applied at once
+        through the Sherman–Morrison–Woodbury identity
+
+        ``(A + U C Uᵀ)⁻¹ = A⁻¹ − A⁻¹ U (C⁻¹ + Uᵀ A⁻¹ U)⁻¹ Uᵀ A⁻¹``
+
+        at the cost of ``k + 1`` triangular solves plus one dense ``k×k``
+        solve — far cheaper than refactorising while ``k`` stays below the
+        :class:`~repro.circuit.dc.DCOperatingPoint` crossover threshold.
+
+        Parameters
+        ----------
+        factorization:
+            A :class:`~repro.circuit.linsolve.Factorization` of the matrix
+            assembled at ``base_states`` (dense or sparse kind).
+        base_states, states:
+            The factorised pattern and the pattern to solve for.
+        rhs:
+            Right-hand side (assembled for ``states``).
+
+        Raises
+        ------
+        numpy.linalg.LinAlgError
+            When the capacitance system is singular (the updated matrix is
+            singular); callers fall back to a fresh factorisation.
+        """
+        base = self.state_array(base_states).astype(bool)
+        current = self.state_array(states).astype(bool)
+        flips = np.nonzero(base != current)[0]
+        if flips.size == 0:
+            return factorization.solve(rhs)
+        signs = np.where(current[flips], 1.0, -1.0)
+        coefficients = signs * self.diode_delta_g[flips]
+
+        k = flips.size
+        u = np.zeros((self.size, k))
+        columns = np.arange(k)
+        anodes = self.system._diode_anode_slots[flips]
+        cathodes = self.system._diode_cathode_slots[flips]
+        live = anodes >= 0
+        u[anodes[live], columns[live]] += 1.0
+        live = cathodes >= 0
+        u[cathodes[live], columns[live]] -= 1.0
+
+        z = factorization.solve(u)
+        y = factorization.solve(rhs)
+        capacitance = u.T @ z
+        capacitance[np.diag_indices(k)] += 1.0 / coefficients
+        correction = np.linalg.solve(capacitance, u.T @ y)
+        return y - z @ correction

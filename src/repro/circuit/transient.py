@@ -5,9 +5,12 @@ capacitors and op-amp poles are replaced by their backward-Euler companion
 models (handled by :class:`~repro.circuit.mna.MNASystem`), and the diode
 states are re-iterated inside every time step, warm-started from the previous
 step.  Because the system matrix depends only on the time step and the diode
-state pattern, its sparse LU factorisation is cached per pattern, which makes
-long simulations of piecewise-linear circuits cheap: most steps reuse an
-existing factorisation and only pay a forward/backward substitution.
+state pattern, its sparse LU factorisation is cached per pattern (keyed by
+the packed state bits), which makes long simulations of piecewise-linear
+circuits cheap: most steps reuse an existing factorisation and only pay a
+forward/backward substitution.  Assembly runs through the compiled stamp
+template (:meth:`~repro.circuit.mna.MNASystem.compiled`), so a step that
+hits the factorisation cache does no Python-loop work at all.
 """
 
 from __future__ import annotations
@@ -150,6 +153,7 @@ class TransientSimulator:
         states = dict(system.default_diode_states())
         if initial_diode_states:
             states.update(initial_diode_states)
+        state_arr = system.diode_states_array(states)
 
         if initial == "zero":
             x = np.zeros(system.size)
@@ -158,28 +162,49 @@ class TransientSimulator:
 
             dc = DCOperatingPoint().solve(circuit, initial_states=states, mna=system)
             x = dc.vector
-            states = dict(dc.diode_states)
+            state_arr = system.diode_states_array(dc.diode_states)
         else:
             raise SimulationError(f"unknown initial condition {initial!r}")
 
+        template = system.compiled()
         num_steps = int(round(t_stop / dt))
         times = np.zeros(num_steps + 1)
-        node_data = {n: np.zeros(num_steps + 1) for n in recorded_nodes}
-        current_data = {n: np.zeros(num_steps + 1) for n in recorded_currents}
-        self._record(system, x, 0, node_data, current_data)
+        # Recorded unknowns are gathered once into one preallocated
+        # ``(steps + 1, recorded)`` matrix — a single fancy-index per step
+        # instead of per-name Python loops — and sliced into per-name
+        # waveforms at the end.  Ground (always 0 V) is skipped.
+        live_nodes = [n for n in recorded_nodes if n != GROUND]
+        record_columns = np.array(
+            [system.node_index[n] for n in live_nodes]
+            + [system.branch_index[c] for c in recorded_currents],
+            dtype=np.intp,
+        )
+        recorded = np.zeros((num_steps + 1, record_columns.size))
+        recorded[0] = x[record_columns]
 
-        lu_cache: Dict[Tuple[Tuple[str, bool], ...], Factorization] = {}
+        lu_cache: Dict[bytes, Factorization] = {}
         state_changes = 0
 
         for step in range(1, num_steps + 1):
             t = step * dt
             x_prev = x
-            states_before = dict(states)
-            x, states = self._step(system, t, dt, x_prev, states, lu_cache)
-            if states != states_before:
+            states_before = state_arr
+            x, state_arr = self._step(system, template, t, dt, x_prev, state_arr, lu_cache)
+            if not np.array_equal(state_arr, states_before):
                 state_changes += 1
             times[step] = t
-            self._record(system, x, step, node_data, current_data)
+            recorded[step] = x[record_columns]
+
+        node_data = {
+            name: recorded[:, i].copy() for i, name in enumerate(live_nodes)
+        }
+        for name in recorded_nodes:
+            if name == GROUND:
+                node_data[name] = np.zeros(num_steps + 1)
+        current_data = {
+            name: recorded[:, len(live_nodes) + i].copy()
+            for i, name in enumerate(recorded_currents)
+        }
 
         return TransientResult(
             times=times,
@@ -194,21 +219,28 @@ class TransientSimulator:
     def _step(
         self,
         system: MNASystem,
+        template,
         t: float,
         dt: float,
         x_prev: np.ndarray,
-        states: Dict[str, bool],
-        lu_cache: Dict[Tuple[Tuple[str, bool], ...], Factorization],
-    ) -> Tuple[np.ndarray, Dict[str, bool]]:
-        """One backward-Euler step with diode-state iteration."""
-        current_states = dict(states)
+        state_arr: np.ndarray,
+        lu_cache: Dict[bytes, Factorization],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One backward-Euler step with diode-state iteration.
+
+        Assembly goes through the compiled stamp template; the per-pattern
+        factorisation cache is keyed by the packed state bits
+        (``np.packbits(...).tobytes()``), which is both smaller and cheaper
+        to build than the old sorted name/state tuples.
+        """
+        current = state_arr
         seen = set()
         solution = x_prev
         for _iteration in range(self.max_state_iterations):
-            key = tuple(sorted(current_states.items()))
+            key = np.packbits(current).tobytes()
             lu = lu_cache.get(key)
             if lu is None:
-                matrix = system.matrix(diode_states=current_states, dt=dt)
+                matrix = template.matrix(current, dt=dt)
                 try:
                     lu = self.linear_solver.factorize(matrix)
                 except SingularCircuitError as exc:
@@ -216,16 +248,16 @@ class TransientSimulator:
                         f"transient MNA matrix is singular at t={t}: {exc}"
                     ) from exc
                 lu_cache[key] = lu
-            rhs = system.rhs(t=t, diode_states=current_states, dt=dt, previous=x_prev)
+            rhs = template.rhs(t=t, states=current, dt=dt, previous=x_prev)
             try:
                 solution = lu.solve(rhs)
             except SingularCircuitError as exc:
                 raise SingularCircuitError(
                     f"non-finite transient solution at t={t}: {exc}"
                 ) from exc
-            desired = self._desired_states(system, solution, current_states)
-            if desired == current_states:
-                return solution, current_states
+            desired = self._desired_states(system, solution, current)
+            if np.array_equal(desired, current):
+                return solution, current
             if key in seen:
                 # Cycle detected within the step: accept the current solution
                 # and let the next step (with new source values / history)
@@ -233,34 +265,20 @@ class TransientSimulator:
                 # accepting the last iterate of a marginally converging step.
                 return solution, desired
             seen.add(key)
-            current_states = desired
+            current = desired
         raise ConvergenceError(
             f"diode-state iteration did not converge within a time step at t={t}"
         )
 
     @staticmethod
     def _desired_states(
-        system: MNASystem, solution: np.ndarray, current: Dict[str, bool]
-    ) -> Dict[str, bool]:
+        system: MNASystem, solution: np.ndarray, current: np.ndarray
+    ) -> np.ndarray:
         if not system.diodes:
-            return {}
-        wants_on = desired_conduction_states(
+            return current
+        return desired_conduction_states(
             system.diode_voltage_drops(solution),
             system.diode_thresholds,
-            system.diode_states_array(current),
+            current,
             hysteresis=1e-9,
         )
-        return dict(zip(system.diode_names, wants_on.tolist()))
-
-    @staticmethod
-    def _record(
-        system: MNASystem,
-        solution: np.ndarray,
-        index: int,
-        node_data: Dict[str, np.ndarray],
-        current_data: Dict[str, np.ndarray],
-    ) -> None:
-        for name, array in node_data.items():
-            array[index] = system.node_voltage(solution, name)
-        for name, array in current_data.items():
-            array[index] = system.branch_current(solution, name)

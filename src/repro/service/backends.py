@@ -132,6 +132,9 @@ class AnalogBackend(SolveBackend):
     through :meth:`AnalogMaxFlowSolver.solve` untouched.  Cache keys combine
     the network topology hash with the solver configuration and drive
     voltage, so two differently-configured backends never share entries.
+    Each cached circuit carries its pre-built MNA system and compiled stamp
+    template (:meth:`CompiledMaxFlowCircuit.mna`), so a cache hit pays only
+    the linear solves of the DC iteration.
 
     Examples
     --------
@@ -185,6 +188,10 @@ class AnalogBackend(SolveBackend):
             hit, compiled = self.cache.lookup(key)
             if not hit:
                 compiled = self.solver.compile(request.network, vflow_v=drive)
+                # Pre-build the MNA system and its compiled stamp template so
+                # they are memoized alongside the circuit: cache hits skip
+                # compile, index assignment AND stamp-template construction.
+                compiled.mna()
                 self.cache.store(key, compiled)
             result = self.solver.solve_compiled(compiled)
             return result.flow_value, result.edge_flows, result, hit

@@ -6,7 +6,11 @@ of the result.  Production traffic is repetitive — the same road network is
 re-solved as capacities change little, the same segmentation grid shape
 recurs for every frame — so the batch service memoizes compiled circuits
 keyed by a deterministic hash of the network topology *and* the compiler
-configuration that produced them.
+configuration that produced them.  Each cached entry also carries the
+circuit's pre-built MNA system and compiled stamp template
+(:meth:`~repro.analog.compiler.CompiledMaxFlowCircuit.mna`), so a hit skips
+compilation, MNA index assignment and stamp-template construction alike —
+the solve cost of a hit collapses to the linear algebra itself.
 
 The cache is a thread-safe LRU: entries are evicted least-recently-used once
 ``max_entries`` is reached, and hit/miss counters feed the batch report.

@@ -1,0 +1,374 @@
+"""Equivalence suite for the compiled MNA stamp templates.
+
+Property-style checks over randomized circuits containing every element type
+(resistors, switches, memristors, capacitors, diodes with and without forward
+voltage, V/I sources with time-varying waveforms, VCVS, op-amps):
+
+* compiled :meth:`CompiledMNA.matrix` equals the element-by-element reference
+  :meth:`MNASystem.matrix` to 1e-12, for DC and transient assembly and random
+  diode patterns;
+* compiled :meth:`CompiledMNA.rhs` equals the loop reference
+  :meth:`MNASystem.rhs_reference` to 1e-12;
+* Sherman–Morrison–Woodbury flip solves match from-scratch factorisations;
+* the compiled+SMW DC solver and the legacy DC solver find the same
+  operating point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    VCVS,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Diode,
+    MNASystem,
+    Memristor,
+    OpAmp,
+    Resistor,
+    Switch,
+    VoltageSource,
+    StepWaveform,
+)
+from repro.circuit.dc import DCOperatingPoint
+from repro.circuit.linsolve import LinearSystemSolver
+from repro.circuit.memristor import MemristorState
+from repro.circuit.transient import TransientSimulator
+from repro.config import DiodeParameters
+from repro.graph.generators import rmat_graph
+from repro.analog import AnalogMaxFlowSolver
+
+
+# ----------------------------------------------------------------------
+# Random circuit generation
+# ----------------------------------------------------------------------
+
+
+def random_circuit(rng: np.random.Generator, num_nodes: int = 12) -> Circuit:
+    """A random circuit exercising every element type.
+
+    Every node is anchored to an earlier node (or ground) through a
+    resistor, so the conductance graph is connected; the remaining elements
+    are sprinkled over random node pairs.
+    """
+    circuit = Circuit()
+    nodes = ["0"] + [f"n{i}" for i in range(1, num_nodes)]
+
+    def pick_pair():
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        return nodes[a], nodes[b]
+
+    for i in range(1, num_nodes):
+        anchor = nodes[rng.integers(0, i)]
+        circuit.add(
+            Resistor(f"Rl{i}", nodes[i], anchor, float(rng.uniform(0.5, 50.0)))
+        )
+    for i in range(num_nodes):
+        a, b = pick_pair()
+        circuit.add(Resistor(f"Rx{i}", a, b, float(rng.uniform(-30.0, 30.0) or 1.0)))
+    for i in range(4):
+        a, b = pick_pair()
+        circuit.add(Capacitor(f"C{i}", a, b, float(rng.uniform(1e-9, 1e-6))))
+    for i in range(6):
+        a, b = pick_pair()
+        parameters = DiodeParameters(
+            forward_voltage_v=float(rng.choice([0.0, 0.3, 0.7])),
+            on_conductance_s=float(rng.uniform(1e2, 1e4)),
+            off_conductance_s=float(rng.uniform(1e-10, 1e-8)),
+        )
+        circuit.add(
+            Diode(f"D{i}", a, b, parameters, initial_state=bool(rng.integers(0, 2)))
+        )
+    for i in range(2):
+        a, b = pick_pair()
+        circuit.add(
+            VoltageSource(
+                f"V{i}",
+                a,
+                b,
+                StepWaveform(float(rng.uniform(1.0, 5.0)), delay=1e-6, rise_time=1e-6),
+            )
+        )
+    for i in range(2):
+        a, b = pick_pair()
+        circuit.add(CurrentSource(f"I{i}", a, b, float(rng.uniform(-0.5, 0.5))))
+    for i in range(2):
+        a, b = pick_pair()
+        circuit.add(
+            Switch(f"S{i}", a, b, closed=bool(rng.integers(0, 2)))
+        )
+    for i in range(2):
+        a, b = pick_pair()
+        state = MemristorState.LRS if rng.integers(0, 2) else MemristorState.HRS
+        circuit.add(Memristor(f"M{i}", a, b, state=state))
+    a, b = pick_pair()
+    c, d = pick_pair()
+    circuit.add(VCVS("E0", a, b, c, d, float(rng.uniform(-3.0, 3.0))))
+    a, b = pick_pair()
+    out = nodes[rng.integers(1, num_nodes)]
+    circuit.add(OpAmp("OA0", a, b, out))
+    return circuit
+
+
+def random_states(rng: np.random.Generator, system: MNASystem):
+    return {d.name: bool(rng.integers(0, 2)) for d in system.diodes}
+
+
+# ----------------------------------------------------------------------
+# matrix() / rhs() equivalence
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_compiled_matrix_matches_reference(seed):
+    rng = np.random.default_rng(seed)
+    circuit = random_circuit(rng)
+    system = MNASystem(circuit)
+    template = system.compiled()
+    for _ in range(4):
+        states = random_states(rng, system)
+        for dt in (None, 1e-7, 3.7e-5):
+            reference = system.matrix(diode_states=states, dt=dt).toarray()
+            compiled = template.matrix(states, dt=dt).toarray()
+            scale = max(1.0, np.abs(reference).max())
+            assert np.abs(reference - compiled).max() < 1e-12 * scale
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12, 13, 14])
+def test_compiled_rhs_matches_reference(seed):
+    rng = np.random.default_rng(seed)
+    circuit = random_circuit(rng)
+    system = MNASystem(circuit)
+    for _ in range(4):
+        states = random_states(rng, system)
+        previous = rng.normal(size=system.size)
+        cases = [
+            dict(t=None, dt=None, previous=None),
+            dict(t=0.0, dt=None, previous=None),
+            dict(t=2e-6, dt=1e-7, previous=previous),
+        ]
+        for case in cases:
+            reference = system.rhs_reference(diode_states=states, **case)
+            compiled = system.rhs(diode_states=states, **case)
+            assert np.abs(reference - compiled).max() < 1e-12
+
+
+def test_compiled_matrix_tracks_switch_and_memristor_state():
+    """Variable conductors are re-read per call, like the reference path."""
+    circuit = Circuit()
+    circuit.add(VoltageSource("V1", "a", "0", 1.0))
+    circuit.add(Resistor("R1", "a", "b", 10.0))
+    switch = circuit.add(Switch("S1", "b", "0", closed=False))
+    circuit.add(Resistor("R2", "b", "0", 100.0))
+    system = MNASystem(circuit)
+    template = system.compiled()
+    for closed in (False, True, False):
+        switch.closed = closed
+        reference = system.matrix().toarray()
+        compiled = template.matrix().toarray()
+        assert np.abs(reference - compiled).max() < 1e-12
+
+
+def test_compiled_rhs_tracks_waveform_swap():
+    """dc_sweep-style waveform replacement is visible to the template."""
+    circuit = Circuit()
+    source = circuit.add(VoltageSource("V1", "a", "0", 1.0))
+    circuit.add(Resistor("R1", "a", "0", 10.0))
+    system = MNASystem(circuit)
+    assert system.rhs()[system.branch_index["V1"]] == 1.0
+    from repro.circuit import ConstantWaveform
+
+    source.waveform = ConstantWaveform(7.5)
+    assert system.rhs()[system.branch_index["V1"]] == 7.5
+
+
+def test_compiled_template_rebuilds_after_inplace_resistance_tuning():
+    """In-place mutations of baked-in values must not go stale (tuning flow)."""
+    circuit = Circuit()
+    circuit.add(VoltageSource("V1", "a", "0", 2.0))
+    circuit.add(Resistor("R1", "a", "b", 1.0))
+    r2 = circuit.add(Resistor("R2", "b", "0", 1.0))
+    system = MNASystem(circuit)
+    solver = DCOperatingPoint()
+    assert solver.solve(circuit, mna=system).voltage("b") == pytest.approx(1.0)
+    r2.resistance = 3.0  # what ResistanceTuner.tune_circuit does in place
+    assert solver.solve(circuit, mna=system).voltage("b") == pytest.approx(1.5)
+    # rhs-side values too: the reused template must track them
+    assert system.rhs()[system.branch_index["V1"]] == 2.0
+
+
+def test_engine_reuse_across_sweep_keeps_solutions_and_saves_factorizations():
+    """One solver instance re-solving one system reuses the base LU."""
+    from repro.circuit.analysis import dc_sweep
+
+    circuit = _clamp_network_circuit(5)
+    system = MNASystem(circuit)
+    source = next(
+        e.name for e in system.voltage_sources  # the Vflow drive
+    )
+    levels = [2.0, 2.1, 2.2, 2.3]
+    swept = dc_sweep(circuit, source, levels, warm_start=True, mna=system)
+    for level, solution in zip(levels, swept):
+        reference = DCOperatingPoint(assembly="legacy")
+        from repro.circuit import ConstantWaveform
+
+        element = circuit.element(source)
+        original = element.waveform
+        element.waveform = ConstantWaveform(level)
+        try:
+            expected = reference.solve(circuit, mna=system)
+        finally:
+            element.waveform = original
+        scale = max(1.0, np.abs(expected.vector).max())
+        diff = max(
+            abs(expected.voltages[n] - solution.voltages[n])
+            for n in expected.voltages
+        )
+        assert diff / scale < 1e-8
+    # Warm-started consecutive levels share patterns: later levels must not
+    # all pay a fresh factorisation.
+    assert sum(s.refactorizations for s in swept[1:]) < sum(
+        s.iterations for s in swept[1:]
+    )
+
+
+def test_engine_revalidates_after_switch_toggle():
+    """A live switch toggle between solves drops the cached base LU."""
+    circuit = Circuit()
+    circuit.add(VoltageSource("V1", "a", "0", 1.0))
+    circuit.add(Resistor("R1", "a", "b", 10.0))
+    switch = circuit.add(Switch("S1", "b", "0", closed=True, on_resistance=10.0))
+    circuit.add(Resistor("R2", "b", "0", 1e6))
+    system = MNASystem(circuit)
+    solver = DCOperatingPoint()
+    closed_voltage = solver.solve(circuit, mna=system).voltage("b")
+    switch.closed = False
+    open_voltage = solver.solve(circuit, mna=system).voltage("b")
+    assert closed_voltage == pytest.approx(0.5, abs=1e-3)
+    assert open_voltage == pytest.approx(1.0, abs=1e-2)
+
+
+# ----------------------------------------------------------------------
+# SMW low-rank flip solves
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["dense", "sparse"])
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_smw_solve_matches_refactorization(mode, seed):
+    rng = np.random.default_rng(seed)
+    circuit = _clamp_network_circuit(seed)
+    system = MNASystem(circuit)
+    template = system.compiled()
+    solver = LinearSystemSolver(mode=mode)
+
+    base = system.default_diode_state_array.copy()
+    factorization = solver.factorize(template.matrix(base))
+    for flips in (1, 2, len(system.diodes)):
+        flipped = base.copy()
+        flip_idx = rng.choice(len(system.diodes), size=flips, replace=False)
+        flipped[flip_idx] = ~flipped[flip_idx]
+        rhs = template.rhs(states=flipped)
+        via_smw = template.smw_solve(factorization, base, flipped, rhs)
+        direct = solver.solve(template.matrix(flipped), rhs)
+        scale = max(1.0, np.abs(direct).max())
+        assert np.abs(via_smw - direct).max() / scale < 1e-6
+
+
+def test_smw_solve_zero_flips_is_plain_solve():
+    rng = np.random.default_rng(99)
+    circuit = random_circuit(rng)
+    system = MNASystem(circuit)
+    template = system.compiled()
+    solver = LinearSystemSolver()
+    base = system.default_diode_state_array
+    factorization = solver.factorize(template.matrix(base))
+    rhs = template.rhs(states=base)
+    assert np.array_equal(
+        template.smw_solve(factorization, base, base.copy(), rhs),
+        factorization.solve(rhs),
+    )
+
+
+# ----------------------------------------------------------------------
+# Solver-level equivalence (compiled+SMW vs legacy assembly)
+# ----------------------------------------------------------------------
+
+
+def _clamp_network_circuit(seed: int):
+    """A Fig. 10-style analog max-flow circuit (diode-heavy, solvable)."""
+    network = rmat_graph(24, 72, seed=seed)
+    compiled = AnalogMaxFlowSolver(quantize=False).compile(network)
+    return compiled.circuit
+
+
+@pytest.mark.parametrize("seed", [3, 7, 2015])
+def test_dc_compiled_matches_legacy_assembly(seed):
+    circuit = _clamp_network_circuit(seed)
+    legacy = DCOperatingPoint(assembly="legacy").solve(circuit)
+    compiled = DCOperatingPoint().solve(circuit)
+    assert compiled.converged == legacy.converged
+    assert compiled.diode_states == legacy.diode_states
+    for node, voltage in legacy.voltages.items():
+        assert abs(compiled.voltages[node] - voltage) < 1e-9
+    # SMW actually engaged: fewer factorisations than iterations when the
+    # state iteration took more than the initial solve.
+    if compiled.iterations > 2:
+        assert compiled.refactorizations < compiled.iterations
+
+
+def test_dc_smw_disabled_matches_enabled():
+    circuit = _clamp_network_circuit(42)
+    without = DCOperatingPoint(smw_crossover=0).solve(circuit)
+    with_smw = DCOperatingPoint().solve(circuit)
+    assert without.diode_states == with_smw.diode_states
+    assert without.smw_solves == 0
+    for node, voltage in without.voltages.items():
+        assert abs(with_smw.voltages[node] - voltage) < 1e-9
+
+
+def test_dc_rejects_unknown_assembly_and_negative_crossover():
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        DCOperatingPoint(assembly="magic")
+    with pytest.raises(SimulationError):
+        DCOperatingPoint(smw_crossover=-1)
+
+
+# ----------------------------------------------------------------------
+# Transient path (compiled assembly + vectorised recording)
+# ----------------------------------------------------------------------
+
+
+def test_transient_records_match_dc_limit():
+    """An RC divider driven by a step settles to its DC operating point."""
+    circuit = Circuit()
+    circuit.add(VoltageSource("V1", "a", "0", StepWaveform(2.0, rise_time=1e-9)))
+    circuit.add(Resistor("R1", "a", "b", 1e3))
+    circuit.add(Capacitor("C1", "b", "0", 1e-9))
+    circuit.add(Resistor("R2", "b", "0", 1e3))
+    result = TransientSimulator().run(
+        circuit, t_stop=2e-5, dt=1e-7, record_nodes=["b", "0"], record_currents=["V1"]
+    )
+    assert result.voltage("0").values.max() == 0.0
+    assert abs(result.voltage("b").values[-1] - 1.0) < 1e-3
+    assert abs(result.current("V1").values[-1] + 1e-3) < 1e-6
+    assert result.steps == 200
+
+
+def test_transient_with_diodes_matches_previous_behaviour():
+    """Diode clamp engages mid-transient; recorded arrays stay per-name."""
+    circuit = Circuit()
+    circuit.add(VoltageSource("V1", "a", "0", StepWaveform(5.0, rise_time=1e-8)))
+    circuit.add(Resistor("R1", "a", "b", 1e3))
+    circuit.add(Capacitor("C1", "b", "0", 1e-9))
+    circuit.add(Diode("D1", "b", "c", DiodeParameters(on_conductance_s=1e3)))
+    circuit.add(VoltageSource("Vclamp", "c", "0", 2.0))
+    result = TransientSimulator().run(circuit, t_stop=2e-5, dt=5e-8)
+    final = result.voltage("b").values[-1]
+    assert final == pytest.approx(2.0, abs=0.01)
+    assert result.diode_state_changes >= 1

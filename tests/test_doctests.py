@@ -16,6 +16,7 @@ import pytest
 import repro.analog.solver
 import repro.circuit.linsolve
 import repro.circuit.nonlinear
+import repro.circuit.stamps
 import repro.flows.registry
 import repro.service.api
 import repro.service.backends
@@ -26,6 +27,7 @@ DOCUMENTED_MODULES = [
     repro.analog.solver,
     repro.circuit.linsolve,
     repro.circuit.nonlinear,
+    repro.circuit.stamps,
     repro.flows.registry,
     repro.service.api,
     repro.service.backends,

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Performance gate: record assembly/DC-iteration medians to BENCH_assembly.json.
+
+Runs the compiled-assembly engine on one instance per Fig. 10 class (dense /
+sparse R-MAT) through the shared :mod:`repro.bench.assembly` harness — the
+same instance selection and metrics the pytest thresholds in
+``benchmarks/bench_assembly.py`` enforce — and writes median timings so later
+PRs can track the perf trajectory of the MNA hot path::
+
+    PYTHONPATH=src python tools/perf_gate.py [--scale 0.25] [--repeats 5]
+                                             [--output BENCH_assembly.json]
+
+The JSON maps each instance class to
+
+* ``unknowns`` / ``diodes`` — instance size,
+* ``assembly_ms`` — median compiled ``matrix(states) + rhs()`` time,
+* ``assembly_ms_legacy`` — the reference loop assembler on the same instance,
+* ``dc_solve_ms`` — median end-to-end DC solve (compiled + SMW),
+* ``dc_iteration_ms`` — ``dc_solve_ms`` divided by the diode-state iteration
+  count (the headline "median iteration time"),
+* ``assembly_speedup`` / ``dc_speedup`` / ``smw_speedup`` — compiled vs
+  legacy, and SMW-enabled vs refactorise-always.
+
+The gate only *records*; regression thresholds live in
+``benchmarks/bench_assembly.py`` where pytest can enforce them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import measure_assembly_class  # noqa: E402
+
+
+def _as_record(metrics: dict) -> dict:
+    return {
+        "workload": metrics["workload"],
+        "unknowns": metrics["unknowns"],
+        "diodes": metrics["diodes"],
+        "assembly_ms": round(metrics["assembly_compiled_s"] * 1e3, 4),
+        "assembly_ms_legacy": round(metrics["assembly_legacy_s"] * 1e3, 4),
+        "assembly_speedup": round(
+            metrics["assembly_legacy_s"] / metrics["assembly_compiled_s"], 2
+        ),
+        "dc_solve_ms": round(metrics["dc_compiled_s"] * 1e3, 3),
+        "dc_solve_ms_legacy": round(metrics["dc_legacy_s"] * 1e3, 3),
+        "dc_iteration_ms": round(
+            metrics["dc_compiled_s"] * 1e3 / max(1, metrics["iterations"]), 3
+        ),
+        "dc_iterations": metrics["iterations"],
+        "dc_speedup": round(metrics["dc_legacy_s"] / metrics["dc_compiled_s"], 2),
+        "smw_speedup": round(metrics["dc_no_smw_s"] / metrics["dc_compiled_s"], 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="Fig. 10 workload scale (default 0.25)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions per metric (median is kept)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_assembly.json")
+    args = parser.parse_args(argv)
+
+    report = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "classes": {
+            regime: _as_record(
+                measure_assembly_class(
+                    regime, args.scale, repeats=args.repeats,
+                    reducer=statistics.median,
+                )
+            )
+            for regime in ("dense", "sparse")
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for regime, row in report["classes"].items():
+        print(
+            f"  {regime} ({row['workload']}, {row['unknowns']} unknowns): "
+            f"assembly {row['assembly_ms']} ms ({row['assembly_speedup']}x), "
+            f"dc iteration {row['dc_iteration_ms']} ms, "
+            f"dc {row['dc_speedup']}x, smw {row['smw_speedup']}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
