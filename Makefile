@@ -12,25 +12,35 @@ DOCTEST_MODULES := src/repro/service \
 	src/repro/circuit/nonlinear.py \
 	src/repro/circuit/stamps.py
 
-.PHONY: test bench-smoke docs-check perf-gate
+.PHONY: test bench-smoke docs-check perf-gate perf-gate-streaming ci
 
 ## tier-1 suite plus the documented-API doctests
 test:
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) -m pytest --doctest-modules $(DOCTEST_MODULES) -q
 
-## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly)
+## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly + streaming)
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest \
 		benchmarks/bench_service_batch.py \
 		benchmarks/bench_fig08_quantization.py \
 		benchmarks/bench_assembly.py \
+		benchmarks/bench_streaming.py \
 		-o python_files='bench_*.py' -q -s
 
 ## record assembly/DC-iteration medians to BENCH_assembly.json (perf trajectory)
 perf-gate:
 	$(PYTHON) tools/perf_gate.py
 
+## record warm-vs-cold streaming re-solve medians to BENCH_streaming.json
+## (scale 0.5 so the Fig. 10-style instances are large enough to be
+## representative; the acceptance thresholds live in bench_streaming.py)
+perf-gate-streaming:
+	$(PYTHON) tools/perf_gate.py --suite streaming --scale 0.5
+
 ## broken intra-doc links + docstring coverage of repro.service
 docs-check:
 	$(PYTHON) tools/docs_check.py
+
+## the full local CI chain: tests + doctests, doc health, benchmark smoke
+ci: test docs-check bench-smoke

@@ -87,6 +87,16 @@ class CompiledMaxFlowCircuit:
     opamp_count: int = 0
     resistor_count: int = 0
     diode_count: int = 0
+    #: Edge index -> clamp voltage-source element name.  Populated only when
+    #: the circuit was compiled with ``dedicated_clamp_sources=True``; the
+    #: streaming warm re-solve path re-programs these sources in place.
+    clamp_element_of_edge: Dict[int, str] = field(default_factory=dict)
+    #: True when every clamped edge has its own (re-programmable) source.
+    dedicated_clamps: bool = False
+    #: ``network.num_edges`` at compile time.  ``resolve()`` checks against
+    #: this (not against the possibly-aliased live ``network`` attribute) to
+    #: detect structural edits that require a recompile.
+    compiled_edge_count: int = 0
     #: Lazily-built MNA system (with its compiled stamp template); use
     #: :meth:`mna` instead of touching this field.
     _mna: Optional["MNASystem"] = field(default=None, repr=False, compare=False)
@@ -148,6 +158,13 @@ class MaxFlowCircuitCompiler:
         ``"round"`` or ``"floor"`` (see :class:`VoltageQuantizer`).
     seed:
         Seed for the variation random draws (overrides ``nonideal.seed``).
+    dedicated_clamp_sources:
+        Give every clamped edge its own capacity-clamp voltage source
+        instead of sharing one source per quantized level.  Costs one extra
+        MNA branch unknown per edge, but makes every edge capacity
+        independently re-programmable in place — the prerequisite for
+        :meth:`~repro.analog.solver.AnalogMaxFlowSolver.resolve` warm
+        re-solves on streamed capacity updates.
     """
 
     def __init__(
@@ -159,6 +176,7 @@ class MaxFlowCircuitCompiler:
         prune: bool = True,
         quantizer_mode: str = "round",
         seed: Optional[int] = None,
+        dedicated_clamp_sources: bool = False,
     ) -> None:
         self.parameters = parameters if parameters is not None else SubstrateParameters()
         self.nonideal = nonideal if nonideal is not None else NonIdealityModel()
@@ -169,6 +187,7 @@ class MaxFlowCircuitCompiler:
         self.prune = prune
         self.quantizer_mode = quantizer_mode
         self.seed = seed if seed is not None else self.nonideal.seed
+        self.dedicated_clamp_sources = dedicated_clamp_sources
 
     # ------------------------------------------------------------------
 
@@ -202,6 +221,7 @@ class MaxFlowCircuitCompiler:
             nonideal=self.nonideal,
             style=self.style,
             rng=random.Random(self.seed),
+            dedicated_clamp_sources=self.dedicated_clamp_sources,
         )
 
         # Edge nodes and capacity clamps.
@@ -261,6 +281,9 @@ class MaxFlowCircuitCompiler:
             opamp_count=len(builder.opamp_names),
             resistor_count=builder.resistor_count,
             diode_count=builder.diode_count,
+            clamp_element_of_edge=dict(builder.clamp_element_of_edge),
+            dedicated_clamps=self.dedicated_clamp_sources,
+            compiled_edge_count=network.num_edges,
         )
 
     # ------------------------------------------------------------------

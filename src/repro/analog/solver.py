@@ -55,6 +55,11 @@ class AnalogMaxFlowResult:
         Diode-state iterations of the final DC solve.
     compiled:
         The compiled circuit (kept for inspection, power modelling, ...).
+    dc_solution:
+        The underlying :class:`~repro.circuit.dc.DCSolution` (DC solves
+        only).  Carries the final diode states, which
+        :meth:`AnalogMaxFlowSolver.resolve` uses to warm-start the next
+        re-solve of a streamed instance.
     """
 
     flow_value: float
@@ -67,6 +72,7 @@ class AnalogMaxFlowResult:
     solver_wall_time_s: float = 0.0
     dc_iterations: int = 0
     compiled: CompiledMaxFlowCircuit = field(default=None, repr=False)
+    dc_solution: object = field(default=None, repr=False)
 
     def quality(self, network: FlowNetwork, exact_value: Optional[float] = None) -> SolutionQuality:
         """Evaluate this result against the exact optimum of ``network``.
@@ -111,6 +117,10 @@ class AnalogMaxFlowSolver:
         solves.
     seed:
         Seed for the non-ideality random draws.
+    dedicated_clamp_sources:
+        Compile with one re-programmable clamp source per edge (see
+        :class:`~repro.analog.compiler.MaxFlowCircuitCompiler`); required
+        for :meth:`resolve` warm re-solves on streamed capacity updates.
 
     Examples
     --------
@@ -139,6 +149,7 @@ class AnalogMaxFlowSolver:
         max_drive_doublings: int = 8,
         quantizer_mode: str = "round",
         seed: Optional[int] = None,
+        dedicated_clamp_sources: bool = False,
     ) -> None:
         self.parameters = parameters if parameters is not None else SubstrateParameters()
         self.nonideal = nonideal if nonideal is not None else NonIdealityModel()
@@ -150,6 +161,11 @@ class AnalogMaxFlowSolver:
         self.max_drive_doublings = max_drive_doublings
         self.quantizer_mode = quantizer_mode
         self.seed = seed
+        self.dedicated_clamp_sources = dedicated_clamp_sources
+        # Persistent DC engine for the streaming re-solve path: keeping one
+        # DCOperatingPoint instance alive keeps its per-template linear
+        # engine (and cached base LU factorisation) warm across resolves.
+        self._streaming_dc: Optional[DCOperatingPoint] = None
 
     # ------------------------------------------------------------------
 
@@ -170,6 +186,7 @@ class AnalogMaxFlowSolver:
             prune=self.prune,
             quantizer_mode=self.quantizer_mode,
             seed=self.seed,
+            dedicated_clamp_sources=self.dedicated_clamp_sources,
         )
 
     def compile(self, network: FlowNetwork, vflow_v: Optional[float] = None) -> CompiledMaxFlowCircuit:
@@ -336,9 +353,145 @@ class AnalogMaxFlowSolver:
             vflow_v=compiled.vflow_v,
             dc_iterations=solution.iterations,
             compiled=compiled,
+            dc_solution=solution,
         )
         result.solver_wall_time_s = time.perf_counter() - start
         return result
+
+    # ------------------------------------------------------------------
+    # Streaming warm re-solve
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self,
+        compiled: CompiledMaxFlowCircuit,
+        network: Optional[FlowNetwork] = None,
+        previous: Optional[AnalogMaxFlowResult] = None,
+    ) -> AnalogMaxFlowResult:
+        """Re-solve a compiled circuit after capacity updates, warm-started.
+
+        The fast path of the streaming subsystem.  Capacities live in the
+        circuit as clamp-source voltages, which enter the MNA system only
+        through the right-hand side, so when the sparsity pattern is
+        unchanged this method skips *recompilation and refactorisation
+        entirely*: it re-programs the per-edge clamp sources in place
+        (:meth:`~repro.circuit.stamps.CompiledMNA.apply_capacity_updates`),
+        warm-starts the diode-state iteration from the previous operating
+        point, and lets the handful of induced diode flips flow through the
+        cached base factorisation as rank-``k`` Sherman–Morrison–Woodbury
+        corrections.
+
+        Parameters
+        ----------
+        compiled:
+            A circuit compiled with ``dedicated_clamp_sources=True`` (see
+            :meth:`compile`).  It is mutated in place (clamp values,
+            quantization, network reference) and must therefore be owned by
+            the caller — do not share it through the batch-service cache
+            while resolving.
+        network:
+            The updated network.  Must have the same sparsity pattern as
+            ``compiled.network`` (same edges/endpoints; only capacities may
+            differ, and finite capacities must stay finite).  ``None`` skips
+            the capacity re-sync and just (re-)solves — the cold-start call
+            of a streaming session.
+        previous:
+            The previous :class:`AnalogMaxFlowResult` of this circuit; its
+            final diode states seed the iteration.  ``None`` starts from the
+            default (all-off) pattern.
+
+        Returns
+        -------
+        AnalogMaxFlowResult
+            Same shape as :meth:`solve` with ``method="dc"``; its
+            ``dc_solution`` feeds the next :meth:`resolve`.
+
+        Raises
+        ------
+        CircuitError
+            When the circuit lacks dedicated clamp sources or the update is
+            structural (changed edge set, finite/infinite transition) —
+            callers must recompile for those.
+        """
+        start = time.perf_counter()
+        if network is not None:
+            self._sync_clamp_sources(compiled, network)
+        warm_states = None
+        if previous is not None:
+            solution = previous.dc_solution if hasattr(previous, "dc_solution") else previous
+            if solution is not None:
+                warm_states = solution.diode_states
+        if self._streaming_dc is None:
+            self._streaming_dc = DCOperatingPoint()
+        solution = self._streaming_dc.solve(
+            compiled.circuit, initial_states=warm_states, mna=compiled.mna()
+        )
+        if not solution.converged:
+            solution = self._source_stepped_dc(compiled, compiled.vflow_v)
+        decoded = FlowReadout(compiled).from_dc(solution)
+        result = AnalogMaxFlowResult(
+            flow_value=decoded["flow_value"],
+            flow_value_from_current=decoded["flow_value_from_current"],
+            edge_flows=decoded["edge_flows"],
+            edge_voltages=decoded["edge_voltages"],
+            method="dc",
+            vflow_v=compiled.vflow_v,
+            dc_iterations=solution.iterations,
+            compiled=compiled,
+            dc_solution=solution,
+        )
+        result.solver_wall_time_s = time.perf_counter() - start
+        return result
+
+    def _sync_clamp_sources(
+        self, compiled: CompiledMaxFlowCircuit, network: FlowNetwork
+    ) -> int:
+        """Re-program the dedicated clamp sources to ``network``'s capacities.
+
+        Returns the number of sources whose value actually changed.  Note
+        that a change of the instance's *maximum* capacity rescales every
+        clamp voltage (the quantizer normalises by ``C``), which this method
+        handles uniformly — it is still a pure right-hand-side edit.
+        """
+        from .quantization import VoltageQuantizer
+
+        if not compiled.dedicated_clamps:
+            raise CircuitError(
+                "resolve() needs a circuit compiled with dedicated_clamp_sources=True"
+            )
+        # Compare against the compile-time snapshot, not compiled.network:
+        # callers may mutate and pass the very object compile() stored, in
+        # which case the live attribute would always agree with itself.
+        if network.num_edges != compiled.compiled_edge_count:
+            raise CircuitError(
+                "edge set changed (structural update); recompile instead of resolving"
+            )
+        quantizer = VoltageQuantizer(
+            num_levels=self.parameters.voltage_levels,
+            vdd=self.parameters.vdd_v,
+            mode=self.quantizer_mode,
+        )
+        quantization = (
+            quantizer.quantize(network) if self.quantize else quantizer.identity(network)
+        )
+        drop = self.nonideal.diode_forward_voltage_v
+        template = compiled.mna().compiled()
+        changed: Dict[str, float] = {}
+        for edge_index, element_name in compiled.clamp_element_of_edge.items():
+            voltage = quantization.voltage_of_edge.get(edge_index)
+            if voltage is None:
+                raise CircuitError(
+                    f"edge {edge_index} became uncapacitated (structural update); "
+                    "recompile instead of resolving"
+                )
+            compensated = voltage - drop
+            if compiled.circuit.element(element_name).dc_value != compensated:
+                changed[element_name] = compensated
+        if changed:
+            template.apply_capacity_updates(changed)
+        compiled.quantization = quantization
+        compiled.network = network
+        return len(changed)
 
     def _dc_solution(self, compiled: CompiledMaxFlowCircuit):
         solution = DCOperatingPoint().solve(compiled.circuit, mna=compiled.mna())

@@ -90,12 +90,19 @@ class WidgetBuilder:
     nonideal: NonIdealityModel
     style: WidgetStyle = WidgetStyle.IDEAL
     rng: Optional[random.Random] = None
+    #: When set, every edge clamp gets its *own* voltage source instead of
+    #: sharing one source per quantized level.  Costs one extra MNA branch
+    #: per edge but makes each edge's capacity independently re-programmable
+    #: in place — the streaming re-solve path depends on this.
+    dedicated_clamp_sources: bool = False
 
     negative_resistor_names: List[str] = field(default_factory=list)
     opamp_names: List[str] = field(default_factory=list)
     resistor_count: int = 0
     diode_count: int = 0
     clamp_source_of_voltage: Dict[float, str] = field(default_factory=dict)
+    #: Edge index -> clamp voltage-source *element* name (dedicated mode only).
+    clamp_element_of_edge: Dict[int, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.parameters.validate()
@@ -242,6 +249,20 @@ class WidgetBuilder:
             self.clamp_source_of_voltage[key] = node
         return node
 
+    def dedicated_clamp_source(self, edge_index: int, voltage: float) -> str:
+        """Create the per-edge clamp source for ``edge_index`` (dedicated mode).
+
+        Returns the node the clamp diode's cathode attaches to and records
+        the source element name in :attr:`clamp_element_of_edge` so streaming
+        capacity updates can re-program it in place.
+        """
+        node = self.circuit.node(f"vcap_e{edge_index}")
+        name = f"Vcap_e{edge_index}"
+        compensated = voltage - self.nonideal.diode_forward_voltage_v
+        self.circuit.add(VoltageSource(name, node, GROUND, compensated))
+        self.clamp_element_of_edge[edge_index] = name
+        return node
+
     def add_capacity_clamp(self, edge_index: int, node: str, clamp_voltage: Optional[float]) -> None:
         """Clamp the edge node to ``[0, clamp_voltage]``.
 
@@ -267,7 +288,10 @@ class WidgetBuilder:
         )
         self.diode_count += 1
         if clamp_voltage is not None:
-            source_node = self.clamp_source(clamp_voltage)
+            if self.dedicated_clamp_sources:
+                source_node = self.dedicated_clamp_source(edge_index, clamp_voltage)
+            else:
+                source_node = self.clamp_source(clamp_voltage)
             self.circuit.add(
                 Diode(f"Dhi{edge_index}", node, source_node, parameters=self._diode_parameters)
             )

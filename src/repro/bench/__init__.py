@@ -15,10 +15,13 @@ from .workloads import (
 from .runner import BatchServiceSuiteRunner, Fig10Runner, Fig10Row
 from .reporting import format_table, format_series, relative
 from .assembly import assembly_workload, measure_assembly_class
+from .streaming import measure_streaming_class, streaming_update_batches
 
 __all__ = [
     "assembly_workload",
     "measure_assembly_class",
+    "measure_streaming_class",
+    "streaming_update_batches",
     "Fig10Workload",
     "fig10_dense_suite",
     "fig10_sparse_suite",

@@ -25,7 +25,7 @@ tests and the assembly benchmark).
 
 from __future__ import annotations
 
-import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -234,10 +234,13 @@ class DCOperatingPoint:
         self.assembly = assembly
         self.smw_crossover = smw_crossover
         # Linear engines cached per stamp template: repeated solves of one
-        # system through one solver instance (dc_sweep, source stepping)
-        # reuse the base factorisation across operating points.  Keyed
-        # weakly so dropping the system frees the factorisation too.
-        self._engines: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        # system through one solver instance (dc_sweep, source stepping,
+        # streaming re-solves) reuse the base factorisation across operating
+        # points.  A small LRU (keyed by template identity) bounds the
+        # retained factorisations: a weak mapping would never evict here,
+        # because each engine holds a strong reference to its template.
+        self._engines: "OrderedDict" = OrderedDict()
+        self._max_engines = 4
 
     # ------------------------------------------------------------------
 
@@ -252,12 +255,16 @@ class DCOperatingPoint:
         """
         template = system.compiled()
         crossover = self._crossover(system)
-        engine = self._engines.get(template)
-        if engine is None or engine.crossover != crossover:
+        key = id(template)
+        engine = self._engines.get(key)
+        if engine is None or engine.template is not template or engine.crossover != crossover:
             engine = _CompiledLinearEngine(system, self.linear_solver, crossover)
-            self._engines[template] = engine
+            self._engines[key] = engine
         else:
             engine.revalidate()
+        self._engines.move_to_end(key)
+        while len(self._engines) > self._max_engines:
+            self._engines.popitem(last=False)
         return engine
 
     def _crossover(self, system: MNASystem) -> int:
@@ -273,7 +280,7 @@ class DCOperatingPoint:
     def solve(
         self,
         circuit: Circuit,
-        initial_states: Optional[Dict[str, bool]] = None,
+        initial_states=None,
         mna: Optional[MNASystem] = None,
     ) -> DCSolution:
         """Compute the DC operating point of ``circuit``.
@@ -282,16 +289,26 @@ class DCOperatingPoint:
         ----------
         initial_states:
             Optional warm-start diode states (e.g. from a previous solve of a
-            nearby operating point, as used by the quasi-static analysis).
+            nearby operating point, as used by the quasi-static analysis and
+            the streaming warm re-solve).  Either a ``{name: bool}`` mapping
+            (partial is fine) or a full boolean array in declaration order.
         mna:
             Pre-built :class:`MNASystem` to reuse across repeated solves of
             the same topology.
         """
         system = mna if mna is not None else MNASystem(circuit)
-        states = dict(system.default_diode_states())
-        if initial_states:
-            states.update(initial_states)
-        state_arr = system.diode_states_array(states)
+        if initial_states is not None and not isinstance(initial_states, dict):
+            state_arr = np.asarray(initial_states, dtype=bool).copy()
+            if state_arr.shape != (len(system.diodes),):
+                raise SimulationError(
+                    f"expected {len(system.diodes)} warm-start diode states, "
+                    f"got shape {state_arr.shape}"
+                )
+        else:
+            states = dict(system.default_diode_states())
+            if initial_states:
+                states.update(initial_states)
+            state_arr = system.diode_states_array(states)
 
         engine: Optional[_CompiledLinearEngine] = None
         if self.assembly == "compiled":

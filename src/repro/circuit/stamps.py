@@ -428,6 +428,49 @@ class CompiledMNA:
         return b[: self.size]
 
     # ------------------------------------------------------------------
+    # Streaming capacity updates
+    # ------------------------------------------------------------------
+
+    def apply_capacity_updates(self, source_values: Dict[str, float]) -> int:
+        """Re-program clamp voltage sources in place; returns the update count.
+
+        The analog substrate encodes an edge capacity as the DC value of its
+        capacity-clamp voltage source, which enters the MNA system only
+        through the *right-hand side* (the source's branch equation).  Source
+        waveforms are re-read live on every :meth:`rhs` call, so setting new
+        values here invalidates **nothing**: the matrix template, the CSC
+        pattern and any cached base :class:`~repro.circuit.linsolve.Factorization`
+        all stay exact.  The matrix-side consequence of a capacity edit — the
+        handful of clamp diodes whose conducting state flips at the new
+        operating point — is exactly the rank-``k`` conductance correction
+        the DC iteration already applies through :meth:`smw_solve`, so a
+        warm-started re-solve after a small capacity edit performs *zero*
+        refactorisations.
+
+        Parameters
+        ----------
+        source_values:
+            Mapping from voltage-source element name to its new DC value
+            (already compensated for the diode forward drop by the caller).
+
+        Raises
+        ------
+        SimulationError
+            When a name does not refer to a voltage source of this template.
+        """
+        from .elements import ConstantWaveform, VoltageSource
+
+        by_name = {source.name: source for source in self._vsrc}
+        for name, value in source_values.items():
+            source = by_name.get(name)
+            if source is None or not isinstance(source, VoltageSource):
+                raise SimulationError(
+                    f"{name!r} is not a voltage source of this stamp template"
+                )
+            source.waveform = ConstantWaveform(float(value))
+        return len(source_values)
+
+    # ------------------------------------------------------------------
     # Low-rank diode-flip solves
     # ------------------------------------------------------------------
 

@@ -13,6 +13,8 @@ CPU baseline in its evaluation:
 * :mod:`~repro.flows.linprog` — reference LP formulation solved with
   :func:`scipy.optimize.linprog`.
 * :mod:`~repro.flows.mincut` — minimum-cut extraction from a maximum flow.
+* :mod:`~repro.flows.incremental` — warm-started max-flow repair for
+  streaming edit batches (the classical half of ``repro.service.streaming``).
 * :mod:`~repro.flows.cost_model` — operation-count based CPU time/energy model
   used to approximate the paper's compiled-C baseline from Python.
 """
@@ -25,6 +27,7 @@ from .push_relabel import PushRelabel, push_relabel
 from .linprog import LinearProgrammingSolver, solve_lp_maxflow
 from .mincut import MinCutResult, min_cut_from_flow, min_cut
 from .cost_model import CpuCostModel, CpuEstimate
+from .incremental import IncrementalMaxFlow
 from .registry import ALGORITHMS, get_algorithm, solve_max_flow
 
 __all__ = [
@@ -47,6 +50,7 @@ __all__ = [
     "min_cut",
     "CpuCostModel",
     "CpuEstimate",
+    "IncrementalMaxFlow",
     "ALGORITHMS",
     "get_algorithm",
     "solve_max_flow",

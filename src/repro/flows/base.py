@@ -117,6 +117,34 @@ class ResidualNetwork:
         """Index of the reverse arc of ``arc``."""
         return arc ^ 1
 
+    def ensure_vertex(self, vertex: Vertex) -> int:
+        """Index of ``vertex``, appending it to the residual graph if new.
+
+        Used by the incremental solver when an :class:`EdgeInsert` references
+        a vertex the original network did not have.
+        """
+        index = self.index_of.get(vertex)
+        if index is None:
+            index = self.num_vertices
+            self.index_of[vertex] = index
+            self.vertex_of.append(vertex)
+            self.adjacency.append([])
+            self.num_vertices += 1
+        return index
+
+    def add_edge_arcs(self, tail: Vertex, head: Vertex, capacity: float,
+                      edge_index: Optional[int] = None) -> int:
+        """Append a forward/reverse arc pair for a newly inserted edge.
+
+        Returns the forward arc index.  Note that after out-of-band arcs have
+        been appended the ``arc == 2 * edge_index`` invariant no longer holds
+        for later edges, so incremental callers must track their own
+        edge-to-arc mapping instead of relying on :meth:`flow_on_edges`.
+        """
+        return self._add_arc_pair(
+            self.ensure_vertex(tail), self.ensure_vertex(head), capacity, edge_index
+        )
+
     def push(self, arc: int, amount: float) -> None:
         """Push ``amount`` units along ``arc`` (and pull them from its partner)."""
         if amount < 0:

@@ -25,6 +25,17 @@ class Dinic(FlowAlgorithm):
 
     def _run(self, network: FlowNetwork) -> Tuple[ResidualNetwork, int]:
         residual = ResidualNetwork(network)
+        return residual, self.augment_residual(residual)
+
+    def augment_residual(self, residual: ResidualNetwork) -> int:
+        """Run blocking-flow phases on an existing residual network.
+
+        The residual may already carry flow (reverse-arc capacities), in
+        which case the phases *resume* augmentation from that flow instead
+        of starting cold — the warm-start primitive of the incremental
+        solver (:class:`~repro.flows.incremental.IncrementalMaxFlow`).
+        Returns the number of phases run.
+        """
         phases = 0
         level = [0] * residual.num_vertices
         while self._build_levels(residual, level):
@@ -37,7 +48,7 @@ class Dinic(FlowAlgorithm):
                 if pushed <= 0:
                     break
                 residual.counter.augmentations += 1
-        return residual, phases
+        return phases
 
     @staticmethod
     def _build_levels(residual: ResidualNetwork, level: List[int]) -> bool:

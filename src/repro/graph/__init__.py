@@ -30,6 +30,14 @@ from .analysis import (
     is_source_sink_connected,
     upper_bound_flow,
 )
+from .updates import (
+    CapacityUpdate,
+    EdgeInsert,
+    EdgeRemove,
+    MutableFlowNetwork,
+    UpdateBatch,
+    topology_signature,
+)
 from .transforms import (
     undirected_to_directed,
     split_antiparallel_edges,
@@ -63,6 +71,12 @@ __all__ = [
     "prune_useless_vertices",
     "is_source_sink_connected",
     "upper_bound_flow",
+    "CapacityUpdate",
+    "EdgeInsert",
+    "EdgeRemove",
+    "MutableFlowNetwork",
+    "UpdateBatch",
+    "topology_signature",
     "undirected_to_directed",
     "split_antiparallel_edges",
     "merge_parallel_edges",

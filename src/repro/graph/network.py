@@ -125,6 +125,24 @@ class FlowNetwork:
         """Add many ``(tail, head, capacity)`` triples and return the edges."""
         return [self.add_edge(t, h, c) for t, h, c in triples]
 
+    def set_capacity(self, index: int, capacity: float) -> Edge:
+        """Replace the capacity of the edge at ``index`` (same endpoints).
+
+        :class:`Edge` objects are immutable, so the edge is replaced by a
+        fresh instance with the same index/tail/head; previously handed-out
+        ``Edge`` references keep their old capacity (they are snapshots).
+        This is the primitive the streaming update log
+        (:class:`~repro.graph.updates.MutableFlowNetwork`) builds on.
+        """
+        old = self.edge(index)
+        if capacity < 0:
+            raise InvalidGraphError(
+                f"edge {old.tail!r}->{old.head!r} has negative capacity {capacity}"
+            )
+        replacement = Edge(index, old.tail, old.head, float(capacity))
+        self._edges[index] = replacement
+        return replacement
+
     # ------------------------------------------------------------------
     # Basic queries
     # ------------------------------------------------------------------
@@ -241,12 +259,27 @@ class FlowNetwork:
     # ------------------------------------------------------------------
 
     def copy(self) -> "FlowNetwork":
-        """Return a deep copy of the network (fresh edge objects, same labels)."""
+        """Return a deep copy of the network (alias of :meth:`snapshot`)."""
+        return self.snapshot()
+
+    def snapshot(self) -> "FlowNetwork":
+        """Deep, independent checkpoint of the network.
+
+        Every :class:`Edge` of the snapshot is a freshly constructed object
+        (even when ``self`` holds instances of a mutable ``Edge`` subclass),
+        vertices keep their insertion order and edge indices are preserved,
+        so later :meth:`set_capacity` / :meth:`add_edge` calls on either
+        network can never alias into the other.  Streaming sessions use this
+        to checkpoint a revision before applying further updates.
+        """
         clone = FlowNetwork(self._source, self._sink)
         for vertex in self._out:
             clone.add_vertex(vertex)
         for edge in self._edges:
-            clone.add_edge(edge.tail, edge.head, edge.capacity)
+            # Rebuild through Edge directly (not the handed-in object) so a
+            # snapshot never shares edge instances with the original.
+            added = clone.add_edge(edge.tail, edge.head, float(edge.capacity))
+            assert added.index == edge.index  # insertion order preserves indices
         return clone
 
     def reversed(self) -> "FlowNetwork":

@@ -10,7 +10,9 @@ package turns the reproduction into a serving system:
 * :mod:`~repro.service.cache` — topology hashing and the compiled-circuit
   LRU memo;
 * :mod:`~repro.service.batch` — :class:`BatchSolveService`, the concurrent
-  batch executor.
+  batch executor;
+* :mod:`~repro.service.streaming` — :class:`StreamingSession`, incremental
+  solving over dynamic networks (push update batches, pull result deltas).
 
 Quick start::
 
@@ -35,6 +37,7 @@ from .backends import (
 )
 from .batch import BatchSolveService
 from .cache import CompiledCircuitCache, network_signature
+from .streaming import StreamingDelta, StreamingSession, push_all
 
 __all__ = [
     "BatchReport",
@@ -49,4 +52,7 @@ __all__ = [
     "BatchSolveService",
     "CompiledCircuitCache",
     "network_signature",
+    "StreamingDelta",
+    "StreamingSession",
+    "push_all",
 ]

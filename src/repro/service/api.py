@@ -251,6 +251,7 @@ class BatchReport:
             f"({summary['executor']}, {summary['max_workers']} workers, "
             f"speedup {summary['speedup']:.1f}x, "
             f"cache {summary['cache'].get('hits', 0)} hits / "
-            f"{summary['cache'].get('misses', 0)} misses)"
+            f"{summary['cache'].get('misses', 0)} misses / "
+            f"{summary['cache'].get('evictions', 0)} evictions)"
         )
         return table + "\n" + footer

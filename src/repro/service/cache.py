@@ -13,7 +13,8 @@ compilation, MNA index assignment and stamp-template construction alike —
 the solve cost of a hit collapses to the linear algebra itself.
 
 The cache is a thread-safe LRU: entries are evicted least-recently-used once
-``max_entries`` is reached, and hit/miss counters feed the batch report.
+``max_entries`` is reached, and hit/miss/eviction counters feed the batch
+report and the streaming session summary.
 """
 
 from __future__ import annotations
@@ -99,6 +100,7 @@ class CompiledCircuitCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -122,6 +124,7 @@ class CompiledCircuitCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def get_or_create(self, key: object, factory: Callable[[], object]) -> object:
         """Return the cached value for ``key``, creating it with ``factory`` on a miss.
@@ -144,13 +147,20 @@ class CompiledCircuitCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict:
-        """Hit/miss/size counters as a plain dictionary."""
+        """Hit/miss/eviction/size counters as a plain dictionary.
+
+        Surfaced through :attr:`repro.service.api.BatchReport.cache_stats`
+        and the streaming session summary so production cache behaviour
+        (thrash, undersizing) is observable.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "max_entries": self.max_entries,
             }

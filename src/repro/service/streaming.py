@@ -1,0 +1,461 @@
+"""Streaming sessions: incremental solving for dynamic networks.
+
+The batch service treats every request as an independent instance; real
+traffic is *streams of small edits to mostly-unchanged networks*.  A
+:class:`StreamingSession` keeps per-network solver state alive between
+requests so a re-solve after an edit batch costs a low-rank correction
+instead of a full recompile + refactorise:
+
+* **classical backends** (any :data:`repro.flows.registry.ALGORITHMS` name)
+  route through :class:`~repro.flows.incremental.IncrementalMaxFlow`:
+  residual-graph repair on capacity decreases, warm-resumed augmentation on
+  increases/inserts, cold cutover for large deltas;
+* the **analog backend** keeps one compiled circuit (with per-edge
+  re-programmable clamp sources) and re-solves capacity edits through
+  :meth:`~repro.analog.solver.AnalogMaxFlowSolver.resolve` — a pure
+  right-hand-side update against the cached base factorisation, with the
+  induced diode flips applied as Sherman–Morrison–Woodbury rank-``k``
+  corrections.  Structural batches (edge inserts, finite/infinite capacity
+  transitions) recompile through the shared
+  :class:`~repro.service.cache.CompiledCircuitCache`, keyed by
+  ``(topology_signature, structural_revision)`` plus the solver config.
+
+Push batches of typed events (:class:`~repro.graph.updates.CapacityUpdate`,
+:class:`~repro.graph.updates.EdgeInsert`,
+:class:`~repro.graph.updates.EdgeRemove`) and pull
+:class:`~repro.service.api.SolveResult` deltas::
+
+    from repro.service import StreamingSession
+    from repro.graph.updates import CapacityUpdate
+
+    session = StreamingSession(network, backend="analog")
+    delta = session.push([CapacityUpdate(3, 7.5)])
+    print(delta.result.flow_value, delta.flow_delta, delta.warm)
+
+Many independent sessions fan out over the usual worker pools with
+:func:`push_all`.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analog.solver import AnalogMaxFlowResult, AnalogMaxFlowSolver
+from ..errors import AlgorithmError
+from ..flows.incremental import IncrementalMaxFlow
+from ..flows.registry import ALGORITHMS
+from ..graph.network import FlowNetwork
+from ..graph.updates import MutableFlowNetwork, UpdateBatch, UpdateEvent
+from .api import SolveRequest, SolveResult
+from .cache import CompiledCircuitCache
+
+__all__ = ["StreamingDelta", "StreamingSession", "push_all"]
+
+
+@dataclass
+class StreamingDelta:
+    """Outcome of one :meth:`StreamingSession.push` call.
+
+    Attributes
+    ----------
+    result:
+        The full :class:`~repro.service.api.SolveResult` of the new
+        revision (same shape the batch service returns, so downstream
+        consumers are shared).
+    revision:
+        Network revision this result corresponds to.
+    warm:
+        True when the solve reused previous state (incremental repair or
+        warm analog re-solve); False for cold solves and cutovers.
+    recompiled:
+        True when the analog backend had to recompile the circuit
+        (structural batch or compiled-circuit cache miss).
+    flow_delta:
+        Change of the flow value relative to the previous revision.
+    changed_edge_flows:
+        ``edge_index -> (previous_flow, new_flow)`` for every edge whose
+        flow moved by more than ``delta_tolerance`` — the *delta view* a
+        downstream consumer (e.g. a traffic controller) acts on.
+    """
+
+    result: SolveResult
+    revision: int
+    warm: bool
+    recompiled: bool
+    flow_delta: float
+    changed_edge_flows: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def flow_value(self) -> float:
+        """Flow value of the new revision (shorthand for ``result.flow_value``)."""
+        return self.result.flow_value
+
+
+class StreamingSession:
+    """Incremental solving session over one dynamic network.
+
+    Parameters
+    ----------
+    network:
+        Initial network; a deep snapshot is taken, so the caller's instance
+        is never mutated.
+    backend:
+        ``"analog"`` (the substrate pipeline with warm re-solves) or any
+        classical algorithm name from :data:`repro.flows.registry.ALGORITHMS`
+        (cold solves use that algorithm; warm repairs run the incremental
+        Dinic engine).
+    analog_solver:
+        Configured :class:`~repro.analog.solver.AnalogMaxFlowSolver` for the
+        analog backend.  Sessions need per-edge re-programmable clamps, so a
+        solver without ``dedicated_clamp_sources`` is re-instantiated with
+        the flag set (all other settings preserved).
+    cache:
+        :class:`~repro.service.cache.CompiledCircuitCache` shared across
+        sessions; compiled circuits are keyed by ``(topology signature,
+        structural revision, solver config)`` so sessions over the same
+        evolving topology share compilations.  Cached entries are never
+        mutated — each session resolves against a private deep copy, so
+        concurrent :func:`push_all` pushes stay isolated.  ``None`` creates
+        a private cache.
+    cold_ratio:
+        Cutover heuristic: batches touching more than this fraction of the
+        edges are solved cold.
+    delta_tolerance:
+        Minimum per-edge flow change reported in
+        :attr:`StreamingDelta.changed_edge_flows`.
+
+    Examples
+    --------
+    >>> from repro import FlowNetwork
+    >>> from repro.graph.updates import CapacityUpdate
+    >>> from repro.service import StreamingSession
+    >>> g = FlowNetwork()
+    >>> _ = g.add_edge("s", "a", 3.0)
+    >>> _ = g.add_edge("a", "t", 2.0)
+    >>> session = StreamingSession(g, backend="dinic", cold_ratio=1.0)
+    >>> session.flow_value
+    2.0
+    >>> delta = session.push([CapacityUpdate(1, 3.5)])
+    >>> (delta.flow_value, delta.warm, round(delta.flow_delta, 2))
+    (3.0, True, 1.0)
+    """
+
+    def __init__(
+        self,
+        network: FlowNetwork,
+        backend: str = "analog",
+        analog_solver: Optional[AnalogMaxFlowSolver] = None,
+        cache: Optional[CompiledCircuitCache] = None,
+        cold_ratio: float = 0.25,
+        delta_tolerance: float = 1e-9,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if backend != "analog" and backend not in ALGORITHMS:
+            known = ", ".join(["analog"] + sorted(ALGORITHMS))
+            raise AlgorithmError(f"unknown streaming backend {backend!r}; known: {known}")
+        self.backend = backend
+        self.cold_ratio = cold_ratio
+        self.delta_tolerance = delta_tolerance
+        self.options = dict(options or {})
+        self.cache = cache if cache is not None else CompiledCircuitCache(max_entries=8)
+        self._mutable = MutableFlowNetwork(network, copy=True)
+        self.warm_solves = 0
+        self.cold_solves = 0
+        self.recompiles = 0
+        self.total_solve_time_s = 0.0
+        self._opened_at = time.perf_counter()
+
+        self._incremental: Optional[IncrementalMaxFlow] = None
+        self._compiled = None
+        self._analog_previous: Optional[AnalogMaxFlowResult] = None
+        if backend == "analog":
+            solver = analog_solver if analog_solver is not None else AnalogMaxFlowSolver()
+            # Always clone: the session owns a private solver instance, so
+            # its persistent DC engine (cached base factorisation) is never
+            # shared with other sessions pushing concurrently.
+            self.analog_solver = self._with_dedicated_clamps(solver)
+            self._last = self._analog_solve(batch=None)
+        else:
+            self.analog_solver = None
+            self._incremental = IncrementalMaxFlow(
+                self._mutable, algorithm=backend, cold_ratio=cold_ratio
+            )
+            self.cold_solves += 1
+            self.total_solve_time_s += self._incremental.result.wall_time_s
+            self._last = self._as_solve_result(
+                self._incremental.result, warm=False
+            )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def network(self) -> FlowNetwork:
+        """The live network at the current revision (do not mutate directly)."""
+        return self._mutable.network
+
+    @property
+    def revision(self) -> int:
+        """Monotonic revision counter of the session's network."""
+        return self._mutable.revision
+
+    @property
+    def result(self) -> SolveResult:
+        """The :class:`~repro.service.api.SolveResult` of the current revision."""
+        return self._last
+
+    @property
+    def flow_value(self) -> float:
+        """Maximum-flow value at the current revision."""
+        return self._last.flow_value
+
+    def snapshot(self) -> FlowNetwork:
+        """Deep checkpoint of the current revision (safe to keep/mutate)."""
+        return self._mutable.snapshot()
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate session statistics (cache behaviour included).
+
+        Mirrors :meth:`repro.service.api.BatchReport.summary` so dashboards
+        can consume batch and streaming telemetry uniformly.
+        """
+        pushes = self.warm_solves + self.cold_solves
+        return {
+            "backend": self.backend,
+            "revision": self.revision,
+            "structural_revision": self._mutable.structural_revision,
+            "pushes": pushes,
+            "warm_solves": self.warm_solves,
+            "cold_solves": self.cold_solves,
+            "recompiles": self.recompiles,
+            "flow_value": self.flow_value,
+            "solve_time_total_s": self.total_solve_time_s,
+            "session_age_s": time.perf_counter() - self._opened_at,
+            "cache": self.cache.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Update ingestion
+    # ------------------------------------------------------------------
+
+    def push(self, events: Iterable[UpdateEvent]) -> StreamingDelta:
+        """Apply an update batch and re-solve, returning the delta view.
+
+        Parameters
+        ----------
+        events:
+            :class:`~repro.graph.updates.CapacityUpdate` /
+            :class:`~repro.graph.updates.EdgeInsert` /
+            :class:`~repro.graph.updates.EdgeRemove` events, applied in
+            order (see :meth:`repro.graph.updates.MutableFlowNetwork.apply`).
+
+        Returns
+        -------
+        StreamingDelta
+            New revision's result plus what changed since the previous one.
+        """
+        previous = self._last
+        batch = self._mutable.apply(events)
+        recompiles_before = self.recompiles
+        if batch.num_changed_edges == 0:
+            # Idempotent batch (values already current): nothing to re-solve,
+            # and the telemetry must not re-count the previous solve.
+            return StreamingDelta(
+                result=previous,
+                revision=batch.revision,
+                warm=True,
+                recompiled=False,
+                flow_delta=0.0,
+            )
+        if self.backend == "analog":
+            result = self._analog_solve(batch)
+            warm = result.cache_hit
+        else:
+            inc_result = self._incremental.apply(batch)
+            warm = inc_result.algorithm.startswith("incremental")
+            if warm:
+                self.warm_solves += 1
+            else:
+                self.cold_solves += 1
+            self.total_solve_time_s += inc_result.wall_time_s
+            result = self._as_solve_result(inc_result, warm=warm)
+        self._last = result
+        return self._delta(previous, result, batch, warm, recompiles_before)
+
+    # ------------------------------------------------------------------
+    # Backend plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _with_dedicated_clamps(solver: AnalogMaxFlowSolver) -> AnalogMaxFlowSolver:
+        """Clone an analog solver with re-programmable per-edge clamps."""
+        return AnalogMaxFlowSolver(
+            parameters=solver.parameters,
+            nonideal=solver.nonideal,
+            quantize=solver.quantize,
+            style=solver.style,
+            prune=solver.prune,
+            adaptive_drive=solver.adaptive_drive,
+            drive_tolerance=solver.drive_tolerance,
+            max_drive_doublings=solver.max_drive_doublings,
+            quantizer_mode=solver.quantizer_mode,
+            seed=solver.seed,
+            dedicated_clamp_sources=True,
+        )
+
+    def _analog_config_key(self) -> str:
+        solver = self.analog_solver
+        return repr(
+            (
+                solver.parameters,
+                solver.nonideal,
+                solver.quantize,
+                str(solver.style),
+                solver.prune,
+                solver.quantizer_mode,
+                solver.seed,
+                self.options.get("vflow_v"),
+            )
+        )
+
+    def _analog_solve(self, batch: Optional[UpdateBatch]) -> SolveResult:
+        """Solve the current revision on the analog backend (warm when possible)."""
+        start = time.perf_counter()
+        network = self._mutable.network
+        structural = batch is None or batch.structural or self._compiled is None
+        warm = False
+        if structural:
+            key = (
+                self._mutable.topology_signature(),
+                self._mutable.structural_revision,
+                self._analog_config_key(),
+                "streaming",
+            )
+            vflow_v = self.options.get("vflow_v")
+            hit, compiled = self.cache.lookup(key)
+            if not hit:
+                compiled = self.analog_solver.compile(network, vflow_v=vflow_v)
+                compiled.mna()  # memoize the MNA system + stamp template
+                self.cache.store(key, compiled)
+                self.recompiles += 1
+            # resolve() mutates the compiled circuit in place (clamp values,
+            # quantization), so the session must own a private copy: the
+            # cached entry stays pristine for other sessions, which may be
+            # pushing concurrently (push_all).
+            self._compiled = copy.deepcopy(compiled)
+            # The private copy (or a cache hit of an older revision of this
+            # topology) may carry stale clamp values; re-sync them — a pure
+            # right-hand-side update.
+            analog = self.analog_solver.resolve(
+                self._compiled, network=network, previous=None
+            )
+            self.cold_solves += 1
+        else:
+            analog = self.analog_solver.resolve(
+                self._compiled, network=network, previous=self._analog_previous
+            )
+            self.warm_solves += 1
+            warm = True
+        self._analog_previous = analog
+        elapsed = time.perf_counter() - start
+        self.total_solve_time_s += elapsed
+        request = SolveRequest(
+            network=network, backend="analog", options=dict(self.options)
+        )
+        return SolveResult(
+            request=request,
+            flow_value=analog.flow_value,
+            # The readout builds a fresh flow dict per decode; no copy needed.
+            edge_flows=analog.edge_flows,
+            wall_time_s=elapsed,
+            cache_hit=warm,
+            detail=analog,
+        )
+
+    def _as_solve_result(self, inc_result, warm: bool) -> SolveResult:
+        request = SolveRequest(
+            network=self._mutable.network,
+            backend=self.backend,
+            options=dict(self.options),
+        )
+        return SolveResult(
+            request=request,
+            flow_value=inc_result.flow_value,
+            # The engine builds a fresh flow dict per apply; no copy needed.
+            edge_flows=inc_result.edge_flows,
+            wall_time_s=inc_result.wall_time_s,
+            cache_hit=warm,
+            detail=inc_result,
+        )
+
+    def _delta(
+        self,
+        previous: SolveResult,
+        current: SolveResult,
+        batch: UpdateBatch,
+        warm: bool,
+        recompiles_before: int,
+    ) -> StreamingDelta:
+        changed: Dict[int, Tuple[float, float]] = {}
+        tolerance = self.delta_tolerance
+        before_flows = previous.edge_flows
+        get_before = before_flows.get
+        for index, after in current.edge_flows.items():
+            before = get_before(index, 0.0)
+            if abs(after - before) > tolerance:
+                changed[index] = (before, after)
+        if len(before_flows) > len(current.edge_flows):  # pragma: no cover
+            for index, before in before_flows.items():
+                if index not in current.edge_flows and abs(before) > tolerance:
+                    changed[index] = (before, 0.0)
+        return StreamingDelta(
+            result=current,
+            revision=batch.revision,
+            warm=warm,
+            recompiled=self.recompiles > recompiles_before,
+            flow_delta=current.flow_value - previous.flow_value,
+            changed_edge_flows=changed,
+        )
+
+
+def push_all(
+    sessions: Sequence[StreamingSession],
+    batches: Sequence[Iterable[UpdateEvent]],
+    max_workers: Optional[int] = None,
+) -> List[StreamingDelta]:
+    """Push one update batch into each of many sessions concurrently.
+
+    Each session is independent state, so sessions fan out over a thread
+    pool exactly like batch requests do (the MNA hot path releases the GIL
+    inside LAPACK/SuperLU).  ``sessions[i]`` receives ``batches[i]``.
+
+    Parameters
+    ----------
+    sessions:
+        The open sessions (one per dynamic network).
+    batches:
+        One iterable of update events per session.
+    max_workers:
+        Thread-pool width; defaults to ``min(8, len(sessions))``.
+
+    Returns
+    -------
+    list of StreamingDelta
+        Deltas in session order.
+    """
+    if len(sessions) != len(batches):
+        raise AlgorithmError(
+            f"got {len(sessions)} sessions but {len(batches)} update batches"
+        )
+    if not sessions:
+        return []
+    workers = max_workers if max_workers is not None else min(8, len(sessions))
+    if workers <= 1 or len(sessions) == 1:
+        return [s.push(b) for s, b in zip(sessions, batches)]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(lambda pair: pair[0].push(pair[1]), zip(sessions, batches)))

@@ -17,22 +17,28 @@ import repro.analog.solver
 import repro.circuit.linsolve
 import repro.circuit.nonlinear
 import repro.circuit.stamps
+import repro.flows.incremental
 import repro.flows.registry
+import repro.graph.updates
 import repro.service.api
 import repro.service.backends
 import repro.service.batch
 import repro.service.cache
+import repro.service.streaming
 
 DOCUMENTED_MODULES = [
     repro.analog.solver,
     repro.circuit.linsolve,
     repro.circuit.nonlinear,
     repro.circuit.stamps,
+    repro.flows.incremental,
     repro.flows.registry,
+    repro.graph.updates,
     repro.service.api,
     repro.service.backends,
     repro.service.batch,
     repro.service.cache,
+    repro.service.streaming,
 ]
 
 

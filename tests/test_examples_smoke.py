@@ -21,6 +21,7 @@ SMOKE_ARGS = {
     "quickstart.py": {},
     "traffic_routing.py": {"rows": 2, "cols": 3, "num_points": 5},
     "image_segmentation.py": {"width": 4, "height": 3},
+    "streaming_updates.py": {"districts": 3, "steps": 2},
     "crossbar_reconfiguration.py": {
         "vertices": 10,
         "edges": 20,

@@ -1,0 +1,475 @@
+"""Incremental-vs-cold equivalence for the streaming subsystem.
+
+Randomized update streams (mixed capacity increases/decreases, edge inserts
+and removals) drive the graph update log, the classical incremental engine,
+the analog warm re-solve path and the streaming session, asserting at every
+revision that the incrementally maintained solution matches a from-scratch
+solve of a snapshot:
+
+* classical: flow values agree to 1e-9 (both are exact algorithms) and the
+  repaired flow is feasible;
+* analog: the warm re-solve matches a cold compile+solve of the same
+  configuration.  On instances with a unique optimal flow the agreement is
+  1e-9; on random instances with degenerate (non-unique) interior optima the
+  two solves may settle on different — equally valid — operating points,
+  whose read-out values differ by at most the substrate's bleed-resistor
+  leakage (asserted at 1e-4 relative; see ``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analog import AnalogMaxFlowSolver
+from repro.errors import EdgeNotFoundError, InvalidGraphError
+from repro.flows.incremental import IncrementalMaxFlow
+from repro.flows.registry import solve_max_flow
+from repro.graph import FlowNetwork, MutableFlowNetwork, rmat_graph
+from repro.graph.updates import (
+    CapacityUpdate,
+    EdgeInsert,
+    EdgeRemove,
+    topology_signature,
+)
+from repro.service import CompiledCircuitCache, StreamingSession, push_all
+
+
+def random_update_batch(dynamic: MutableFlowNetwork, rng: random.Random, size=4):
+    """A valid random batch mixing re-weightings, removals and inserts."""
+    events, touched = [], set()
+    for _ in range(rng.randint(1, size)):
+        # Skip zero-capacity edges: when the batch is generated against a
+        # probe copy of a session's network, those may be removal tombstones
+        # that the session itself would (correctly) refuse to update.
+        live = [
+            e.index
+            for e in dynamic.live_edges()
+            if e.index not in touched and e.capacity > 0
+        ]
+        kind = rng.random()
+        if kind < 0.55 and live:
+            index = rng.choice(live)
+            touched.add(index)
+            old = dynamic.network.edge(index).capacity
+            factor = rng.choice([0.0, 0.1, 0.5, 0.9, 1.1, 2.0, 5.0])
+            events.append(CapacityUpdate(index, round(old * factor, 6)))
+        elif kind < 0.8 and live:
+            index = rng.choice(live)
+            touched.add(index)
+            events.append(EdgeRemove(index))
+        else:
+            tail, head = rng.sample(dynamic.network.vertices(), 2)
+            events.append(EdgeInsert(tail, head, rng.uniform(0.5, 10.0)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Graph layer
+# ----------------------------------------------------------------------
+
+
+class TestMutableFlowNetwork:
+    def test_snapshot_is_deep_and_preserves_indices(self):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 2.0)
+        g.add_edge("a", "t", 1.0)
+        snap = g.snapshot()
+        g.set_capacity(0, 9.0)
+        assert snap.edge(0).capacity == 2.0
+        assert [e.index for e in snap.edges()] == [0, 1]
+        assert snap.edge(0) is not g.edge(0)
+
+    def test_copy_delegates_to_snapshot(self):
+        g = FlowNetwork()
+        g.add_edge("s", "t", 3.0)
+        clone = g.copy()
+        g.set_capacity(0, 1.0)
+        assert clone.edge(0).capacity == 3.0
+
+    def test_revision_counters_and_structural_flag(self):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 2.0)
+        g.add_edge("a", "t", 1.0)
+        dyn = MutableFlowNetwork(g)
+        batch = dyn.apply([CapacityUpdate(0, 5.0)])
+        assert (dyn.revision, dyn.structural_revision) == (1, 0)
+        assert not batch.structural and batch.capacity_only
+        batch = dyn.apply([EdgeInsert("a", "b", 1.0), EdgeInsert("b", "t", 1.0)])
+        assert (dyn.revision, dyn.structural_revision) == (2, 1)
+        assert batch.structural
+        batch = dyn.apply([EdgeRemove(2)])
+        assert (dyn.revision, dyn.structural_revision) == (3, 1)
+        assert not batch.structural  # removal is a capacity-0 tombstone
+        assert dyn.is_removed(2)
+        assert dyn.network.edge(2).capacity == 0.0
+
+    def test_caller_network_is_not_mutated(self):
+        g = FlowNetwork()
+        g.add_edge("s", "t", 2.0)
+        dyn = MutableFlowNetwork(g)
+        dyn.apply([CapacityUpdate(0, 7.0)])
+        assert g.edge(0).capacity == 2.0
+
+    def test_invalid_batches_leave_network_untouched(self):
+        g = FlowNetwork()
+        g.add_edge("s", "t", 2.0)
+        dyn = MutableFlowNetwork(g)
+        with pytest.raises(EdgeNotFoundError):
+            dyn.apply([CapacityUpdate(0, 5.0), CapacityUpdate(7, 1.0)])
+        assert dyn.network.edge(0).capacity == 2.0 and dyn.revision == 0
+        with pytest.raises(InvalidGraphError):
+            dyn.apply([CapacityUpdate(0, -1.0)])
+        with pytest.raises(EdgeNotFoundError):
+            dyn.apply([EdgeRemove(0), CapacityUpdate(0, 1.0)])
+        assert dyn.revision == 0 and not dyn.is_removed(0)
+
+    def test_topology_signature_ignores_capacities_not_structure(self):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 2.0)
+        g.add_edge("a", "t", 1.0)
+        dyn = MutableFlowNetwork(g)
+        base = dyn.topology_signature()
+        dyn.apply([CapacityUpdate(0, 99.0)])
+        assert dyn.topology_signature() == base
+        dyn.apply([EdgeInsert("s", "t", 1.0)])
+        assert dyn.topology_signature() != base
+        assert topology_signature(g) == base  # original untouched
+
+    def test_infinite_capacity_transition_is_structural(self):
+        g = FlowNetwork()
+        g.add_edge("s", "t", 2.0)
+        dyn = MutableFlowNetwork(g)
+        batch = dyn.apply([CapacityUpdate(0, float("inf"))])
+        assert batch.structural
+
+
+# ----------------------------------------------------------------------
+# Classical layer
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalMaxFlow:
+    def test_randomized_streams_match_cold_solves(self):
+        rng = random.Random(2015)
+        for _ in range(12):
+            g = rmat_graph(
+                rng.randint(12, 40), rng.randint(40, 160), seed=rng.randint(0, 10**6)
+            )
+            dyn = MutableFlowNetwork(g)
+            engine = IncrementalMaxFlow(dyn, validate=True)
+            for _ in range(8):
+                result = engine.push(random_update_batch(dyn, rng))
+                cold = solve_max_flow(dyn.snapshot(), algorithm="dinic")
+                assert result.flow_value == pytest.approx(
+                    cold.flow_value, abs=1e-9, rel=1e-9
+                )
+
+    def test_warm_path_is_used_for_small_deltas(self):
+        g = rmat_graph(30, 120, seed=5)
+        dyn = MutableFlowNetwork(g)
+        engine = IncrementalMaxFlow(dyn)
+        result = engine.push([CapacityUpdate(0, g.edge(0).capacity * 2)])
+        assert result.algorithm == "incremental-dinic"
+        assert engine.warm_solves == 1
+
+    def test_large_deltas_cut_over_to_cold(self):
+        g = rmat_graph(20, 60, seed=5)
+        dyn = MutableFlowNetwork(g)
+        engine = IncrementalMaxFlow(dyn, cold_ratio=0.1)
+        events = [
+            CapacityUpdate(e.index, e.capacity * 0.5) for e in g.edges()[:30]
+        ]
+        result = engine.push(events)
+        assert result.algorithm == "dinic"
+        assert engine.cold_solves == 2  # initial + cutover
+
+    def test_decrease_drains_overflow_exactly(self):
+        # s -> a -> t carrying 2; cut a->t to 0.5: repair must drain 1.5.
+        g = FlowNetwork()
+        g.add_edge("s", "a", 2.0)
+        g.add_edge("a", "t", 2.0)
+        dyn = MutableFlowNetwork(g)
+        engine = IncrementalMaxFlow(dyn, cold_ratio=1.0, validate=True)
+        assert engine.result.flow_value == 2.0
+        result = engine.push([CapacityUpdate(1, 0.5)])
+        assert result.flow_value == pytest.approx(0.5, abs=1e-12)
+        assert engine.warm_solves == 1
+
+    def test_reroute_prefers_keeping_flow(self):
+        # Two parallel a->t edges; cutting one reroutes onto the other.
+        g = FlowNetwork()
+        g.add_edge("s", "a", 2.0)
+        g.add_edge("a", "t", 2.0)
+        g.add_edge("a", "t", 2.0)
+        dyn = MutableFlowNetwork(g)
+        engine = IncrementalMaxFlow(dyn, cold_ratio=1.0, validate=True)
+        assert engine.result.flow_value == 2.0
+        result = engine.push([CapacityUpdate(1, 0.0)])
+        assert result.flow_value == pytest.approx(2.0, abs=1e-12)
+
+    def test_insert_with_new_vertex_resumes_augmentation(self):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 1.0)
+        g.add_edge("a", "t", 1.0)
+        dyn = MutableFlowNetwork(g)
+        engine = IncrementalMaxFlow(dyn, cold_ratio=1.0, validate=True)
+        result = engine.push(
+            [EdgeInsert("s", "b", 3.0), EdgeInsert("b", "t", 2.5)]
+        )
+        assert result.flow_value == pytest.approx(3.5, abs=1e-12)
+        assert result.algorithm == "incremental-dinic"
+
+
+# ----------------------------------------------------------------------
+# Analog layer
+# ----------------------------------------------------------------------
+
+
+class TestAnalogWarmResolve:
+    def test_warm_equals_cold_on_unique_optimum(self, paper_example):
+        solver = AnalogMaxFlowSolver(quantize=False, dedicated_clamp_sources=True)
+        compiled = solver.compile(paper_example)
+        base = solver.resolve(compiled)
+        edited = paper_example.snapshot()
+        edited.set_capacity(0, edited.edge(0).capacity * 0.7)
+        warm = solver.resolve(compiled, network=edited, previous=base)
+        cold_solver = AnalogMaxFlowSolver(quantize=False, dedicated_clamp_sources=True)
+        cold = cold_solver.resolve(cold_solver.compile(edited))
+        assert warm.flow_value == pytest.approx(cold.flow_value, abs=1e-9)
+        assert warm.dc_solution.diode_states == cold.dc_solution.diode_states
+
+    def test_randomized_capacity_streams_track_cold(self):
+        rng = random.Random(7)
+        g = rmat_graph(40, 150, seed=21)
+        solver = AnalogMaxFlowSolver(quantize=False, dedicated_clamp_sources=True)
+        compiled = solver.compile(g)
+        previous = solver.resolve(compiled)
+        current = g
+        for _ in range(4):
+            edited = current.snapshot()
+            for index in rng.sample(range(edited.num_edges), 7):
+                factor = rng.choice([0.5, 0.8, 1.25, 2.0])
+                edited.set_capacity(index, edited.edge(index).capacity * factor)
+            warm = solver.resolve(compiled, network=edited, previous=previous)
+            cold_solver = AnalogMaxFlowSolver(
+                quantize=False, dedicated_clamp_sources=True
+            )
+            cold = cold_solver.resolve(cold_solver.compile(edited))
+            assert warm.flow_value == pytest.approx(
+                cold.flow_value, rel=1e-4, abs=1e-6
+            )
+            previous, current = warm, edited
+
+    def test_warm_resolve_performs_no_refactorization(self):
+        g = rmat_graph(30, 110, seed=13)
+        solver = AnalogMaxFlowSolver(quantize=False, dedicated_clamp_sources=True)
+        compiled = solver.compile(g)
+        base = solver.resolve(compiled)
+        edited = g.snapshot()
+        edited.set_capacity(3, edited.edge(3).capacity * 1.5)
+        warm = solver.resolve(compiled, network=edited, previous=base)
+        assert warm.dc_solution.refactorizations == 0
+
+    def test_resolve_requires_dedicated_clamps(self):
+        from repro.errors import CircuitError
+
+        g = rmat_graph(15, 40, seed=3)
+        solver = AnalogMaxFlowSolver(quantize=False)
+        compiled = solver.compile(g)
+        edited = g.snapshot()
+        edited.set_capacity(0, 1.0)
+        with pytest.raises(CircuitError):
+            solver.resolve(compiled, network=edited)
+
+    def test_resolve_rejects_structural_updates(self):
+        from repro.errors import CircuitError
+
+        g = rmat_graph(15, 40, seed=3)
+        solver = AnalogMaxFlowSolver(quantize=False, dedicated_clamp_sources=True)
+        compiled = solver.compile(g)
+        edited = g.snapshot()
+        edited.add_edge("s", "t", 1.0)
+        with pytest.raises(CircuitError):
+            solver.resolve(compiled, network=edited)
+
+    def test_resolve_rejects_in_place_structural_mutation(self):
+        # compile() keeps a reference to the live network; the guard must
+        # compare against the compile-time edge count, not that alias.
+        from repro.errors import CircuitError
+
+        g = rmat_graph(15, 40, seed=3)
+        solver = AnalogMaxFlowSolver(quantize=False, dedicated_clamp_sources=True)
+        compiled = solver.compile(g)
+        solver.resolve(compiled)
+        g.add_edge("s", "t", 5.0)
+        with pytest.raises(CircuitError):
+            solver.resolve(compiled, network=g)
+
+    def test_dc_engine_cache_is_bounded(self):
+        # The per-template engine cache must evict (each engine references
+        # its template, so a weak mapping would retain LUs forever).
+        from repro.circuit.dc import DCOperatingPoint
+
+        dc = DCOperatingPoint()
+        for i in range(dc._max_engines + 3):
+            solver = AnalogMaxFlowSolver(quantize=False)
+            compiled = solver.compile(rmat_graph(10, 25, seed=i))
+            dc.solve(compiled.circuit, mna=compiled.mna())
+        assert len(dc._engines) <= dc._max_engines
+
+
+# ----------------------------------------------------------------------
+# Service layer
+# ----------------------------------------------------------------------
+
+
+class TestStreamingSession:
+    def test_randomized_streams_all_layers_agree(self):
+        rng = random.Random(99)
+        g = rmat_graph(25, 90, seed=17)
+        classical = StreamingSession(g, backend="dinic")
+        analog = StreamingSession(
+            g,
+            backend="analog",
+            analog_solver=AnalogMaxFlowSolver(quantize=False),
+        )
+        for _ in range(6):
+            dyn_probe = MutableFlowNetwork(classical.network, copy=True)
+            events = random_update_batch(dyn_probe, rng, size=3)
+            delta_c = classical.push(list(events))
+            delta_a = analog.push(list(events))
+            exact = solve_max_flow(classical.snapshot(), algorithm="dinic")
+            assert delta_c.flow_value == pytest.approx(
+                exact.flow_value, abs=1e-9, rel=1e-9
+            )
+            # The analog value carries the substrate's finite-drive error;
+            # both sessions must agree on which instance they solved.
+            assert delta_a.revision == delta_c.revision
+            assert delta_a.flow_value <= exact.flow_value * 1.01 + 1e-6
+
+    def test_capacity_only_pushes_are_warm_structural_recompile(self):
+        g = rmat_graph(20, 70, seed=11)
+        session = StreamingSession(
+            g,
+            backend="analog",
+            analog_solver=AnalogMaxFlowSolver(quantize=False),
+        )
+        assert session.recompiles == 1  # the opening cold solve
+        delta = session.push([CapacityUpdate(0, g.edge(0).capacity * 1.5)])
+        assert delta.warm and not delta.recompiled
+        delta = session.push([EdgeInsert("s", "t", 2.0)])
+        assert not delta.warm and delta.recompiled
+        delta = session.push([EdgeRemove(0)])  # tombstone: stays warm
+        assert delta.warm and not delta.recompiled
+
+    def test_structural_recompiles_hit_shared_cache(self):
+        g = rmat_graph(20, 70, seed=11)
+        cache = CompiledCircuitCache(max_entries=8)
+        solver = AnalogMaxFlowSolver(quantize=False)
+        first = StreamingSession(g, backend="analog", analog_solver=solver, cache=cache)
+        second = StreamingSession(g, backend="analog", analog_solver=solver, cache=cache)
+        assert cache.stats()["hits"] == 1  # second session reused the compile
+        assert second.recompiles == 0
+
+    def test_sessions_never_share_mutable_state(self):
+        # resolve() mutates the compiled circuit in place, so cached entries
+        # must stay pristine and each session must own private copies.
+        g = rmat_graph(20, 70, seed=11)
+        cache = CompiledCircuitCache(max_entries=8)
+        solver = AnalogMaxFlowSolver(quantize=False)
+        a = StreamingSession(g, backend="analog", analog_solver=solver, cache=cache)
+        b = StreamingSession(g, backend="analog", analog_solver=solver, cache=cache)
+        assert a._compiled is not b._compiled
+        assert a.analog_solver is not b.analog_solver
+        a.push([CapacityUpdate(0, g.edge(0).capacity * 5)])
+        assert b.network.edge(0).capacity == g.edge(0).capacity
+        assert b._compiled.network.edge(0).capacity == g.edge(0).capacity
+
+    def test_classical_cold_solves_honor_backend_name(self):
+        g = rmat_graph(20, 60, seed=5)
+        session = StreamingSession(g, backend="push-relabel", cold_ratio=0.0)
+        delta = session.push([CapacityUpdate(0, g.edge(0).capacity * 2)])
+        assert delta.result.detail.algorithm == "push-relabel"
+        warm_session = StreamingSession(g, backend="push-relabel", cold_ratio=1.0)
+        warm = warm_session.push([CapacityUpdate(0, g.edge(0).capacity * 2)])
+        assert warm.result.detail.algorithm == "incremental-dinic"
+        exact = solve_max_flow(warm_session.snapshot(), algorithm="dinic")
+        assert warm.flow_value == pytest.approx(exact.flow_value, abs=1e-9, rel=1e-9)
+
+    def test_idempotent_push_does_not_recount_telemetry(self):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 3.0)
+        g.add_edge("a", "t", 2.0)
+        session = StreamingSession(g, backend="dinic", cold_ratio=1.0)
+        session.push([CapacityUpdate(1, 3.5)])
+        before = (
+            session.warm_solves,
+            session.cold_solves,
+            session.total_solve_time_s,
+        )
+        delta = session.push([CapacityUpdate(1, 3.5)])  # value already current
+        assert (
+            session.warm_solves,
+            session.cold_solves,
+            session.total_solve_time_s,
+        ) == before
+        assert delta.warm and delta.flow_delta == 0.0
+        assert delta.revision == session.revision == 2
+
+    def test_delta_reports_changed_edge_flows(self):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 2.0)
+        g.add_edge("a", "t", 2.0)
+        session = StreamingSession(g, backend="dinic", cold_ratio=1.0)
+        delta = session.push([CapacityUpdate(1, 0.5)])
+        assert delta.flow_delta == pytest.approx(-1.5)
+        assert set(delta.changed_edge_flows) == {0, 1}
+        assert delta.changed_edge_flows[1] == (2.0, 0.5)
+
+    def test_summary_surfaces_cache_stats(self):
+        g = rmat_graph(15, 40, seed=2)
+        session = StreamingSession(
+            g, backend="analog", analog_solver=AnalogMaxFlowSolver(quantize=False)
+        )
+        summary = session.summary()
+        assert {"hits", "misses", "evictions"} <= set(summary["cache"])
+        assert summary["pushes"] == 1 and summary["cold_solves"] == 1
+
+    def test_push_all_fans_out(self):
+        g = rmat_graph(15, 40, seed=2)
+        sessions = [
+            StreamingSession(g, backend="dinic"),
+            StreamingSession(g, backend="edmonds-karp"),
+        ]
+        batches = [[CapacityUpdate(0, 5.0)], [CapacityUpdate(0, 5.0)]]
+        deltas = push_all(sessions, batches, max_workers=2)
+        assert len(deltas) == 2
+        assert deltas[0].flow_value == pytest.approx(deltas[1].flow_value)
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import AlgorithmError
+
+        g = FlowNetwork()
+        g.add_edge("s", "t", 1.0)
+        with pytest.raises(AlgorithmError):
+            StreamingSession(g, backend="simplex")
+
+
+class TestCacheEvictions:
+    def test_eviction_counter(self):
+        cache = CompiledCircuitCache(max_entries=2)
+        for key in "abc":
+            cache.store(key, key)
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["entries"] == 2
+
+    def test_batch_report_carries_eviction_stats(self):
+        from repro.service import BatchSolveService
+
+        g = FlowNetwork()
+        g.add_edge("s", "t", 1.0)
+        report = BatchSolveService(max_workers=1).solve_batch([g])
+        assert "evictions" in report.cache_stats
+        assert "evictions" in report.format()

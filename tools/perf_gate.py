@@ -1,16 +1,15 @@
 #!/usr/bin/env python
-"""Performance gate: record assembly/DC-iteration medians to BENCH_assembly.json.
+"""Performance gate: record perf-trajectory medians to BENCH_*.json files.
 
-Runs the compiled-assembly engine on one instance per Fig. 10 class (dense /
-sparse R-MAT) through the shared :mod:`repro.bench.assembly` harness — the
-same instance selection and metrics the pytest thresholds in
-``benchmarks/bench_assembly.py`` enforce — and writes median timings so later
-PRs can track the perf trajectory of the MNA hot path::
+Runs the shared :mod:`repro.bench` harnesses — the same instance selection
+and metrics the pytest thresholds in ``benchmarks/`` enforce — and writes
+median timings so later PRs can track the perf trajectory::
 
-    PYTHONPATH=src python tools/perf_gate.py [--scale 0.25] [--repeats 5]
-                                             [--output BENCH_assembly.json]
+    PYTHONPATH=src python tools/perf_gate.py [--suite assembly|streaming|all]
+                                             [--scale 0.25] [--repeats 5]
 
-The JSON maps each instance class to
+``--suite assembly`` (the default) writes ``BENCH_assembly.json`` with, per
+Fig. 10 instance class,
 
 * ``unknowns`` / ``diodes`` — instance size,
 * ``assembly_ms`` — median compiled ``matrix(states) + rhs()`` time,
@@ -21,8 +20,14 @@ The JSON maps each instance class to
 * ``assembly_speedup`` / ``dc_speedup`` / ``smw_speedup`` — compiled vs
   legacy, and SMW-enabled vs refactorise-always.
 
+``--suite streaming`` writes ``BENCH_streaming.json`` with, per class, the
+median cold-vs-warm re-solve times of a 5%-of-edges capacity-update stream
+(classical incremental repair and analog warm re-solve), the speedups, and
+the worst warm/cold flow-value disagreement.
+
 The gate only *records*; regression thresholds live in
-``benchmarks/bench_assembly.py`` where pytest can enforce them.
+``benchmarks/bench_assembly.py`` / ``benchmarks/bench_streaming.py`` where
+pytest can enforce them.
 """
 
 from __future__ import annotations
@@ -36,7 +41,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench import measure_assembly_class  # noqa: E402
+from repro.bench import measure_assembly_class, measure_streaming_class  # noqa: E402
 
 
 def _as_record(metrics: dict) -> dict:
@@ -60,17 +65,27 @@ def _as_record(metrics: dict) -> dict:
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", type=float, default=0.25,
-                        help="Fig. 10 workload scale (default 0.25)")
-    parser.add_argument("--repeats", type=int, default=5,
-                        help="timing repetitions per metric (median is kept)")
-    parser.add_argument("--output", type=Path,
-                        default=REPO_ROOT / "BENCH_assembly.json")
-    args = parser.parse_args(argv)
+def _as_streaming_record(metrics: dict) -> dict:
+    return {
+        "workload": metrics["workload"],
+        "num_vertices": metrics["num_vertices"],
+        "num_edges": metrics["num_edges"],
+        "delta_edges": metrics["delta_edges"],
+        "steps": metrics["steps"],
+        "classical_cold_ms": round(metrics["classical_cold_s"] * 1e3, 4),
+        "classical_warm_ms": round(metrics["classical_warm_s"] * 1e3, 4),
+        "classical_speedup": round(metrics["classical_speedup"], 2),
+        "classical_value_diff": float(f"{metrics['classical_value_diff']:.3e}"),
+        "analog_cold_ms": round(metrics["analog_cold_s"] * 1e3, 3),
+        "analog_warm_ms": round(metrics["analog_warm_s"] * 1e3, 3),
+        "analog_speedup": round(metrics["analog_speedup"], 2),
+        "analog_value_diff": float(f"{metrics['analog_value_diff']:.3e}"),
+        "analog_warm_refactorizations": metrics["analog_warm_refactorizations"],
+    }
 
-    report = {
+
+def _assembly_report(args) -> dict:
+    return {
         "scale": args.scale,
         "repeats": args.repeats,
         "classes": {
@@ -83,15 +98,68 @@ def main(argv=None) -> int:
             for regime in ("dense", "sparse")
         },
     }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
-    for regime, row in report["classes"].items():
-        print(
-            f"  {regime} ({row['workload']}, {row['unknowns']} unknowns): "
-            f"assembly {row['assembly_ms']} ms ({row['assembly_speedup']}x), "
-            f"dc iteration {row['dc_iteration_ms']} ms, "
-            f"dc {row['dc_speedup']}x, smw {row['smw_speedup']}x"
-        )
+
+
+def _streaming_report(args) -> dict:
+    return {
+        "scale": args.scale,
+        "steps": args.repeats,
+        "delta_fraction": 0.05,
+        "classes": {
+            regime: _as_streaming_record(
+                measure_streaming_class(
+                    regime, args.scale, steps=args.repeats,
+                    reducer=statistics.median,
+                )
+            )
+            for regime in ("dense", "sparse")
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=("assembly", "streaming", "all"),
+                        default="assembly",
+                        help="which perf record(s) to refresh (default assembly)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="Fig. 10 workload scale (default 0.25)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions / update steps (median is kept)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="override the output path (single-suite runs only)")
+    args = parser.parse_args(argv)
+
+    suites = ("assembly", "streaming") if args.suite == "all" else (args.suite,)
+    if args.output is not None and len(suites) > 1:
+        parser.error("--output needs a single --suite")
+
+    for suite in suites:
+        if suite == "assembly":
+            report = _assembly_report(args)
+            output = args.output or REPO_ROOT / "BENCH_assembly.json"
+        else:
+            report = _streaming_report(args)
+            output = args.output or REPO_ROOT / "BENCH_streaming.json"
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+        for regime, row in report["classes"].items():
+            if suite == "assembly":
+                print(
+                    f"  {regime} ({row['workload']}, {row['unknowns']} unknowns): "
+                    f"assembly {row['assembly_ms']} ms ({row['assembly_speedup']}x), "
+                    f"dc iteration {row['dc_iteration_ms']} ms, "
+                    f"dc {row['dc_speedup']}x, smw {row['smw_speedup']}x"
+                )
+            else:
+                print(
+                    f"  {regime} ({row['workload']}, {row['num_edges']} edges, "
+                    f"{row['delta_edges']}-edge deltas): "
+                    f"classical {row['classical_warm_ms']} ms warm vs "
+                    f"{row['classical_cold_ms']} ms cold ({row['classical_speedup']}x), "
+                    f"analog {row['analog_warm_ms']} ms warm vs "
+                    f"{row['analog_cold_ms']} ms cold ({row['analog_speedup']}x)"
+                )
     return 0
 
 
