@@ -12,20 +12,22 @@ DOCTEST_MODULES := src/repro/service \
 	src/repro/circuit/nonlinear.py \
 	src/repro/circuit/stamps.py
 
-.PHONY: test bench-smoke docs-check perf-gate perf-gate-streaming ci
+.PHONY: test bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard ci
 
 ## tier-1 suite plus the documented-API doctests
 test:
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) -m pytest --doctest-modules $(DOCTEST_MODULES) -q
 
-## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly + streaming)
+## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly
+## + streaming + sharding)
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest \
 		benchmarks/bench_service_batch.py \
 		benchmarks/bench_fig08_quantization.py \
 		benchmarks/bench_assembly.py \
 		benchmarks/bench_streaming.py \
+		benchmarks/bench_shard.py \
 		-o python_files='bench_*.py' -q -s
 
 ## record assembly/DC-iteration medians to BENCH_assembly.json (perf trajectory)
@@ -37,6 +39,12 @@ perf-gate:
 ## representative; the acceptance thresholds live in bench_streaming.py)
 perf-gate-streaming:
 	$(PYTHON) tools/perf_gate.py --suite streaming --scale 0.5
+
+## record 1-shard-cold vs sequential-2-way vs N-way-parallel sharding to
+## BENCH_shard.json (scale 1.0: instances large enough that N-way parallel
+## beats sequential 2-way; thresholds live in bench_shard.py)
+perf-gate-shard:
+	$(PYTHON) tools/perf_gate.py --suite shard --scale 1.0
 
 ## broken intra-doc links + docstring coverage of repro.service
 docs-check:

@@ -1,0 +1,67 @@
+"""Solving instances larger than one substrate by N-way sharding.
+
+A capacity-jittered grid (the vision-workload family dual decomposition was
+designed for) is split into overlapping shards, each shard is solved
+independently — here with exact Dinic; swap ``backend="analog"`` for the
+substrate pipeline with warm re-solves — and the dual coordinator stitches
+the shard cuts into a globally optimal one, bracketing the optimum from
+both sides on every subgradient iteration.
+
+Run with defaults (16x60 grid, 4 shards)::
+
+    PYTHONPATH=src python examples/sharded_solving.py
+"""
+
+from __future__ import annotations
+
+from repro.flows import min_cut
+from repro.graph import grid_graph
+from repro.service import ShardedSolveService
+
+
+def main(
+    rows: int = 16,
+    cols: int = 60,
+    shards: int = 4,
+    seed: int = 7,
+    max_iterations: int = 100,
+) -> None:
+    """Partition, coordinate and compare against the exact min cut."""
+    network = grid_graph(rows, cols, capacity=2.0, seed=seed, capacity_jitter=0.3)
+    print(
+        f"instance: {rows}x{cols} grid, |V|={network.num_vertices}, "
+        f"|E|={network.num_edges}"
+    )
+
+    exact = min_cut(network)
+    print(f"exact min cut (1-shard Dinic): {exact.cut_value:.6f}")
+
+    service = ShardedSolveService(executor="thread")
+    sharded = service.solve(
+        network, shards=shards, backend="dinic", max_iterations=max_iterations,
+        reference_value=exact.cut_value,
+    )
+
+    print()
+    print(sharded.report.format(title=f"{shards}-way sharded solve"))
+    print()
+    print("bound trajectory (dual lower bound -> stitched upper bound):")
+    trajectory = sharded.report.bound_trajectory
+    steps = max(1, len(trajectory) // 8)
+    for i in range(0, len(trajectory), steps):
+        dual, feasible, disagreements = trajectory[i]
+        print(
+            f"  iteration {i + 1:3d}: {dual:10.4f} <= {exact.cut_value:.4f} "
+            f"<= {feasible:10.4f}  ({disagreements} overlap disagreements)"
+        )
+    print()
+    relative = sharded.result.relative_error
+    print(
+        f"sharded cut {sharded.flow_value:.6f} vs exact {exact.cut_value:.6f} "
+        f"(relative error {relative:.2e}, "
+        f"{'converged' if sharded.report.converged else 'budget exhausted'})"
+    )
+
+
+if __name__ == "__main__":
+    main()

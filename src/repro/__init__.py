@@ -13,7 +13,10 @@ The package is organised by subsystem:
   quasi-static dynamics;
 * :mod:`repro.crossbar` — the reconfigurable memristor crossbar, programming
   protocol, variation/tuning and the clustered island architectures;
-* :mod:`repro.decomposition` — dual decomposition for very large graphs;
+* :mod:`repro.decomposition` — the paper-facing two-way dual decomposition;
+* :mod:`repro.shard` — N-way partitioned solving: multi-way overlapping
+  partitioner, parallel shard executor (classical or analog, warm
+  re-solves) and the subgradient dual coordinator;
 * :mod:`repro.power` — the analytical power/energy model;
 * :mod:`repro.bench` — workload suites and experiment runners used by the
   ``benchmarks/`` directory;
@@ -90,7 +93,14 @@ from .crossbar import (
 )
 from .decomposition import DualDecompositionSolver
 from .power import PowerModel, compare_energy
-from .service import BatchReport, BatchSolveService, SolveRequest, SolveResult
+from .service import (
+    BatchReport,
+    BatchSolveService,
+    ShardedSolveService,
+    SolveRequest,
+    SolveResult,
+)
+from .shard import ShardCoordinator, partition_multiway
 
 __version__ = "1.0.0"
 
@@ -150,6 +160,10 @@ __all__ = [
     "DualDecompositionSolver",
     "PowerModel",
     "compare_energy",
+    # N-way sharding
+    "ShardCoordinator",
+    "ShardedSolveService",
+    "partition_multiway",
     # batched solving service
     "BatchReport",
     "BatchSolveService",

@@ -15,12 +15,22 @@ from .workloads import (
 from .runner import BatchServiceSuiteRunner, Fig10Runner, Fig10Row
 from .reporting import format_table, format_series, relative
 from .assembly import assembly_workload, measure_assembly_class
+from .shard import (
+    SHARD_CLASSES,
+    measure_shard_class,
+    measure_shard_rmat,
+    shard_workload,
+)
 from .streaming import measure_streaming_class, streaming_update_batches
 
 __all__ = [
     "assembly_workload",
     "measure_assembly_class",
+    "measure_shard_class",
+    "measure_shard_rmat",
     "measure_streaming_class",
+    "shard_workload",
+    "SHARD_CLASSES",
     "streaming_update_batches",
     "Fig10Workload",
     "fig10_dense_suite",

@@ -7,36 +7,31 @@ with Lagrange multipliers on the overlapping variables until they agree —
 at which point strong duality guarantees the combination is a global
 optimum.
 
-The implementation follows the cited approach of Strandmark & Kahl [39]:
-
-* the graph is split into two overlapping halves
-  (:func:`~repro.decomposition.partition.partition_with_overlap`);
-* each iteration solves a min-cut on both subproblems; the Lagrange
-  multiplier ``lambda_i`` of every overlap vertex is realised as an
-  adjustment of that vertex's terminal capacities (a positive multiplier
-  makes the source side cheaper in one subproblem and dearer in the other);
-* the multipliers are updated by projected subgradient steps on the
-  disagreement between the two subproblems' cut sides;
-* the dual value (sum of subproblem cuts) is a lower bound on the global
-  min cut, and stitching the two partitions together gives a feasible cut
-  (an upper bound); the solver stops when the bounds meet or the
-  disagreement vanishes.
+This module keeps the paper-facing two-subproblem API
+(:class:`DualDecompositionSolver`), but the subgradient machinery itself
+lives in the N-way sharding subsystem: the solve delegates to
+:class:`repro.shard.ShardCoordinator` with ``num_shards=2``, which runs the
+same scheme of Strandmark & Kahl [39] — multiplier-dependent terminal
+capacities per overlap vertex, projected subgradient steps on the
+disagreement, stitched feasible cuts for upper bounds and the sum of
+subproblem values (sign-corrected) for lower bounds.  See
+:mod:`repro.shard.coordinator` for the general N-way formulation and
+:class:`repro.service.sharded.ShardedSolveService` for the parallel
+service-level entry point.
 
 Subproblems are solved with the exact combinatorial solver by default, or
-with the analog min-cut substrate (Section 6.3) to emulate the full
+with the analog pipeline (warm re-solves across iterations, since
+multiplier updates are pure capacity edits) to emulate the full
 "reconfigure the substrate per subproblem" flow.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Hashable, List, Set, Tuple
 
 from ..errors import DecompositionError
-from ..flows.dinic import Dinic
-from ..flows.mincut import min_cut_from_flow
 from ..graph.network import FlowNetwork
-from .partition import OverlappingPartition, partition_with_overlap
 
 __all__ = ["DualDecompositionSolver", "DualDecompositionResult"]
 
@@ -85,6 +80,10 @@ class DualDecompositionResult:
 class DualDecompositionSolver:
     """Min-cut by dual decomposition over two overlapping subproblems.
 
+    The two-way special case of the N-way shard coordinator
+    (:class:`repro.shard.ShardCoordinator`); kept as the paper-facing
+    Section 6.4 API.
+
     Parameters
     ----------
     max_iterations:
@@ -93,10 +92,11 @@ class DualDecompositionSolver:
         Initial subgradient step size, scaled by the largest edge capacity.
     subproblem_solver:
         ``"exact"`` uses Dinic + residual-reachability min-cut (default);
-        ``"analog"`` solves each subproblem on the analog min-cut substrate
-        of Section 6.3 (slower, demonstrates the full hardware flow).
+        ``"analog"`` solves each subproblem on the analog substrate with
+        warm re-solves across iterations (slower, demonstrates the full
+        hardware flow).
     balance:
-        Vertex balance of the two halves.
+        Vertex balance of the two halves (fraction assigned to side A).
     """
 
     def __init__(
@@ -108,6 +108,8 @@ class DualDecompositionSolver:
     ) -> None:
         if subproblem_solver not in ("exact", "analog"):
             raise DecompositionError(f"unknown subproblem solver {subproblem_solver!r}")
+        if not 0.1 <= balance <= 0.9:
+            raise DecompositionError("balance must lie in [0.1, 0.9]")
         self.max_iterations = max_iterations
         self.initial_step = initial_step
         self.subproblem_solver = subproblem_solver
@@ -115,134 +117,29 @@ class DualDecompositionSolver:
 
     # ------------------------------------------------------------------
 
-    def _solve_subproblem(self, network: FlowNetwork) -> Tuple[float, Set[Vertex]]:
-        """Min-cut value and source-side set of one subproblem."""
-        if self.subproblem_solver == "analog":
-            from ..analog.mincut_dual import AnalogMinCutSolver
-
-            result = AnalogMinCutSolver(compare_exact=False).solve(network)
-            return result.cut_value, set(result.source_side())
-        flow = Dinic().solve(network)
-        cut = min_cut_from_flow(network, flow)
-        return cut.cut_value, set(cut.source_side)
-
-    @staticmethod
-    def _with_terminal_adjustments(
-        base: FlowNetwork, multipliers: Dict[Vertex, float], sign: float
-    ) -> FlowNetwork:
-        """Copy ``base`` adding multiplier-dependent terminal edges.
-
-        A multiplier ``lam`` on overlap vertex ``v`` adds ``sign * lam`` to the
-        cost of putting ``v`` on the sink side in this subproblem, realised as
-        a source->v edge of capacity ``sign * lam`` when positive or a
-        v->sink edge of capacity ``-sign * lam`` when negative.
-        """
-        adjusted = base.copy()
-        for vertex, lam in multipliers.items():
-            weight = sign * lam
-            if abs(weight) < 1e-12 or not adjusted.has_vertex(vertex):
-                continue
-            if weight > 0:
-                adjusted.add_edge(adjusted.source, vertex, weight)
-            else:
-                adjusted.add_edge(vertex, adjusted.sink, -weight)
-        return adjusted
-
-    def _stitched_cut(
-        self,
-        network: FlowNetwork,
-        partition: OverlappingPartition,
-        side_a: Set[Vertex],
-        side_b: Set[Vertex],
-    ) -> Tuple[float, Set[Vertex]]:
-        """Combine the two subproblem partitions into one feasible cut.
-
-        Exclusive vertices take the label of their own subproblem; overlap
-        vertices are ambiguous until the multipliers force agreement, so both
-        votes (A's and B's) are stitched and the cheaper feasible cut is kept.
-        """
-        best_value = float("inf")
-        best_side: Set[Vertex] = {network.source}
-        for overlap_vote in (side_a, side_b):
-            source_side: Set[Vertex] = {network.source}
-            for vertex in network.vertices():
-                if vertex in (network.source, network.sink):
-                    continue
-                exclusive_a = vertex in partition.side_a and vertex not in partition.overlap
-                exclusive_b = vertex in partition.side_b and vertex not in partition.overlap
-                if exclusive_a:
-                    on_source_side = vertex in side_a
-                elif exclusive_b:
-                    on_source_side = vertex in side_b
-                else:
-                    on_source_side = vertex in overlap_vote
-                if on_source_side:
-                    source_side.add(vertex)
-            value = network.cut_capacity(source_side)
-            if value < best_value:
-                best_value = value
-                best_side = source_side
-        return best_value, best_side
-
-    # ------------------------------------------------------------------
-
     def solve(self, network: FlowNetwork) -> DualDecompositionResult:
-        """Run the dual-decomposition min-cut solve on ``network``."""
-        partition = partition_with_overlap(network, balance=self.balance)
-        overlap = sorted(partition.overlap, key=str)
-        multipliers: Dict[Vertex, float] = {v: 0.0 for v in overlap}
-        capacity_scale = max(network.max_capacity(), 1.0)
+        """Run the dual-decomposition min-cut solve on ``network``.
 
-        best_feasible = float("inf")
-        best_partition: Set[Vertex] = {network.source}
-        best_dual = -float("inf")
-        history: List[Tuple[float, float, int]] = []
-        disagreements = len(overlap)
-        converged = False
+        Delegates to the N-way coordinator with ``num_shards=2`` and a
+        serial executor (the paper's flow reconfigures one substrate per
+        subproblem, sequentially).
+        """
+        from ..shard.coordinator import ShardCoordinator
 
-        for iteration in range(1, self.max_iterations + 1):
-            sub_a = self._with_terminal_adjustments(partition.subproblem_a, multipliers, +1.0)
-            sub_b = self._with_terminal_adjustments(partition.subproblem_b, multipliers, -1.0)
-            value_a, side_a = self._solve_subproblem(sub_a)
-            value_b, side_b = self._solve_subproblem(sub_b)
-
-            # Dual value: subproblem objectives minus the constant multiplier
-            # offset (the added terminal edges contribute |lam| when the
-            # corresponding vertex lands on the "expensive" side; subtracting
-            # the total keeps the bound valid).
-            dual_value = value_a + value_b - sum(abs(l) for l in multipliers.values())
-            best_dual = max(best_dual, dual_value)
-
-            feasible_value, stitched = self._stitched_cut(network, partition, side_a, side_b)
-            if feasible_value < best_feasible:
-                best_feasible = feasible_value
-                best_partition = stitched
-
-            disagreements = sum(
-                1 for v in overlap if (v in side_a) != (v in side_b)
-            )
-            history.append((dual_value, feasible_value, disagreements))
-            if disagreements == 0:
-                converged = True
-                break
-
-            step = self.initial_step * capacity_scale / iteration
-            for vertex in overlap:
-                in_a = vertex in side_a
-                in_b = vertex in side_b
-                if in_a != in_b:
-                    # Subgradient of the disagreement: push the multiplier so
-                    # that the subproblem currently putting the vertex on the
-                    # source side finds that choice more expensive next time.
-                    direction = 1.0 if in_a and not in_b else -1.0
-                    multipliers[vertex] += step * direction
-
+        backend = "dinic" if self.subproblem_solver == "exact" else "analog"
+        coordinator = ShardCoordinator(
+            num_shards=2,
+            max_iterations=self.max_iterations,
+            initial_step=self.initial_step,
+            fractions=[self.balance, 1.0 - self.balance],
+        )
+        outcome = coordinator.solve(network, backend=backend, executor="serial")
         return DualDecompositionResult(
-            cut_value=best_feasible,
-            dual_value=best_dual,
-            iterations=len(history),
-            converged=converged,
-            disagreements=disagreements,
-            partition=best_partition,
-            history=history,
+            cut_value=outcome.cut_value,
+            dual_value=outcome.dual_value,
+            iterations=outcome.iterations,
+            converged=outcome.converged,
+            disagreements=outcome.disagreements,
+            partition=outcome.partition,
+            history=outcome.history,
         )

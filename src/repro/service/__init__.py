@@ -12,7 +12,10 @@ package turns the reproduction into a serving system:
 * :mod:`~repro.service.batch` — :class:`BatchSolveService`, the concurrent
   batch executor;
 * :mod:`~repro.service.streaming` — :class:`StreamingSession`, incremental
-  solving over dynamic networks (push update batches, pull result deltas).
+  solving over dynamic networks (push update batches, pull result deltas);
+* :mod:`~repro.service.sharded` — :class:`ShardedSolveService`, N-way
+  partitioned solving for instances larger than one solver/substrate
+  (dual-decomposition sharding over the :mod:`repro.shard` subsystem).
 
 Quick start::
 
@@ -26,7 +29,7 @@ Quick start::
     print(report.format(title="mixed batch"))
 """
 
-from .api import BatchReport, SolveRequest, SolveResult
+from .api import BatchReport, SolveRequest, SolveResult, relative_error
 from .backends import (
     AnalogBackend,
     ClassicalBackend,
@@ -35,14 +38,16 @@ from .backends import (
     create_backend,
     register_backend,
 )
-from .batch import BatchSolveService
+from .batch import BatchSolveService, ParallelMap
 from .cache import CompiledCircuitCache, network_signature
+from .sharded import ShardReport, ShardedSolve, ShardedSolveService
 from .streaming import StreamingDelta, StreamingSession, push_all
 
 __all__ = [
     "BatchReport",
     "SolveRequest",
     "SolveResult",
+    "relative_error",
     "SolveBackend",
     "AnalogBackend",
     "ClassicalBackend",
@@ -50,8 +55,12 @@ __all__ = [
     "create_backend",
     "register_backend",
     "BatchSolveService",
+    "ParallelMap",
     "CompiledCircuitCache",
     "network_signature",
+    "ShardReport",
+    "ShardedSolve",
+    "ShardedSolveService",
     "StreamingDelta",
     "StreamingSession",
     "push_all",

@@ -17,7 +17,22 @@ from typing import Any, Dict, List, Optional
 
 from ..graph.network import FlowNetwork
 
-__all__ = ["SolveRequest", "SolveResult", "BatchReport"]
+__all__ = ["SolveRequest", "SolveResult", "BatchReport", "relative_error"]
+
+
+def relative_error(value: float, reference: Optional[float]) -> Optional[float]:
+    """``|value - reference| / |reference|`` under the service conventions.
+
+    ``None`` when no reference is given; a zero reference yields ``0.0``
+    for an exactly-zero value and ``inf`` otherwise.  Shared by every
+    result-producing path (batch backends, sharded solves) so the error
+    semantics can never diverge between services.
+    """
+    if reference is None:
+        return None
+    if reference == 0:
+        return 0.0 if value == 0 else float("inf")
+    return abs(value - reference) / abs(reference)
 
 
 @dataclass

@@ -24,7 +24,7 @@ from ..analog.solver import AnalogMaxFlowSolver
 from ..errors import AlgorithmError
 from ..flows.registry import ALGORITHMS, get_algorithm
 from ..graph.analysis import is_source_sink_connected
-from .api import SolveRequest, SolveResult
+from .api import SolveRequest, SolveResult, relative_error
 from .cache import CompiledCircuitCache, network_signature
 
 __all__ = [
@@ -59,20 +59,13 @@ class SolveBackend:
                 error=f"{type(exc).__name__}: {exc}",
                 wall_time_s=time.perf_counter() - start,
             )
-        relative_error = None
-        reference = request.reference_value
-        if reference is not None:
-            if reference == 0:
-                relative_error = 0.0 if flow_value == 0 else float("inf")
-            else:
-                relative_error = abs(flow_value - reference) / abs(reference)
         return SolveResult(
             request=request,
             flow_value=flow_value,
             edge_flows=edge_flows,
             wall_time_s=time.perf_counter() - start,
             cache_hit=cache_hit,
-            relative_error=relative_error,
+            relative_error=relative_error(flow_value, request.reference_value),
             detail=detail,
         )
 

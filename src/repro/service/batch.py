@@ -33,13 +33,64 @@ from .api import BatchReport, SolveRequest, SolveResult
 from .backends import SolveBackend, create_backend
 from .cache import CompiledCircuitCache
 
-__all__ = ["BatchSolveService"]
+__all__ = ["BatchSolveService", "ParallelMap"]
 
 RequestLike = Union[SolveRequest, FlowNetwork]
 
 
 def _default_max_workers() -> int:
     return min(8, os.cpu_count() or 1)
+
+
+class ParallelMap:
+    """Reusable thread/process/serial mapper — the service executor layer.
+
+    One instance owns (at most) one worker pool, created lazily on the first
+    :meth:`map` call and kept alive until :meth:`close`, so iterative callers
+    (the shard coordinator re-solving its shards every subgradient step, a
+    batch service draining request waves) pay the pool spin-up once instead
+    of per wave.  ``"serial"`` never creates a pool; ``"process"`` requires
+    the mapped function and items to be picklable.
+
+    Examples
+    --------
+    >>> with ParallelMap(executor="thread", max_workers=2) as pool:
+    ...     pool.map(lambda x: x * x, [1, 2, 3])
+    [1, 4, 9]
+    """
+
+    def __init__(self, executor: str = "thread", max_workers: Optional[int] = None) -> None:
+        if executor not in ("thread", "process", "serial"):
+            raise AlgorithmError(f"unknown executor {executor!r}")
+        if max_workers is not None and max_workers < 1:
+            raise AlgorithmError("max_workers must be at least 1")
+        self.executor = executor
+        self.max_workers = max_workers if max_workers is not None else _default_max_workers()
+        self._pool = None
+
+    def map(self, fn, items) -> list:
+        """Apply ``fn`` to every item, in order; short inputs run inline."""
+        items = list(items)
+        if self.executor == "serial" or self.max_workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            factory = (
+                ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+            )
+            self._pool = factory(max_workers=self.max_workers)
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelMap":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _process_worker(payload) -> SolveResult:
@@ -180,15 +231,15 @@ class BatchSolveService:
             )
         backends = self._backends_for(reqs)
 
-        if self.executor == "process" and len(reqs) > 1:
-            payloads = [(r, self.analog_solver) for r in reqs]
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                results = list(pool.map(_process_worker, payloads))
-        elif self.executor == "thread" and len(reqs) > 1 and self.max_workers > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                results = list(pool.map(lambda r: backends[r.backend].solve(r), reqs))
-        else:
-            results = [backends[r.backend].solve(r) for r in reqs]
+        with ParallelMap(executor=self.executor, max_workers=self.max_workers) as pool:
+            if self.executor == "process" and len(reqs) > 1 and self.max_workers > 1:
+                payloads = [(r, self.analog_solver) for r in reqs]
+                results = pool.map(_process_worker, payloads)
+            else:
+                # Inline execution (serial, threads, or a degenerate process
+                # pool that would run one task at a time anyway) keeps the
+                # shared backend instances and their compiled-circuit cache.
+                results = pool.map(lambda r: backends[r.backend].solve(r), reqs)
 
         return BatchReport(
             results=results,

@@ -1,0 +1,33 @@
+"""N-way partitioned solving (the sharding subsystem).
+
+Instances larger than one solver — or one analog substrate — are split into
+``N`` overlapping shards and coordinated to a global optimum by dual
+decomposition, generalising the two-way scheme of Section 6.4 / Strandmark
+& Kahl [39] to arbitrary shard counts:
+
+* :mod:`~repro.shard.partition` — the multi-way overlapping partitioner
+  (BFS / geometric vertex orderings, overlap bands between adjacent shard
+  pairs, share-divided edge capacities preserving the objective sum);
+* :mod:`~repro.shard.executor` — parallel shard execution with per-shard
+  backend choice (classical algorithms or the analog substrate's warm
+  re-solve path) over the service executor layer;
+* :mod:`~repro.shard.coordinator` — the projected-subgradient dual
+  coordinator with chain consistency multipliers, stitched feasible cuts
+  and bound-gap convergence.
+
+The service-level front door is
+:class:`repro.service.sharded.ShardedSolveService`.
+"""
+
+from .partition import MultiwayPartition, partition_multiway
+from .executor import ShardExecutor, ShardSolve
+from .coordinator import ShardCoordinator, ShardOutcome
+
+__all__ = [
+    "MultiwayPartition",
+    "partition_multiway",
+    "ShardExecutor",
+    "ShardSolve",
+    "ShardCoordinator",
+    "ShardOutcome",
+]

@@ -213,6 +213,16 @@ def test_process_executor_round_trip():
     assert abs(report.by_tag("d")[0].flow_value - 2.0) < 1e-9
 
 
+def test_process_executor_single_request_keeps_shared_cache():
+    """A one-request process batch runs inline and reuses the service cache."""
+    service = BatchSolveService(executor="process", max_workers=2)
+    network = tiny_network()
+    first = service.solve_batch([SolveRequest(network=network, backend="analog")])
+    second = service.solve_batch([SolveRequest(network=network, backend="analog")])
+    assert first.results[0].cache_hit is False
+    assert second.results[0].cache_hit is True
+
+
 def test_single_solve_convenience():
     result = BatchSolveService().solve(tiny_network(), backend="dinic", validate=True)
     assert result.ok and abs(result.flow_value - 2.0) < 1e-9

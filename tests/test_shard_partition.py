@@ -1,0 +1,170 @@
+"""Tests for the N-way overlapping partitioner (`repro.shard.partition`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.graph import grid_graph, paper_example_graph, rmat_graph
+from repro.shard import partition_multiway
+
+
+NETWORKS = [
+    ("paper", lambda: paper_example_graph()),
+    ("grid", lambda: grid_graph(4, 8, capacity=2.0, seed=3, capacity_jitter=0.3)),
+    ("rmat", lambda: rmat_graph(30, 90, seed=5)),
+]
+
+
+class TestPartitionStructure:
+    @pytest.mark.parametrize("name, factory", NETWORKS)
+    @pytest.mark.parametrize("num_shards", [2, 3, 4])
+    def test_cores_partition_the_vertices(self, name, factory, num_shards):
+        network = factory()
+        if num_shards > max(2, network.num_vertices - 2):
+            pytest.skip("more shards than interior vertices")
+        partition = partition_multiway(network, num_shards)
+        assert partition.num_shards == num_shards
+        seen = set()
+        for core in partition.cores:
+            assert not (core & seen), "cores must be disjoint"
+            seen |= core
+        assert seen == set(network.vertices())
+        assert network.source in partition.cores[0]
+        assert network.sink in partition.cores[-1]
+
+    @pytest.mark.parametrize("name, factory", NETWORKS)
+    @pytest.mark.parametrize("num_shards", [2, 3, 4])
+    def test_sides_cover_and_contain_terminals(self, name, factory, num_shards):
+        network = factory()
+        if num_shards > max(2, network.num_vertices - 2):
+            pytest.skip("more shards than interior vertices")
+        partition = partition_multiway(network, num_shards)
+        covered = set()
+        for side in partition.sides:
+            assert network.source in side and network.sink in side
+            covered |= side
+        assert covered == set(network.vertices())
+
+    @pytest.mark.parametrize("name, factory", NETWORKS)
+    @pytest.mark.parametrize("num_shards", [2, 3, 4])
+    def test_membership_matches_sides(self, name, factory, num_shards):
+        network = factory()
+        if num_shards > max(2, network.num_vertices - 2):
+            pytest.skip("more shards than interior vertices")
+        partition = partition_multiway(network, num_shards)
+        terminals = {network.source, network.sink}
+        for vertex, members in partition.membership.items():
+            assert vertex not in terminals
+            for shard in range(num_shards):
+                assert (vertex in partition.sides[shard]) == (shard in members)
+        assert partition.overlap == {
+            v for v, members in partition.membership.items() if len(members) > 1
+        }
+
+    @pytest.mark.parametrize("name, factory", NETWORKS)
+    @pytest.mark.parametrize("num_shards", [2, 3, 4])
+    def test_capacity_shares_sum_to_original(self, name, factory, num_shards):
+        """Every finite edge's capacity is split exactly across its shards."""
+        network = factory()
+        if num_shards > max(2, network.num_vertices - 2):
+            pytest.skip("more shards than interior vertices")
+        partition = partition_multiway(network, num_shards)
+        totals = {}
+        for sub in partition.subproblems:
+            for edge in sub.edges():
+                key = (edge.tail, edge.head)
+                totals[key] = totals.get(key, 0.0) + edge.capacity
+        for edge in network.edges():
+            if edge.is_uncapacitated:
+                continue
+            key = (edge.tail, edge.head)
+            expected = sum(
+                e.capacity for e in network.find_edges(edge.tail, edge.head)
+            )
+            assert totals[key] == pytest.approx(expected)
+
+    def test_two_way_overlap_edges_split_in_half(self):
+        network = grid_graph(2, 4, capacity=2.0)
+        partition = partition_multiway(network, 2)
+        for shard, sub in enumerate(partition.subproblems):
+            for edge in sub.edges():
+                if edge.tail in partition.overlap and edge.head in partition.overlap:
+                    if partition.edge_share.get(
+                        network.find_edges(edge.tail, edge.head)[0].index
+                    ) == 2:
+                        originals = network.find_edges(edge.tail, edge.head)
+                        assert edge.capacity == pytest.approx(
+                            originals[0].capacity / 2.0
+                        )
+
+    def test_geometric_method_covers(self):
+        network = grid_graph(4, 10, capacity=1.0, seed=2, capacity_jitter=0.2)
+        partition = partition_multiway(network, 3, method="geometric")
+        covered = set()
+        for side in partition.sides:
+            covered |= side
+        assert covered == set(network.vertices())
+
+    def test_fractions_bias_the_split(self):
+        network = grid_graph(4, 12, capacity=1.0)
+        lopsided = partition_multiway(network, 2, fractions=[0.8, 0.2])
+        even = partition_multiway(network, 2)
+        assert len(lopsided.cores[0]) > len(even.cores[0])
+
+    def test_describe_reports_sizes(self):
+        network = paper_example_graph()
+        summary = partition_multiway(network, 2).describe()
+        assert summary["shards"] == 2
+        assert sum(summary["core_sizes"]) == network.num_vertices
+
+
+class TestPartitionValidation:
+    def test_too_few_shards(self):
+        with pytest.raises(DecompositionError):
+            partition_multiway(paper_example_graph(), 1)
+
+    def test_more_shards_than_interior_vertices(self):
+        network = paper_example_graph()
+        with pytest.raises(DecompositionError):
+            partition_multiway(network, network.num_vertices - 1)
+
+    def test_tiny_networks_still_split_two_ways(self):
+        from repro.graph import FlowNetwork
+
+        path = FlowNetwork()
+        path.add_edge("s", "a", 2.0)
+        path.add_edge("a", "t", 1.0)
+        partition = partition_multiway(path, 2)  # one interior vertex
+        seen = set()
+        for core in partition.cores:
+            assert not (core & seen)
+            seen |= core
+        assert seen == set(path.vertices())
+        with pytest.raises(DecompositionError):
+            partition_multiway(path, 3)
+
+    def test_unknown_method(self):
+        with pytest.raises(DecompositionError):
+            partition_multiway(paper_example_graph(), 2, method="metis")
+
+    @pytest.mark.parametrize(
+        "fractions", [[0.5], [0.5, 0.6], [0.0, 1.0], [-0.2, 1.2]]
+    )
+    def test_bad_fractions(self, fractions):
+        with pytest.raises(DecompositionError):
+            partition_multiway(paper_example_graph(), 2, fractions=fractions)
+
+    def test_uncapacitated_edges_keep_infinity(self):
+        network = paper_example_graph()
+        network.add_edge("s", "t", math.inf)
+        partition = partition_multiway(network, 2)
+        shared = [
+            edge
+            for sub in partition.subproblems
+            for edge in sub.edges()
+            if edge.is_uncapacitated
+        ]
+        assert shared, "infinite edges must stay infinite in every subproblem"

@@ -5,8 +5,11 @@ Runs the shared :mod:`repro.bench` harnesses — the same instance selection
 and metrics the pytest thresholds in ``benchmarks/`` enforce — and writes
 median timings so later PRs can track the perf trajectory::
 
-    PYTHONPATH=src python tools/perf_gate.py [--suite assembly|streaming|all]
+    PYTHONPATH=src python tools/perf_gate.py [--suite NAME|all] [--list-suites]
                                              [--scale 0.25] [--repeats 5]
+
+``--list-suites`` prints the registered suite names and their output files;
+an unknown ``--suite`` fails fast with the same list.
 
 ``--suite assembly`` (the default) writes ``BENCH_assembly.json`` with, per
 Fig. 10 instance class,
@@ -25,9 +28,17 @@ median cold-vs-warm re-solve times of a 5%-of-edges capacity-update stream
 (classical incremental repair and analog warm re-solve), the speedups, and
 the worst warm/cold flow-value disagreement.
 
-The gate only *records*; regression thresholds live in
-``benchmarks/bench_assembly.py`` / ``benchmarks/bench_streaming.py`` where
-pytest can enforce them.
+``--suite shard`` writes ``BENCH_shard.json`` with, per grid instance
+class, 1-shard cold vs sequential 2-way vs N-way parallel sharded solving
+(values, iterations, end-to-end and per-iteration wall clock, speedups)
+plus the R-MAT coordination-overhead record (N-way vs 1-shard cold on the
+large dense Fig. 10 instance — R-MAT's hubs bloat every overlap band, so
+this records the price of scaling past one substrate, not a win).  Use
+``--scale 1.0`` (the ``make perf-gate-shard`` default) for instances large
+enough that N-way parallel beats sequential 2-way.
+
+The gate only *records*; regression thresholds live in the corresponding
+``benchmarks/bench_*.py`` where pytest can enforce them.
 """
 
 from __future__ import annotations
@@ -41,7 +52,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench import measure_assembly_class, measure_streaming_class  # noqa: E402
+from repro.bench import (  # noqa: E402
+    measure_assembly_class,
+    measure_shard_class,
+    measure_shard_rmat,
+    measure_streaming_class,
+)
 
 
 def _as_record(metrics: dict) -> dict:
@@ -84,6 +100,27 @@ def _as_streaming_record(metrics: dict) -> dict:
     }
 
 
+def _as_shard_record(metrics: dict) -> dict:
+    return {
+        "workload": metrics["workload"],
+        "num_vertices": metrics["num_vertices"],
+        "num_edges": metrics["num_edges"],
+        "shards": metrics["shards"],
+        "cold_ms": round(metrics["cold_s"] * 1e3, 3),
+        "seq2_ms": round(metrics["seq2_s"] * 1e3, 2),
+        "seq2_iterations": metrics["seq2_iterations"],
+        "seq2_iter_ms": round(metrics["seq2_iter_s"] * 1e3, 3),
+        "parn_ms": round(metrics["parn_s"] * 1e3, 2),
+        "parn_iterations": metrics["parn_iterations"],
+        "parn_iter_ms": round(metrics["parn_iter_s"] * 1e3, 3),
+        "speedup": round(metrics["speedup"], 2),
+        "iter_speedup": round(metrics["iter_speedup"], 2),
+        "seq2_value_diff": float(f"{metrics['seq2_value_diff']:.3e}"),
+        "parn_value_diff": float(f"{metrics['parn_value_diff']:.3e}"),
+        "converged": bool(metrics["seq2_converged"] and metrics["parn_converged"]),
+    }
+
+
 def _assembly_report(args) -> dict:
     return {
         "scale": args.scale,
@@ -117,49 +154,116 @@ def _streaming_report(args) -> dict:
     }
 
 
+def _shard_report(args) -> dict:
+    rmat = measure_shard_rmat(
+        args.scale, repeats=args.repeats, reducer=statistics.median
+    )
+    return {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "classes": {
+            regime: _as_shard_record(
+                measure_shard_class(
+                    regime, args.scale, repeats=args.repeats,
+                    reducer=statistics.median,
+                )
+            )
+            for regime in ("band", "wide")
+        },
+        "rmat_overhead": {
+            "workload": rmat["workload"],
+            "num_edges": rmat["num_edges"],
+            "shards": rmat["shards"],
+            "cold_ms": round(rmat["cold_s"] * 1e3, 3),
+            "parn_ms": round(rmat["parn_s"] * 1e3, 2),
+            "parn_iterations": rmat["parn_iterations"],
+            "overhead": round(rmat["overhead"], 2),
+            "parn_value_diff": float(f"{rmat['parn_value_diff']:.3e}"),
+            "overlap_fraction": round(rmat["overlap_fraction"], 3),
+        },
+    }
+
+
+#: Registered suites: name -> (report builder, default output file name).
+SUITES = {
+    "assembly": (_assembly_report, "BENCH_assembly.json"),
+    "streaming": (_streaming_report, "BENCH_streaming.json"),
+    "shard": (_shard_report, "BENCH_shard.json"),
+}
+
+
+def _print_suite_summary(suite: str, report: dict) -> None:
+    for regime, row in report["classes"].items():
+        if suite == "assembly":
+            print(
+                f"  {regime} ({row['workload']}, {row['unknowns']} unknowns): "
+                f"assembly {row['assembly_ms']} ms ({row['assembly_speedup']}x), "
+                f"dc iteration {row['dc_iteration_ms']} ms, "
+                f"dc {row['dc_speedup']}x, smw {row['smw_speedup']}x"
+            )
+        elif suite == "streaming":
+            print(
+                f"  {regime} ({row['workload']}, {row['num_edges']} edges, "
+                f"{row['delta_edges']}-edge deltas): "
+                f"classical {row['classical_warm_ms']} ms warm vs "
+                f"{row['classical_cold_ms']} ms cold ({row['classical_speedup']}x), "
+                f"analog {row['analog_warm_ms']} ms warm vs "
+                f"{row['analog_cold_ms']} ms cold ({row['analog_speedup']}x)"
+            )
+        else:
+            print(
+                f"  {regime} ({row['workload']}, {row['num_edges']} edges): "
+                f"{row['shards']}-way parallel {row['parn_ms']} ms "
+                f"({row['parn_iterations']} it) vs sequential 2-way "
+                f"{row['seq2_ms']} ms ({row['seq2_iterations']} it): "
+                f"{row['speedup']}x end-to-end, {row['iter_speedup']}x per iteration"
+            )
+    if suite == "shard":
+        rmat = report["rmat_overhead"]
+        print(
+            f"  rmat overhead ({rmat['workload']}, {rmat['num_edges']} edges): "
+            f"{rmat['shards']}-way {rmat['parn_ms']} ms vs cold {rmat['cold_ms']} ms "
+            f"({rmat['overhead']}x overhead, {rmat['overlap_fraction']:.0%} overlap)"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("assembly", "streaming", "all"),
-                        default="assembly",
-                        help="which perf record(s) to refresh (default assembly)")
+    parser.add_argument("--suite", default="assembly",
+                        help="which perf record to refresh: "
+                             f"{', '.join(sorted(SUITES))}, or 'all' "
+                             "(default assembly)")
+    parser.add_argument("--list-suites", action="store_true",
+                        help="print the registered suites and exit")
     parser.add_argument("--scale", type=float, default=0.25,
-                        help="Fig. 10 workload scale (default 0.25)")
+                        help="workload scale (default 0.25)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repetitions / update steps (median is kept)")
     parser.add_argument("--output", type=Path, default=None,
                         help="override the output path (single-suite runs only)")
     args = parser.parse_args(argv)
 
-    suites = ("assembly", "streaming") if args.suite == "all" else (args.suite,)
+    if args.list_suites:
+        for name in sorted(SUITES):
+            print(f"{name}\t-> {SUITES[name][1]}")
+        return 0
+    if args.suite != "all" and args.suite not in SUITES:
+        parser.error(
+            f"unknown suite {args.suite!r}; valid suites: "
+            f"{', '.join(sorted(SUITES))}, or 'all'"
+        )
+
+    suites = tuple(sorted(SUITES)) if args.suite == "all" else (args.suite,)
     if args.output is not None and len(suites) > 1:
         parser.error("--output needs a single --suite")
 
     for suite in suites:
-        if suite == "assembly":
-            report = _assembly_report(args)
-            output = args.output or REPO_ROOT / "BENCH_assembly.json"
-        else:
-            report = _streaming_report(args)
-            output = args.output or REPO_ROOT / "BENCH_streaming.json"
+        builder, default_output = SUITES[suite]
+        report = builder(args)
+        output = args.output or REPO_ROOT / default_output
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {output}")
-        for regime, row in report["classes"].items():
-            if suite == "assembly":
-                print(
-                    f"  {regime} ({row['workload']}, {row['unknowns']} unknowns): "
-                    f"assembly {row['assembly_ms']} ms ({row['assembly_speedup']}x), "
-                    f"dc iteration {row['dc_iteration_ms']} ms, "
-                    f"dc {row['dc_speedup']}x, smw {row['smw_speedup']}x"
-                )
-            else:
-                print(
-                    f"  {regime} ({row['workload']}, {row['num_edges']} edges, "
-                    f"{row['delta_edges']}-edge deltas): "
-                    f"classical {row['classical_warm_ms']} ms warm vs "
-                    f"{row['classical_cold_ms']} ms cold ({row['classical_speedup']}x), "
-                    f"analog {row['analog_warm_ms']} ms warm vs "
-                    f"{row['analog_cold_ms']} ms cold ({row['analog_speedup']}x)"
-                )
+        _print_suite_summary(suite, report)
     return 0
 
 
