@@ -12,15 +12,24 @@ DOCTEST_MODULES := src/repro/service \
 	src/repro/circuit/nonlinear.py \
 	src/repro/circuit/stamps.py
 
-.PHONY: test bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard ci
+.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems ci
 
 ## tier-1 suite plus the documented-API doctests
 test:
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) -m pytest --doctest-modules $(DOCTEST_MODULES) -q
 
+## the cross-backend conformance gate + reduction property suites, with the
+## heavy randomized cases enabled (REPRO_TEST_SEED replays a red run)
+test-conformance:
+	$(PYTHON) -m pytest \
+		tests/test_backend_conformance.py \
+		tests/test_problems_properties.py \
+		tests/test_problems_service.py \
+		--runslow -q
+
 ## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly
-## + streaming + sharding)
+## + streaming + sharding + problem reductions)
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest \
 		benchmarks/bench_service_batch.py \
@@ -28,6 +37,7 @@ bench-smoke:
 		benchmarks/bench_assembly.py \
 		benchmarks/bench_streaming.py \
 		benchmarks/bench_shard.py \
+		benchmarks/bench_problems.py \
 		-o python_files='bench_*.py' -q -s
 
 ## record assembly/DC-iteration medians to BENCH_assembly.json (perf trajectory)
@@ -46,9 +56,15 @@ perf-gate-streaming:
 perf-gate-shard:
 	$(PYTHON) tools/perf_gate.py --suite shard --scale 1.0
 
+## record problem-reduction stage medians (reduce / solve / decode) to
+## BENCH_problems.json; correctness thresholds live in bench_problems.py
+perf-gate-problems:
+	$(PYTHON) tools/perf_gate.py --suite problems --scale 1.0
+
 ## broken intra-doc links + docstring coverage of repro.service
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
-## the full local CI chain: tests + doctests, doc health, benchmark smoke
-ci: test docs-check bench-smoke
+## the full local CI chain: tests + doctests, conformance gate, doc health,
+## benchmark smoke
+ci: test test-conformance docs-check bench-smoke

@@ -1,0 +1,64 @@
+"""Problem-reduction benchmark: four workloads through the service.
+
+Routes one instance of each reduction class (bipartite matching,
+vertex-disjoint paths, image segmentation, project selection — via the
+shared :mod:`repro.bench.problems` harness) through
+:class:`~repro.service.problems.ProblemSolveService` and prints the stage
+split: reduction build, backend solve, decode + certificate.
+
+Hard assertions at any scale: every class decodes and *certifies* (the
+duality witness checks pass), and dinic / push-relabel agree on the
+objective exactly.  The reduction layer's price is recorded as the
+overhead fraction ``(reduce + decode) / total``; the perf-trajectory
+record lives in ``BENCH_problems.json`` (``make perf-gate-problems``).
+"""
+
+from __future__ import annotations
+
+from repro.bench import PROBLEM_CLASSES, format_table, measure_problems_class
+from conftest import bench_scale
+
+
+def _as_row(metrics: dict) -> dict:
+    return {
+        "class": metrics["kind"],
+        "|V|": metrics["num_vertices"],
+        "|E|": metrics["num_edges"],
+        "objective": round(float(metrics["objective"]), 4),
+        "reduce_ms": round(metrics["reduce_s"] * 1e3, 3),
+        "solve_ms": round(metrics["solve_s"] * 1e3, 3),
+        "decode_ms": round(metrics["decode_s"] * 1e3, 3),
+        "overhead": f"{metrics['overhead_fraction']:.0%}",
+        "certificate": "ok" if metrics["certified"] else "FAILED",
+    }
+
+
+def test_problem_reductions_certified_and_cheap(benchmark):
+    scale = bench_scale()
+    metrics = benchmark.pedantic(
+        lambda: [
+            measure_problems_class(kind, scale, repeats=3, reducer=min)
+            for kind in PROBLEM_CLASSES
+        ],
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        format_table(
+            [_as_row(m) for m in metrics],
+            title=f"Problem reductions through the service (scale {scale:g})",
+        )
+    )
+
+    for m in metrics:
+        assert m["certified"], f"{m['kind']}: certificate failed"
+        # The classical backends must agree exactly on the domain objective.
+        cross = measure_problems_class(
+            m["kind"], scale, repeats=1, backend="push-relabel"
+        )
+        assert cross["certified"]
+        assert abs(float(cross["objective"]) - float(m["objective"])) <= 1e-9 * max(
+            1.0, abs(float(m["objective"]))
+        )

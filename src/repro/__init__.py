@@ -18,6 +18,9 @@ The package is organised by subsystem:
   partitioner, parallel shard executor (classical or analog, warm
   re-solves) and the subgradient dual coordinator;
 * :mod:`repro.power` — the analytical power/energy model;
+* :mod:`repro.problems` — problem→flow reductions (bipartite matching,
+  disjoint paths, image segmentation, project selection) with certified
+  decoding via max-flow/min-cut duality;
 * :mod:`repro.bench` — workload suites and experiment runners used by the
   ``benchmarks/`` directory;
 * :mod:`repro.service` — the batched solving service: backend registry
@@ -93,9 +96,18 @@ from .crossbar import (
 )
 from .decomposition import DualDecompositionSolver
 from .power import PowerModel, compare_energy
+from .problems import (
+    BipartiteMatching,
+    CertificateReport,
+    DisjointPaths,
+    ImageSegmentation,
+    ProjectSelection,
+    solve_problem,
+)
 from .service import (
     BatchReport,
     BatchSolveService,
+    ProblemSolveService,
     ShardedSolveService,
     SolveRequest,
     SolveResult,
@@ -164,6 +176,14 @@ __all__ = [
     "ShardCoordinator",
     "ShardedSolveService",
     "partition_multiway",
+    # problem reductions
+    "BipartiteMatching",
+    "CertificateReport",
+    "DisjointPaths",
+    "ImageSegmentation",
+    "ProjectSelection",
+    "ProblemSolveService",
+    "solve_problem",
     # batched solving service
     "BatchReport",
     "BatchSolveService",

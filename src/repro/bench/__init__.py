@@ -15,6 +15,11 @@ from .workloads import (
 from .runner import BatchServiceSuiteRunner, Fig10Runner, Fig10Row
 from .reporting import format_table, format_series, relative
 from .assembly import assembly_workload, measure_assembly_class
+from .problems import (
+    PROBLEM_CLASSES,
+    measure_problems_class,
+    problems_workload,
+)
 from .shard import (
     SHARD_CLASSES,
     measure_shard_class,
@@ -26,6 +31,9 @@ from .streaming import measure_streaming_class, streaming_update_batches
 __all__ = [
     "assembly_workload",
     "measure_assembly_class",
+    "PROBLEM_CLASSES",
+    "measure_problems_class",
+    "problems_workload",
     "measure_shard_class",
     "measure_shard_rmat",
     "measure_streaming_class",

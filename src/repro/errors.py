@@ -30,6 +30,8 @@ __all__ = [
     "DecompositionError",
     "PowerBudgetError",
     "ConfigurationError",
+    "ProblemError",
+    "CertificateError",
 ]
 
 
@@ -135,3 +137,16 @@ class DecompositionError(SubstrateError):
 
 class PowerBudgetError(SubstrateError):
     """The requested problem exceeds the configured power budget."""
+
+
+# ---------------------------------------------------------------------------
+# Problem-reduction errors
+# ---------------------------------------------------------------------------
+
+
+class ProblemError(ReproError):
+    """A problem→flow reduction is malformed or cannot be decoded."""
+
+
+class CertificateError(ProblemError):
+    """A decoded solution failed its optimality-certificate check."""

@@ -44,6 +44,11 @@ from .transforms import (
     merge_parallel_edges,
     scale_capacities,
     relabel_vertices,
+    split_vertex_capacities,
+    split_in_label,
+    split_out_label,
+    unsplit_label,
+    attach_super_terminals,
 )
 
 __all__ = [
@@ -82,4 +87,9 @@ __all__ = [
     "merge_parallel_edges",
     "scale_capacities",
     "relabel_vertices",
+    "split_vertex_capacities",
+    "split_in_label",
+    "split_out_label",
+    "unsplit_label",
+    "attach_super_terminals",
 ]

@@ -12,7 +12,7 @@ mapper and the quantizer.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, Tuple
+from typing import Callable, Dict, Hashable, Iterable, Mapping, Tuple
 
 from ..errors import InvalidGraphError
 from .network import FlowNetwork
@@ -23,9 +23,47 @@ __all__ = [
     "merge_parallel_edges",
     "scale_capacities",
     "relabel_vertices",
+    "split_vertex_capacities",
+    "split_in_label",
+    "split_out_label",
+    "unsplit_label",
+    "attach_super_terminals",
 ]
 
 Vertex = Hashable
+
+#: Tags used by :func:`split_vertex_capacities` to label the two halves of a
+#: split vertex.  Half labels have the shape ``(vertex, "#in")`` /
+#: ``(vertex, "#out")``, so that exact 2-tuple shape is *reserved*: a caller
+#: whose own vertex labels already look like that would alias with split
+#: halves, and :func:`split_vertex_capacities` rejects such networks.
+_SPLIT_IN = "#in"
+_SPLIT_OUT = "#out"
+
+
+def _looks_like_split_label(vertex: Vertex) -> bool:
+    return (
+        isinstance(vertex, tuple)
+        and len(vertex) == 2
+        and vertex[1] in (_SPLIT_IN, _SPLIT_OUT)
+    )
+
+
+def split_in_label(vertex: Vertex) -> Tuple[Vertex, str]:
+    """Label of the *entry* half of ``vertex`` after a capacity split."""
+    return (vertex, _SPLIT_IN)
+
+
+def split_out_label(vertex: Vertex) -> Tuple[Vertex, str]:
+    """Label of the *exit* half of ``vertex`` after a capacity split."""
+    return (vertex, _SPLIT_OUT)
+
+
+def unsplit_label(vertex: Vertex) -> Vertex:
+    """Map a split-half label back to the original vertex (identity otherwise)."""
+    if _looks_like_split_label(vertex):
+        return vertex[0]
+    return vertex
 
 
 def undirected_to_directed(
@@ -105,6 +143,113 @@ def scale_capacities(network: FlowNetwork, factor: float) -> FlowNetwork:
         result.add_vertex(vertex)
     for edge in network.edges():
         result.add_edge(edge.tail, edge.head, edge.capacity * factor)
+    return result
+
+
+def split_vertex_capacities(
+    network: FlowNetwork, capacities: Mapping[Vertex, float]
+) -> FlowNetwork:
+    """Split vertices to enforce per-vertex throughput limits (node splitting).
+
+    Every vertex ``v`` in ``capacities`` is replaced by an entry half
+    ``split_in_label(v)`` and an exit half ``split_out_label(v)`` joined by a
+    single edge of capacity ``capacities[v]``; edges into ``v`` are redirected
+    to the entry half and edges out of ``v`` leave the exit half.  This is the
+    classic reduction that turns vertex-capacitated (or vertex-disjoint-path)
+    problems into plain edge-capacitated max-flow — see
+    :mod:`repro.problems.paths`.
+
+    The source and the sink cannot be split (their throughput is the flow
+    value itself); vertices absent from ``capacities`` are kept as-is.
+    Vertex labels of the reserved split-half shape ``(v, "#in")`` /
+    ``(v, "#out")`` are rejected up front — they would alias with the
+    generated half labels and make :func:`unsplit_label` ambiguous.
+
+    Examples
+    --------
+    >>> from repro.graph import FlowNetwork
+    >>> from repro.graph.transforms import split_vertex_capacities
+    >>> g = FlowNetwork()
+    >>> _ = g.add_edge("s", "a", 5.0)
+    >>> _ = g.add_edge("a", "t", 5.0)
+    >>> split = split_vertex_capacities(g, {"a": 2.0})
+    >>> from repro.flows.registry import solve_max_flow
+    >>> solve_max_flow(split).flow_value
+    2.0
+    """
+    for vertex in network.vertices():
+        if _looks_like_split_label(vertex):
+            raise InvalidGraphError(
+                f"vertex label {vertex!r} uses the reserved split-half shape "
+                "(v, '#in')/(v, '#out')"
+            )
+    for vertex in capacities:
+        if vertex in (network.source, network.sink):
+            raise InvalidGraphError("the source and the sink cannot be split")
+        if not network.has_vertex(vertex):
+            raise InvalidGraphError(f"cannot split unknown vertex {vertex!r}")
+        if capacities[vertex] < 0:
+            raise InvalidGraphError(
+                f"split capacity of {vertex!r} must be non-negative"
+            )
+
+    def entry(v: Vertex) -> Vertex:
+        return split_in_label(v) if v in capacities else v
+
+    def exit_(v: Vertex) -> Vertex:
+        return split_out_label(v) if v in capacities else v
+
+    result = FlowNetwork(network.source, network.sink)
+    for vertex in network.vertices():
+        if vertex in capacities:
+            result.add_vertex(split_in_label(vertex))
+            result.add_vertex(split_out_label(vertex))
+            result.add_edge(
+                split_in_label(vertex), split_out_label(vertex), capacities[vertex]
+            )
+        else:
+            result.add_vertex(vertex)
+    for edge in network.edges():
+        result.add_edge(exit_(edge.tail), entry(edge.head), edge.capacity)
+    return result
+
+
+def attach_super_terminals(
+    network: FlowNetwork,
+    source_edges: Mapping[Vertex, float],
+    sink_edges: Mapping[Vertex, float],
+) -> FlowNetwork:
+    """Return a copy of ``network`` with super-source/super-sink edges added.
+
+    ``source_edges`` maps vertices to the capacity of a fresh edge from the
+    network's source; ``sink_edges`` maps vertices to the capacity of a fresh
+    edge into the sink.  This is the standard way reductions wire a set of
+    supply vertices (e.g. the left side of a bipartite matching, or the
+    profitable projects of a max-closure instance) to one terminal pair.
+
+    Vertices unknown to the network are created; attaching the source to
+    itself (or the sink to itself) is rejected.
+
+    Examples
+    --------
+    >>> from repro.graph import FlowNetwork
+    >>> from repro.graph.transforms import attach_super_terminals
+    >>> g = FlowNetwork()
+    >>> _ = g.add_edge("a", "b", 9.0)
+    >>> wired = attach_super_terminals(g, {"a": 2.0}, {"b": 3.0})
+    >>> from repro.flows.registry import solve_max_flow
+    >>> solve_max_flow(wired).flow_value
+    2.0
+    """
+    if network.source in source_edges or network.sink in sink_edges:
+        raise InvalidGraphError("cannot attach a terminal to itself")
+    if network.sink in source_edges or network.source in sink_edges:
+        raise InvalidGraphError("direct source-sink terminal edges are not allowed")
+    result = network.snapshot()
+    for vertex, capacity in source_edges.items():
+        result.add_edge(result.source, vertex, capacity)
+    for vertex, capacity in sink_edges.items():
+        result.add_edge(vertex, result.sink, capacity)
     return result
 
 

@@ -1,0 +1,48 @@
+"""Problem→flow reductions: new workloads for every max-flow backend.
+
+The paper's engine solves s-t max-flow; this package multiplies the
+workloads it can serve by reducing classic combinatorial problems to flow
+and decoding the answer back — with an optimality certificate in the
+problem's own language:
+
+* :class:`BipartiteMatching` — maximum matching, certified by a König
+  vertex cover of equal size;
+* :class:`DisjointPaths` — edge-/vertex-disjoint s-t paths, certified by a
+  Menger separator of equal size;
+* :class:`ImageSegmentation` — globally optimal binary labeling, certified
+  by the energy identity against the min-cut value;
+* :class:`ProjectSelection` — maximum-weight closure, certified by the
+  profit identity against the min-cut value.
+
+:func:`solve_problem` runs the self-contained classical pipeline;
+:class:`~repro.service.problems.ProblemSolveService` routes the same
+reductions through any production backend (classical, analog, sharded).
+"""
+
+from .base import (
+    CertificateReport,
+    Problem,
+    Reduction,
+    Solution,
+    solve_problem,
+)
+from .closure import ClosureSolution, ProjectSelection
+from .matching import BipartiteMatching, MatchingSolution
+from .paths import DisjointPaths, DisjointPathsSolution
+from .segmentation import ImageSegmentation, SegmentationSolution
+
+__all__ = [
+    "CertificateReport",
+    "Problem",
+    "Reduction",
+    "Solution",
+    "solve_problem",
+    "BipartiteMatching",
+    "MatchingSolution",
+    "DisjointPaths",
+    "DisjointPathsSolution",
+    "ImageSegmentation",
+    "SegmentationSolution",
+    "ProjectSelection",
+    "ClosureSolution",
+]

@@ -1,0 +1,287 @@
+"""Problem/Reduction/Solution protocol of the reduction subsystem.
+
+The analog engine (and every classical/sharded/streaming backend layered on
+top of it) solves exactly one problem shape: s-t maximum flow.  This module
+defines the contract that lets *other* combinatorial problems ride on that
+engine:
+
+* a :class:`Problem` knows how to **reduce** itself to a
+  :class:`~repro.graph.network.FlowNetwork` (returning a :class:`Reduction`
+  that records the network plus whatever bookkeeping the decoder needs);
+* given a max-flow/min-cut answer on the reduced network, the problem
+  **decodes** it back into a domain :class:`Solution` (a matching, a set of
+  paths, a pixel labeling, a project selection);
+* every decoded solution is **certified**: max-flow/min-cut duality yields a
+  matching optimality certificate in each domain (König cover for matchings,
+  Menger separator for disjoint paths, the energy identity for
+  segmentations, the profit identity for closures), and
+  :meth:`Problem.verify` checks it, returning a :class:`CertificateReport`.
+
+The certificates are the load-bearing part of the design: a backend may be
+approximate (the analog substrate) or may return only a cut (the sharded
+service), so the decoded answer is never trusted on the backend's word — it
+is re-derived from exact structures and proven optimal by exhibiting the
+dual witness.  :class:`~repro.service.problems.ProblemSolveService` wires
+this protocol to the production backends; :func:`solve_problem` is the
+self-contained classical path used by tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ProblemError
+from ..flows.base import MaxFlowResult
+from ..flows.mincut import MinCutResult, min_cut_from_flow
+from ..flows.registry import solve_max_flow
+from ..graph.network import FlowNetwork
+
+__all__ = [
+    "CertificateReport",
+    "Reduction",
+    "Solution",
+    "Problem",
+    "solve_problem",
+]
+
+
+@dataclass
+class CertificateReport:
+    """Outcome of one optimality-certificate check.
+
+    Attributes
+    ----------
+    checks:
+        Names of the individual certificate checks that were evaluated.
+    violations:
+        Human-readable descriptions of every failed check (empty when the
+        solution is certified).
+    tolerance:
+        Relative tolerance the value identities were checked against
+        (``0`` for purely combinatorial certificates).
+
+    Examples
+    --------
+    >>> report = CertificateReport(checks=["matching-valid"], violations=[])
+    >>> report.ok, report.status
+    (True, 'certified')
+    """
+
+    checks: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    tolerance: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every certificate check passed."""
+        return not self.violations
+
+    @property
+    def status(self) -> str:
+        """``"certified"`` or ``"FAILED: <first violation>"``."""
+        if self.ok:
+            return "certified"
+        return f"FAILED: {self.violations[0]}"
+
+    def require(self, name: str, passed: bool, detail: str) -> None:
+        """Record check ``name``; file ``detail`` as a violation unless ``passed``."""
+        self.checks.append(name)
+        if not passed:
+            self.violations.append(f"{name}: {detail}")
+
+
+@dataclass
+class Reduction:
+    """A problem compiled down to one max-flow instance.
+
+    Attributes
+    ----------
+    problem:
+        The originating :class:`Problem`.
+    network:
+        The reduced flow network every backend can solve.
+    meta:
+        Reduction-specific bookkeeping the decoder needs (label maps,
+        big-M values, ...).
+    objective_offset, objective_sign:
+        The domain objective is an affine function of the max-flow value:
+        ``objective = objective_offset + objective_sign * flow_value``.
+        Matchings/paths/segmentations use the identity (offset 0, sign 1);
+        max-closure uses ``total positive profit - min cut``.
+    """
+
+    problem: "Problem"
+    network: FlowNetwork
+    meta: Dict[str, Any] = field(default_factory=dict)
+    objective_offset: float = 0.0
+    objective_sign: float = 1.0
+
+    @property
+    def kind(self) -> str:
+        """Problem kind this network reduces (``"bipartite-matching"``, ...)."""
+        return self.problem.kind
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count of the reduced network."""
+        return self.network.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the reduced network."""
+        return self.network.num_edges
+
+    def objective_from_flow(self, flow_value: float) -> float:
+        """Map a max-flow value on the reduced network to the domain objective."""
+        return self.objective_offset + self.objective_sign * flow_value
+
+
+@dataclass
+class Solution:
+    """A decoded domain answer plus its certificate.
+
+    Subclasses add the domain payload (``pairs``, ``paths``, ``labels``,
+    ``selected``); the base carries what every consumer needs.
+
+    Attributes
+    ----------
+    kind:
+        Problem kind that produced this solution.
+    value:
+        Domain objective value (matching size, path count, cut energy,
+        closure profit).
+    flow_value:
+        Max-flow value of the reduced network the decode was based on.
+    certificate:
+        The duality-certificate report (``None`` until verified).
+    """
+
+    kind: str
+    value: float
+    flow_value: float
+    certificate: Optional[CertificateReport] = None
+
+    @property
+    def certified(self) -> bool:
+        """True when the certificate was checked and passed."""
+        return self.certificate is not None and self.certificate.ok
+
+
+class Problem:
+    """Base class of the problem→flow reductions.
+
+    Subclasses set :attr:`kind` and :attr:`decode_from` and implement
+    :meth:`reduce`, :meth:`decode` and :meth:`verify`.
+
+    ``decode_from`` declares which half of the max-flow/min-cut answer the
+    decoder consumes: ``"flow"`` (matchings and disjoint paths read the
+    integral edge flows) or ``"cut"`` (segmentation and closure read the
+    source-side partition).  The service uses it to route backend outputs —
+    e.g. the sharded backend natively produces a cut but no edge flows.
+    """
+
+    #: Problem-kind identifier echoed through solutions and reports.
+    kind: str = "abstract"
+
+    #: ``"flow"`` or ``"cut"`` — which decoded structure the problem needs.
+    decode_from: str = "flow"
+
+    def reduce(self) -> Reduction:
+        """Build the reduced flow network (a fresh :class:`Reduction`)."""
+        raise NotImplementedError
+
+    def decode(
+        self,
+        reduction: Reduction,
+        flow: Optional[MaxFlowResult] = None,
+        cut: Optional[MinCutResult] = None,
+    ) -> Solution:
+        """Turn a max-flow/min-cut answer on the reduced network into a domain answer.
+
+        Parameters
+        ----------
+        reduction:
+            The reduction the answer belongs to (must come from
+            :meth:`reduce` on this problem).
+        flow:
+            Exact max-flow result on ``reduction.network`` (required when
+            :attr:`decode_from` is ``"flow"``).
+        cut:
+            Minimum cut of ``reduction.network`` (required when
+            :attr:`decode_from` is ``"cut"``).
+        """
+        raise NotImplementedError
+
+    def verify(
+        self,
+        reduction: Reduction,
+        solution: Solution,
+        flow: Optional[MaxFlowResult] = None,
+        cut: Optional[MinCutResult] = None,
+        tolerance: float = 1e-9,
+    ) -> CertificateReport:
+        """Check the duality certificate of ``solution`` and attach the report.
+
+        Implementations must prove *optimality*, not just feasibility: they
+        exhibit the dual witness (cover/separator/cut) and check the primal
+        and dual values coincide to ``tolerance``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared decode/verify plumbing
+    # ------------------------------------------------------------------
+
+    def _require_flow(self, flow: Optional[MaxFlowResult]) -> MaxFlowResult:
+        """Fail fast when a flow-decoding problem is handed no flow."""
+        if flow is None:
+            raise ProblemError(f"{self.kind}: decoding requires a max-flow result")
+        return flow
+
+    def _require_cut(self, cut: Optional[MinCutResult]) -> MinCutResult:
+        """Fail fast when a cut-decoding problem is handed no cut."""
+        if cut is None:
+            raise ProblemError(f"{self.kind}: decoding requires a min-cut result")
+        return cut
+
+    @staticmethod
+    def _values_close(a: float, b: float, tolerance: float) -> bool:
+        """Relative closeness under the service conventions (scale >= 1)."""
+        scale = max(1.0, abs(a), abs(b))
+        return abs(a - b) <= tolerance * scale
+
+
+def solve_problem(
+    problem: Problem,
+    algorithm: str = "dinic",
+    tolerance: float = 1e-9,
+) -> Tuple[Solution, Reduction]:
+    """Reduce, solve classically, decode and certify — the reference path.
+
+    This is the self-contained pipeline (no service, no worker pools): the
+    reduced network is solved exactly with the named classical algorithm,
+    the minimum cut is extracted from the maximum flow, and the decoded
+    solution is verified against its duality certificate.  Production
+    traffic goes through
+    :class:`~repro.service.problems.ProblemSolveService` instead, which
+    routes the same reductions through any registered backend.
+
+    Returns the certified :class:`Solution` and the :class:`Reduction`.
+
+    Examples
+    --------
+    >>> from repro.problems import BipartiteMatching
+    >>> problem = BipartiteMatching(["a"], ["x"], [("a", "x")])
+    >>> solution, reduction = solve_problem(problem)
+    >>> solution.value, solution.certified
+    (1.0, True)
+    """
+    reduction = problem.reduce()
+    flow = solve_max_flow(reduction.network, algorithm=algorithm)
+    cut = min_cut_from_flow(reduction.network, flow)
+    solution = problem.decode(reduction, flow=flow, cut=cut)
+    solution.certificate = problem.verify(
+        reduction, solution, flow=flow, cut=cut, tolerance=tolerance
+    )
+    return solution, reduction

@@ -1,0 +1,190 @@
+"""Project selection (maximum-weight closure) as a min-cut reduction.
+
+The classic open-pit-mining / project-selection reduction: pick a subset of
+projects maximising total profit, subject to prerequisite constraints
+(selecting a project requires selecting everything it depends on — a
+*closed* set of the prerequisite digraph).  Profitable projects hang off the
+source with their profit as capacity, costly projects feed the sink with
+their cost, and each prerequisite arc gets a finite big-M capacity (one more
+than the total positive profit) so it is never cut.  Then::
+
+    max closure profit = total positive profit - min cut
+
+and the **profit identity** is the certificate: the decoded source-side set
+is closed, its profit equals ``total_positive - cut``, and the cut equals
+the max-flow lower bound, so no closed set can do better (every closed set
+induces a cut of capacity ``total_positive - profit``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..errors import ProblemError
+from ..flows.base import MaxFlowResult
+from ..flows.mincut import MinCutResult
+from ..graph.network import FlowNetwork
+from ..graph.transforms import attach_super_terminals
+from .base import CertificateReport, Problem, Reduction, Solution
+
+__all__ = ["ProjectSelection", "ClosureSolution"]
+
+Project = Hashable
+
+
+def _proj(label: Project) -> Tuple[str, Project]:
+    return ("proj", label)
+
+
+@dataclass
+class ClosureSolution(Solution):
+    """A maximum-weight closed set of projects.
+
+    Attributes
+    ----------
+    selected:
+        The chosen projects (a closed set under the prerequisite relation).
+    profit:
+        Total profit of the selection (equals :attr:`Solution.value`).
+    """
+
+    selected: List[Project] = field(default_factory=list)
+    profit: float = 0.0
+
+
+class ProjectSelection(Problem):
+    """Maximum-weight closure of a prerequisite digraph.
+
+    Parameters
+    ----------
+    profits:
+        Mapping from project label to profit (negative = cost).
+    prerequisites:
+        ``(project, dependency)`` pairs: selecting ``project`` requires
+        selecting ``dependency``.  Unknown labels are rejected.
+
+    Examples
+    --------
+    >>> from repro.problems import ProjectSelection, solve_problem
+    >>> problem = ProjectSelection(
+    ...     profits={"mine": 10.0, "road": -4.0, "survey": -2.0},
+    ...     prerequisites=[("mine", "road"), ("road", "survey")],
+    ... )
+    >>> solution, _ = solve_problem(problem)
+    >>> round(solution.value, 2), sorted(solution.selected)
+    (4.0, ['mine', 'road', 'survey'])
+    """
+
+    kind = "project-selection"
+    decode_from = "cut"
+
+    def __init__(
+        self,
+        profits: Mapping[Project, float],
+        prerequisites: Iterable[Tuple[Project, Project]] = (),
+    ) -> None:
+        if not profits:
+            raise ProblemError("project selection needs at least one project")
+        self.profits: Dict[Project, float] = {p: float(v) for p, v in profits.items()}
+        self.prerequisites: List[Tuple[Project, Project]] = []
+        seen: Set[Tuple[Project, Project]] = set()
+        for a, b in prerequisites:
+            if a not in self.profits or b not in self.profits:
+                raise ProblemError(f"prerequisite ({a!r}, {b!r}) references unknown project")
+            if a == b:
+                continue
+            if (a, b) not in seen:
+                seen.add((a, b))
+                self.prerequisites.append((a, b))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_positive_profit(self) -> float:
+        """Sum of the positive profits (the reduction's objective offset)."""
+        return sum(v for v in self.profits.values() if v > 0)
+
+    def profit_of(self, selected: Iterable[Project]) -> float:
+        """Total profit of an arbitrary project subset."""
+        return sum(self.profits[p] for p in selected)
+
+    def reduce(self) -> Reduction:
+        """Source feeds profits, costs feed the sink, prerequisites get big-M."""
+        big_m = self.total_positive_profit + 1.0
+        core = FlowNetwork(source="select*", sink="drop*")
+        for project in self.profits:
+            core.add_vertex(_proj(project))
+        for a, b in self.prerequisites:
+            core.add_edge(_proj(a), _proj(b), big_m)
+        network = attach_super_terminals(
+            core,
+            {_proj(p): v for p, v in self.profits.items() if v > 0},
+            {_proj(p): -v for p, v in self.profits.items() if v < 0},
+        )
+        return Reduction(
+            problem=self,
+            network=network,
+            meta={"big_m": big_m},
+            objective_offset=self.total_positive_profit,
+            objective_sign=-1.0,
+        )
+
+    def decode(
+        self,
+        reduction: Reduction,
+        flow: Optional[MaxFlowResult] = None,
+        cut: Optional[MinCutResult] = None,
+    ) -> ClosureSolution:
+        """Source-side projects are the selected closure."""
+        cut = self._require_cut(cut)
+        selected = [p for p in self.profits if _proj(p) in cut.source_side]
+        profit = self.profit_of(selected)
+        return ClosureSolution(
+            kind=self.kind,
+            value=profit,
+            flow_value=flow.flow_value if flow is not None else cut.cut_value,
+            selected=selected,
+            profit=profit,
+        )
+
+    def verify(
+        self,
+        reduction: Reduction,
+        solution: Solution,
+        flow: Optional[MaxFlowResult] = None,
+        cut: Optional[MinCutResult] = None,
+        tolerance: float = 1e-9,
+    ) -> CertificateReport:
+        """Profit identity: closed set attaining total_positive - cut value."""
+        if not isinstance(solution, ClosureSolution):
+            raise ProblemError("expected a ClosureSolution")
+        report = CertificateReport(tolerance=tolerance)
+        selected = set(solution.selected)
+        open_pairs = [
+            (a, b) for a, b in self.prerequisites if a in selected and b not in selected
+        ]
+        report.require(
+            "selection-closed",
+            not open_pairs,
+            f"{len(open_pairs)} unmet prerequisite(s), e.g. {open_pairs[:1]}",
+        )
+        profit = self.profit_of(selected)
+        cut_value = cut.cut_value if cut is not None else solution.flow_value
+        implied = self.total_positive_profit - cut_value
+        report.require(
+            "profit-identity",
+            self._values_close(profit, implied, tolerance),
+            f"profit {profit} vs total_positive - cut = {implied}",
+        )
+        report.require(
+            "cut-equals-flow",
+            self._values_close(cut_value, solution.flow_value, tolerance),
+            f"cut value {cut_value} vs flow lower bound {solution.flow_value}",
+        )
+        report.require(
+            "big-m-uncut",
+            cut_value < reduction.meta["big_m"] - 0.5,
+            "the minimum cut severed a prerequisite edge (big-M too small)",
+        )
+        return report

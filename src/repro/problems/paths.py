@@ -1,0 +1,274 @@
+"""Vertex- and edge-disjoint s-t paths as a unit-capacity max-flow reduction.
+
+Menger's theorem is max-flow/min-cut duality specialised to unit capacities:
+the maximum number of edge-disjoint s-t paths equals the minimum number of
+edges whose removal disconnects s from t, and the vertex-disjoint variant
+follows after the classic node-splitting transform
+(:func:`~repro.graph.transforms.split_vertex_capacities` with capacity 1 on
+every internal vertex).  The decoder performs an exact flow decomposition
+(cycles are discarded, as flow decomposition allows) and the certificate
+exhibits the **separator** read off the minimum cut: disjoint paths and a
+separator of equal size prove each other optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from ..errors import ProblemError
+from ..flows.base import MaxFlowResult
+from ..flows.mincut import MinCutResult
+from ..graph.network import FlowNetwork
+from ..graph.transforms import split_vertex_capacities, unsplit_label
+from .base import CertificateReport, Problem, Reduction, Solution
+
+__all__ = ["DisjointPaths", "DisjointPathsSolution"]
+
+Vertex = Hashable
+
+
+@dataclass
+class DisjointPathsSolution(Solution):
+    """A maximum family of disjoint s-t paths plus its Menger separator.
+
+    Attributes
+    ----------
+    paths:
+        Vertex sequences ``[s, ..., t]`` in the *original* digraph, one per
+        path.
+    separator_vertices:
+        Internal vertices of the certifying separator (vertex-disjoint mode;
+        empty in edge-disjoint mode).
+    separator_edges:
+        Edges ``(u, v)`` of the certifying separator.  Removing the
+        separator (vertices and edges together) disconnects s from t, and
+        its size equals the number of paths — the Menger certificate.
+    """
+
+    paths: List[List[Vertex]] = field(default_factory=list)
+    separator_vertices: List[Vertex] = field(default_factory=list)
+    separator_edges: List[Tuple[Vertex, Vertex]] = field(default_factory=list)
+
+
+class DisjointPaths(Problem):
+    """Maximum number of edge- or vertex-disjoint s-t paths in a digraph.
+
+    Parameters
+    ----------
+    edges:
+        Directed ``(tail, head)`` pairs (duplicates collapse; self-loops are
+        rejected).
+    source, sink:
+        The two terminals.
+    vertex_disjoint:
+        When set, paths must not share *internal vertices* (they may still
+        share the terminals); otherwise paths must not share edges.
+
+    Examples
+    --------
+    >>> from repro.problems import DisjointPaths, solve_problem
+    >>> problem = DisjointPaths(
+    ...     [("s", "a"), ("a", "t"), ("s", "b"), ("b", "t"), ("a", "b")],
+    ...     source="s", sink="t", vertex_disjoint=True,
+    ... )
+    >>> solution, _ = solve_problem(problem)
+    >>> int(solution.value), solution.certified
+    (2, True)
+    """
+
+    kind = "disjoint-paths"
+    decode_from = "flow"
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        source: Vertex = "s",
+        sink: Vertex = "t",
+        vertex_disjoint: bool = False,
+    ) -> None:
+        if source == sink:
+            raise ProblemError("source and sink must be distinct")
+        self.source = source
+        self.sink = sink
+        self.vertex_disjoint = bool(vertex_disjoint)
+        self.edges: List[Tuple[Vertex, Vertex]] = []
+        seen: Set[Tuple[Vertex, Vertex]] = set()
+        for u, v in edges:
+            if u == v:
+                raise ProblemError(f"self-loop on {u!r} is not allowed")
+            for vertex in (u, v):
+                # The split-half label shape is reserved by the node-splitting
+                # transform; aliasing it would corrupt decode's label collapse.
+                if unsplit_label(vertex) != vertex:
+                    raise ProblemError(
+                        f"vertex label {vertex!r} uses the reserved "
+                        "split-half shape (v, '#in')/(v, '#out')"
+                    )
+            if (u, v) not in seen:
+                seen.add((u, v))
+                self.edges.append((u, v))
+
+    # ------------------------------------------------------------------
+
+    def reduce(self) -> Reduction:
+        """Unit-capacity network; internal vertices split in vertex mode."""
+        base = FlowNetwork(source=self.source, sink=self.sink)
+        for u, v in self.edges:
+            base.add_edge(u, v, 1.0)
+        if self.vertex_disjoint:
+            internal = {
+                v: 1.0 for v in base.vertices() if v not in (self.source, self.sink)
+            }
+            network = split_vertex_capacities(base, internal)
+        else:
+            network = base
+        # Reduced edge index -> original edge (split edges map to their
+        # vertex); rebuilt here because split_vertex_capacities re-indexes.
+        edge_roles: Dict[int, Tuple[str, object]] = {}
+        for edge in network.edges():
+            tail, head = unsplit_label(edge.tail), unsplit_label(edge.head)
+            if tail == head:
+                edge_roles[edge.index] = ("vertex", tail)
+            else:
+                edge_roles[edge.index] = ("edge", (tail, head))
+        return Reduction(problem=self, network=network, meta={"edge_roles": edge_roles})
+
+    def decode(
+        self,
+        reduction: Reduction,
+        flow: Optional[MaxFlowResult] = None,
+        cut: Optional[MinCutResult] = None,
+    ) -> DisjointPathsSolution:
+        """Exact flow decomposition into disjoint paths (cycles discarded)."""
+        flow = self._require_flow(flow)
+        network = reduction.network
+        outgoing: Dict[Vertex, List[Vertex]] = {}
+        for edge in network.edges():
+            if flow.edge_flows.get(edge.index, 0.0) > 0.5:
+                outgoing.setdefault(edge.tail, []).append(edge.head)
+        count = int(round(flow.flow_value))
+        paths: List[List[Vertex]] = []
+        for _ in range(count):
+            walk = [network.source]
+            position = {network.source: 0}
+            while walk[-1] != network.sink:
+                candidates = outgoing.get(walk[-1])
+                if not candidates:
+                    raise ProblemError(
+                        f"{self.kind}: flow decomposition stuck at {walk[-1]!r} "
+                        "(edge flows are not an integral max flow)"
+                    )
+                head = candidates.pop()
+                if head in position:
+                    # Loop back onto the current walk: drop the cycle (its
+                    # flow does not contribute to any s-t path).
+                    del walk[position[head] + 1 :]
+                    position = {v: i for i, v in enumerate(walk)}
+                else:
+                    walk.append(head)
+                    position[head] = len(walk) - 1
+            collapsed: List[Vertex] = []
+            for vertex in map(unsplit_label, walk):
+                if not collapsed or collapsed[-1] != vertex:
+                    collapsed.append(vertex)
+            paths.append(collapsed)
+        separator_vertices: List[Vertex] = []
+        separator_edges: List[Tuple[Vertex, Vertex]] = []
+        if cut is not None:
+            roles = reduction.meta["edge_roles"]
+            for index in cut.cut_edges:
+                role, payload = roles[index]
+                if role == "vertex":
+                    separator_vertices.append(payload)
+                else:
+                    separator_edges.append(payload)
+        return DisjointPathsSolution(
+            kind=self.kind,
+            value=float(count),
+            flow_value=flow.flow_value,
+            paths=paths,
+            separator_vertices=separator_vertices,
+            separator_edges=separator_edges,
+        )
+
+    def verify(
+        self,
+        reduction: Reduction,
+        solution: Solution,
+        flow: Optional[MaxFlowResult] = None,
+        cut: Optional[MinCutResult] = None,
+        tolerance: float = 1e-9,
+    ) -> CertificateReport:
+        """Menger certificate: disjoint valid paths + equal-size separator."""
+        if not isinstance(solution, DisjointPathsSolution):
+            raise ProblemError("expected a DisjointPathsSolution")
+        report = CertificateReport(tolerance=tolerance)
+        allowed = set(self.edges)
+        used_edges: Set[Tuple[Vertex, Vertex]] = set()
+        used_internal: Set[Vertex] = set()
+        valid = True
+        disjoint = True
+        for path in solution.paths:
+            if len(path) < 2 or path[0] != self.source or path[-1] != self.sink:
+                valid = False
+                break
+            for u, v in zip(path, path[1:]):
+                if (u, v) not in allowed:
+                    valid = False
+                if (u, v) in used_edges:
+                    disjoint = False
+                used_edges.add((u, v))
+            for v in path[1:-1]:
+                if self.vertex_disjoint and v in used_internal:
+                    disjoint = False
+                used_internal.add(v)
+        report.require(
+            "paths-valid", valid, "a decoded path is not an s-t walk over allowed edges"
+        )
+        report.require(
+            "paths-disjoint",
+            disjoint,
+            "decoded paths share an edge"
+            + (" or internal vertex" if self.vertex_disjoint else ""),
+        )
+        separator_size = len(solution.separator_vertices) + len(solution.separator_edges)
+        report.require(
+            "menger-equality",
+            separator_size == len(solution.paths),
+            f"|separator| = {separator_size} but {len(solution.paths)} paths",
+        )
+        report.require(
+            "separator-disconnects",
+            not self._reachable_without(
+                set(solution.separator_vertices), set(solution.separator_edges)
+            ),
+            "removing the separator leaves s and t connected",
+        )
+        report.require(
+            "flow-matches-count",
+            self._values_close(solution.flow_value, len(solution.paths), tolerance),
+            f"flow value {solution.flow_value} vs path count {len(solution.paths)}",
+        )
+        return report
+
+    def _reachable_without(
+        self, removed_vertices: Set[Vertex], removed_edges: Set[Tuple[Vertex, Vertex]]
+    ) -> bool:
+        """BFS on the original digraph minus the separator: can s still reach t?"""
+        adjacency: Dict[Vertex, List[Vertex]] = {}
+        for u, v in self.edges:
+            if (u, v) in removed_edges or u in removed_vertices or v in removed_vertices:
+                continue
+            adjacency.setdefault(u, []).append(v)
+        frontier = [self.source]
+        visited = {self.source}
+        while frontier:
+            vertex = frontier.pop()
+            if vertex == self.sink:
+                return True
+            for head in adjacency.get(vertex, ()):
+                if head not in visited:
+                    visited.add(head)
+                    frontier.append(head)
+        return False

@@ -15,7 +15,11 @@ package turns the reproduction into a serving system:
   solving over dynamic networks (push update batches, pull result deltas);
 * :mod:`~repro.service.sharded` — :class:`ShardedSolveService`, N-way
   partitioned solving for instances larger than one solver/substrate
-  (dual-decomposition sharding over the :mod:`repro.shard` subsystem).
+  (dual-decomposition sharding over the :mod:`repro.shard` subsystem);
+* :mod:`~repro.service.problems` — :class:`ProblemSolveService`, the
+  problem→flow reduction front door: solve matchings, disjoint paths,
+  segmentations and closures on any backend, with certified decoding
+  (:mod:`repro.problems`).
 
 Quick start::
 
@@ -40,6 +44,7 @@ from .backends import (
 )
 from .batch import BatchSolveService, ParallelMap
 from .cache import CompiledCircuitCache, network_signature
+from .problems import ProblemReport, ProblemSolve, ProblemSolveService
 from .sharded import ShardReport, ShardedSolve, ShardedSolveService
 from .streaming import StreamingDelta, StreamingSession, push_all
 
@@ -58,6 +63,9 @@ __all__ = [
     "ParallelMap",
     "CompiledCircuitCache",
     "network_signature",
+    "ProblemReport",
+    "ProblemSolve",
+    "ProblemSolveService",
     "ShardReport",
     "ShardedSolve",
     "ShardedSolveService",

@@ -1,0 +1,508 @@
+"""Service front door for the problem→flow reduction subsystem.
+
+:class:`ProblemSolveService` runs any :class:`~repro.problems.base.Problem`
+through any registered max-flow backend: the reduction's network is solved
+by the batch service (classical algorithms or the analog substrate) or the
+sharded service (``shards=N``), the answer is decoded back into the domain,
+and the decoded solution is certified by its max-flow/min-cut duality
+witness.  One :class:`ProblemReport` records the reduction, the backend, the
+network size, where the decode came from and the certificate status::
+
+    from repro.problems import BipartiteMatching
+    from repro.service import ProblemSolveService
+
+    service = ProblemSolveService()
+    solved = service.solve(problem, backend="analog")
+    print(solved.value, solved.report.certificate_status)
+
+Decode routing
+--------------
+Backends differ in what they can hand the decoder:
+
+* **classical** backends return an exact integral max flow — the decode
+  reads it (and the min cut extracted from it) directly;
+* the **analog** backend returns an approximate flow, so the decode runs a
+  *decode pass* (one exact Dinic solve of the already-built reduction) and
+  the analog value is cross-checked against the certified value to the
+  backend's tolerance;
+* the **sharded** backend natively returns a *cut* — cut-decoding problems
+  (segmentation, closure) decode its stitched partition directly, with the
+  coordinator's dual bound closing the optimality gap; flow-decoding
+  problems (matching, paths) fall back to the decode pass.
+
+If a backend-faithful decode fails its certificate, the service retries
+once through the decode pass, so a returned solution is certified whenever
+the reduction itself is sound; the report's ``decode_source`` says which
+path produced it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import CertificateError, ProblemError
+from ..flows.dinic import Dinic
+from ..flows.mincut import MinCutResult, min_cut_from_flow
+from ..flows.registry import ALGORITHMS
+from ..graph.network import FlowNetwork
+from ..problems.base import CertificateReport, Problem, Reduction, Solution
+from .api import SolveRequest, SolveResult, relative_error
+
+__all__ = ["ProblemReport", "ProblemSolve", "ProblemSolveService"]
+
+#: Relative flow-value tolerance granted to each backend family when the
+#: backend's answer is cross-checked against the certified exact value.
+BACKEND_VALUE_RTOL: Dict[str, float] = {"analog": 2e-2, "sharded": 1e-6}
+_EXACT_RTOL = 1e-9
+
+
+@dataclass
+class ProblemReport:
+    """Telemetry of one reduction solve.
+
+    Attributes
+    ----------
+    kind:
+        Problem kind (``"bipartite-matching"``, ...).
+    backend:
+        Backend the reduced network was solved on (``"sharded:dinic"`` for
+        sharded runs).
+    shards:
+        Shard count for sharded runs (``0`` otherwise).
+    network_vertices, network_edges:
+        Size of the reduced flow network.
+    objective_value:
+        Certified domain objective (matching size, path count, energy,
+        profit).
+    backend_objective:
+        Domain objective implied by the backend's raw flow value (equal to
+        ``objective_value`` for exact backends; within tolerance for the
+        analog substrate).
+    backend_value_error:
+        Relative error of the backend's flow value against the certified
+        flow value (``None`` when they are identical by construction).
+    certificate_status:
+        ``"certified"`` or ``"FAILED: ..."`` from the duality certificate.
+    decode_source:
+        ``"backend"``, ``"partition"`` or ``"decode-pass"`` — where the
+        decoded structures came from.
+    reduce_time_s, solve_time_s, decode_time_s, wall_time_s:
+        Stage timings (build the reduction / backend solve / decode +
+        certify / end-to-end).
+    """
+
+    kind: str
+    backend: str
+    shards: int
+    network_vertices: int
+    network_edges: int
+    objective_value: float
+    backend_objective: float
+    backend_value_error: Optional[float]
+    certificate_status: str
+    decode_source: str
+    reduce_time_s: float = 0.0
+    solve_time_s: float = 0.0
+    decode_time_s: float = 0.0
+    wall_time_s: float = 0.0
+
+    @property
+    def certified(self) -> bool:
+        """True when the duality certificate passed."""
+        return self.certificate_status == "certified"
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate statistics as one flat dictionary."""
+        return {
+            "kind": self.kind,
+            "backend": self.backend,
+            "shards": self.shards,
+            "|V|": self.network_vertices,
+            "|E|": self.network_edges,
+            "objective": self.objective_value,
+            "backend_objective": self.backend_objective,
+            "backend_value_error": self.backend_value_error,
+            "certificate": self.certificate_status,
+            "decode_source": self.decode_source,
+            "reduce_time_s": self.reduce_time_s,
+            "solve_time_s": self.solve_time_s,
+            "decode_time_s": self.decode_time_s,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def format(self) -> str:
+        """One human-readable line naming reduction, size and certificate."""
+        error = (
+            f", backend err {self.backend_value_error:.2e}"
+            if self.backend_value_error is not None
+            else ""
+        )
+        return (
+            f"{self.kind} via {self.backend}: objective {self.objective_value:.6g} "
+            f"on |V|={self.network_vertices}, |E|={self.network_edges} "
+            f"({self.certificate_status}, decode {self.decode_source}{error}; "
+            f"{self.wall_time_s:.3f} s)"
+        )
+
+
+@dataclass
+class ProblemSolve:
+    """A certified domain :class:`~repro.problems.base.Solution` plus telemetry.
+
+    Attributes
+    ----------
+    solution:
+        The decoded, certificate-checked domain answer.
+    result:
+        The backend's service-shaped :class:`~repro.service.api.SolveResult`
+        on the reduced network.
+    report:
+        The :class:`ProblemReport` for this solve.
+    """
+
+    solution: Solution
+    result: SolveResult
+    report: ProblemReport
+
+    @property
+    def value(self) -> float:
+        """Certified domain objective (shorthand for ``solution.value``)."""
+        return self.solution.value
+
+    @property
+    def certified(self) -> bool:
+        """True when the duality certificate passed."""
+        return self.report.certified
+
+
+class ProblemSolveService:
+    """Solve reduced problems on any backend, with certified decoding.
+
+    Parameters
+    ----------
+    batch_service:
+        :class:`~repro.service.batch.BatchSolveService` used for classical
+        and analog solves.  When omitted, one is created with an
+        unquantized adaptive-drive analog solver — the certificate-grade
+        analog configuration (quantization error would otherwise dominate
+        the cross-check tolerance).
+    sharded_service:
+        :class:`~repro.service.sharded.ShardedSolveService` used when
+        ``shards`` is requested; a thread-executor instance by default.
+    strict:
+        When set, a failed certificate raises
+        :class:`~repro.errors.CertificateError` instead of returning a
+        report with ``certified == False``.
+
+    Examples
+    --------
+    >>> from repro.problems import BipartiteMatching
+    >>> from repro.service import ProblemSolveService
+    >>> problem = BipartiteMatching(["a", "b"], ["x"], [("a", "x"), ("b", "x")])
+    >>> solved = ProblemSolveService().solve(problem, backend="dinic")
+    >>> int(solved.value), solved.certified, solved.report.decode_source
+    (1, True, 'backend')
+    """
+
+    def __init__(
+        self,
+        batch_service=None,
+        sharded_service=None,
+        strict: bool = False,
+    ) -> None:
+        if batch_service is None:
+            from ..analog.solver import AnalogMaxFlowSolver
+            from .batch import BatchSolveService
+
+            batch_service = BatchSolveService(
+                analog_solver=AnalogMaxFlowSolver(quantize=False, adaptive_drive=True)
+            )
+        if sharded_service is None:
+            from .sharded import ShardedSolveService
+
+            sharded_service = ShardedSolveService()
+        self.batch = batch_service
+        self.sharded = sharded_service
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        problem: Problem,
+        backend: str = "dinic",
+        shards: Optional[int] = None,
+        tag: Optional[str] = None,
+        value_rtol: Optional[float] = None,
+        **options: Any,
+    ) -> ProblemSolve:
+        """Reduce ``problem``, solve it on ``backend``, decode and certify.
+
+        Parameters
+        ----------
+        problem:
+            Any :class:`~repro.problems.base.Problem`.
+        backend:
+            Registered backend name (``"dinic"``, ``"analog"``, ...); with
+            ``shards`` set it names the per-shard backend.
+        shards:
+            Route through the sharded service with this many shards.
+        tag:
+            Free-form label echoed into the underlying solve request.
+        value_rtol:
+            Override of the backend's flow-value cross-check tolerance
+            (defaults: exact backends 1e-9, analog 2e-2).
+        **options:
+            Passed through to the underlying backend / sharded solve.
+
+        Returns
+        -------
+        ProblemSolve
+            Certified solution, backend result and report.
+        """
+        start = time.perf_counter()
+        t0 = time.perf_counter()
+        reduction = problem.reduce()
+        reduce_time = time.perf_counter() - t0
+
+        if shards is not None:
+            result, cut, backend_name = self._solve_sharded(
+                reduction, backend, shards, tag, options
+            )
+            flow = None
+            decode_source = "partition"
+        else:
+            result, flow, cut, decode_source, backend_name = self._solve_flat(
+                reduction, backend, tag, options
+            )
+
+        if not result.ok:
+            raise ProblemError(
+                f"{problem.kind}: backend {backend_name!r} failed: {result.error}"
+            )
+
+        rtol = value_rtol if value_rtol is not None else self._default_rtol(
+            backend_name, shards
+        )
+
+        t0 = time.perf_counter()
+        solution, certificate, decode_source = self._decode_certified(
+            problem, reduction, flow, cut, decode_source, result, shards
+        )
+        decode_time = time.perf_counter() - t0
+
+        backend_objective = reduction.objective_from_flow(result.flow_value)
+        value_error = relative_error(backend_objective, solution.value)
+        if shards is not None and decode_source == "partition":
+            certificate.require(
+                "sharded-converged",
+                bool(result.detail.converged),
+                "coordinator did not converge; partition not certified",
+            )
+        certificate.require(
+            "backend-value-consistent",
+            self._close(result.flow_value, solution.flow_value, rtol),
+            f"backend flow {result.flow_value} vs certified {solution.flow_value} "
+            f"(rtol {rtol})",
+        )
+        solution.certificate = certificate
+
+        report = ProblemReport(
+            kind=problem.kind,
+            backend=backend_name,
+            shards=shards or 0,
+            network_vertices=reduction.num_vertices,
+            network_edges=reduction.num_edges,
+            objective_value=solution.value,
+            backend_objective=backend_objective,
+            backend_value_error=value_error,
+            certificate_status=certificate.status,
+            decode_source=decode_source,
+            reduce_time_s=reduce_time,
+            solve_time_s=result.wall_time_s,
+            decode_time_s=decode_time,
+            wall_time_s=time.perf_counter() - start,
+        )
+        if self.strict and not certificate.ok:
+            raise CertificateError(
+                f"{problem.kind} via {backend_name}: {certificate.status}"
+            )
+        return ProblemSolve(solution=solution, result=result, report=report)
+
+    def solve_batch(
+        self,
+        problems: Sequence[Problem],
+        backend: str = "dinic",
+        **options: Any,
+    ) -> List[ProblemSolve]:
+        """Solve many problems concurrently through the batch service.
+
+        The reductions are built up front, their networks go through
+        :meth:`~repro.service.batch.BatchSolveService.solve_batch` as one
+        batch (sharing its worker pool and compiled-circuit cache), and
+        each answer is decoded and certified in request order.
+        """
+        reductions: List[Reduction] = []
+        reduce_times: List[float] = []
+        for problem in problems:
+            t0 = time.perf_counter()
+            reductions.append(problem.reduce())
+            reduce_times.append(time.perf_counter() - t0)
+        requests = [
+            SolveRequest(
+                network=r.network, backend=backend, options=dict(options), tag=r.kind
+            )
+            for r in reductions
+        ]
+        batch = self.batch.solve_batch(requests)
+        solves: List[ProblemSolve] = []
+        for problem, reduction, result, reduce_time in zip(
+            problems, reductions, batch.results, reduce_times
+        ):
+            solves.append(
+                self._finish_batch_item(
+                    problem, reduction, result, backend, reduce_time
+                )
+            )
+        return solves
+
+    # ------------------------------------------------------------------
+    # Internal plumbing
+    # ------------------------------------------------------------------
+
+    def _finish_batch_item(
+        self,
+        problem: Problem,
+        reduction: Reduction,
+        result: SolveResult,
+        backend: str,
+        reduce_time_s: float,
+    ) -> ProblemSolve:
+        """Decode + certify one pre-solved batch item (shared with solve)."""
+        start = time.perf_counter()
+        if not result.ok:
+            raise ProblemError(
+                f"{problem.kind}: backend {backend!r} failed: {result.error}"
+            )
+        flow, cut, decode_source = self._flat_decode_inputs(reduction, result, backend)
+        t0 = time.perf_counter()
+        solution, certificate, decode_source = self._decode_certified(
+            problem, reduction, flow, cut, decode_source, result, shards=None
+        )
+        decode_time = time.perf_counter() - t0
+        rtol = self._default_rtol(backend, None)
+        backend_objective = reduction.objective_from_flow(result.flow_value)
+        certificate.require(
+            "backend-value-consistent",
+            self._close(result.flow_value, solution.flow_value, rtol),
+            f"backend flow {result.flow_value} vs certified {solution.flow_value} "
+            f"(rtol {rtol})",
+        )
+        solution.certificate = certificate
+        report = ProblemReport(
+            kind=problem.kind,
+            backend=backend,
+            shards=0,
+            network_vertices=reduction.num_vertices,
+            network_edges=reduction.num_edges,
+            objective_value=solution.value,
+            backend_objective=backend_objective,
+            backend_value_error=relative_error(backend_objective, solution.value),
+            certificate_status=certificate.status,
+            decode_source=decode_source,
+            reduce_time_s=reduce_time_s,
+            solve_time_s=result.wall_time_s,
+            decode_time_s=decode_time,
+            wall_time_s=reduce_time_s + (time.perf_counter() - start),
+        )
+        if self.strict and not certificate.ok:
+            raise CertificateError(f"{problem.kind} via {backend}: {certificate.status}")
+        return ProblemSolve(solution=solution, result=result, report=report)
+
+    def _solve_flat(self, reduction, backend, tag, options):
+        """One batch-service solve plus the decode inputs it supports."""
+        request = SolveRequest(
+            network=reduction.network, backend=backend, options=dict(options), tag=tag
+        )
+        # A one-request batch (rather than BatchSolveService.solve) so the
+        # tag survives into the request the result echoes back.
+        result = self.batch.solve_batch([request]).results[0]
+        flow, cut, decode_source = self._flat_decode_inputs(reduction, result, backend)
+        return result, flow, cut, decode_source, backend
+
+    def _flat_decode_inputs(self, reduction, result, backend):
+        """Classical backends decode natively; others use the decode pass."""
+        if backend in ALGORITHMS and result.ok:
+            flow = result.detail
+            cut = min_cut_from_flow(reduction.network, flow)
+            return flow, cut, "backend"
+        return None, None, "decode-pass"
+
+    def _solve_sharded(self, reduction, backend, shards, tag, options):
+        """Sharded solve; the stitched partition becomes the decoder's cut."""
+        options.setdefault("max_iterations", 120)
+        sharded = self.sharded.solve(
+            reduction.network, shards=shards, backend=backend, tag=tag, **options
+        )
+        outcome = sharded.result.detail
+        network = reduction.network
+        source_side = frozenset(outcome.partition)
+        cut_edges = tuple(
+            e.index
+            for e in network.edges()
+            if e.tail in source_side and e.head not in source_side
+        )
+        cut = MinCutResult(
+            cut_value=outcome.cut_value,
+            source_side=source_side,
+            sink_side=frozenset(v for v in network.vertices() if v not in source_side),
+            cut_edges=cut_edges,
+        )
+        if not outcome.converged:
+            # Without a closed duality gap the partition is only an upper
+            # bound; hand the decode to the exact pass instead.
+            return sharded.result, None, f"sharded:{backend}"
+        return sharded.result, cut, f"sharded:{backend}"
+
+    def _decode_certified(
+        self, problem, reduction, flow, cut, decode_source, result, shards
+    ):
+        """Decode + verify; retry once through the exact decode pass."""
+        if decode_source in ("backend", "partition") and (
+            flow is not None or cut is not None
+        ):
+            try:
+                solution = problem.decode(reduction, flow=flow, cut=cut)
+                certificate = problem.verify(
+                    reduction, solution, flow=flow, cut=cut, tolerance=_EXACT_RTOL
+                )
+                if certificate.ok:
+                    return solution, certificate, decode_source
+            except ProblemError:
+                pass
+        flow, cut = self._decode_pass(reduction)
+        solution = problem.decode(reduction, flow=flow, cut=cut)
+        certificate = problem.verify(
+            reduction, solution, flow=flow, cut=cut, tolerance=_EXACT_RTOL
+        )
+        return solution, certificate, "decode-pass"
+
+    @staticmethod
+    def _decode_pass(reduction):
+        """One exact Dinic solve of the reduction, for decoding/certifying."""
+        flow = Dinic().solve(reduction.network)
+        cut = min_cut_from_flow(reduction.network, flow)
+        return flow, cut
+
+    @staticmethod
+    def _default_rtol(backend_name: str, shards: Optional[int]) -> float:
+        """Backend-family flow-value tolerance for the consistency check."""
+        if shards is not None or backend_name.startswith("sharded:"):
+            return BACKEND_VALUE_RTOL["sharded"]
+        return BACKEND_VALUE_RTOL.get(backend_name, _EXACT_RTOL)
+
+    #: Relative closeness — the problem layer's scale convention, shared
+    #: with the certificate checks so the tolerances can never diverge.
+    _close = staticmethod(Problem._values_close)

@@ -1,8 +1,29 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Randomized-suite reproducibility
+--------------------------------
+Every randomized suite derives its RNG seeds from ``REPRO_TEST_SEED``
+(default ``20150607``); export the env var to replay a red run exactly::
+
+    REPRO_TEST_SEED=12345 python -m pytest tests/test_backend_conformance.py
+
+The active seed is printed in the pytest header and appended to every
+failure report, so a red conformance run can always be reproduced.
+
+Slow tests
+----------
+The heaviest randomized cases are marked ``@pytest.mark.slow`` and skipped
+by default to keep the tier-1 suite fast; ``--runslow`` (used by
+``make test-conformance``) enables them.
+"""
 
 from __future__ import annotations
 
+import random
+
 import pytest
+
+from seeding import REPRO_TEST_SEED, derive_seed  # noqa: F401 - re-exported
 
 from repro.graph import (
     grid_graph,
@@ -12,6 +33,59 @@ from repro.graph import (
     quasistatic_example_graph,
     rmat_graph,
 )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: heavy randomized case; skipped unless --runslow is given"
+    )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (the heavy randomized conformance cases)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow: pass --runslow (make test-conformance)")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+def pytest_report_header(config):
+    return f"REPRO_TEST_SEED={REPRO_TEST_SEED} (export to replay randomized suites)"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(
+            (
+                "randomized-suite seed",
+                f"REPRO_TEST_SEED={REPRO_TEST_SEED} reproduces this run",
+            )
+        )
+
+
+@pytest.fixture
+def test_seed() -> int:
+    """The base seed every randomized suite derives from."""
+    return REPRO_TEST_SEED
+
+
+@pytest.fixture
+def rng(test_seed):
+    """A ``random.Random`` seeded from REPRO_TEST_SEED."""
+    return random.Random(test_seed)
 
 
 @pytest.fixture

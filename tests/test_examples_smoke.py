@@ -21,6 +21,14 @@ SMOKE_ARGS = {
     "quickstart.py": {},
     "traffic_routing.py": {"rows": 2, "cols": 3, "num_points": 5},
     "image_segmentation.py": {"width": 4, "height": 3},
+    "problem_reductions.py": {
+        "workers": 3,
+        "tasks": 3,
+        "width": 4,
+        "height": 3,
+        "projects": 5,
+        "routers": 4,
+    },
     "sharded_solving.py": {"rows": 3, "cols": 8, "shards": 2, "max_iterations": 30},
     "streaming_updates.py": {"districts": 3, "steps": 2},
     "crossbar_reconfiguration.py": {

@@ -1,0 +1,99 @@
+"""Regression tests for the ``tools/perf_gate.py`` command-line interface.
+
+``--list-suites`` is machine-consumable (piped into ``grep``/``cut`` by
+scripts), so the listing must land on **stdout** with exit status 0 and
+nothing on stderr; error paths (unknown suite) must exit non-zero via
+stderr.  Also pins the registered suite set, so adding a harness without
+registering its perf record (or vice versa) fails here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+PERF_GATE = Path(__file__).resolve().parent.parent / "tools" / "perf_gate.py"
+
+
+@pytest.fixture(scope="module")
+def perf_gate():
+    spec = importlib.util.spec_from_file_location("perf_gate_under_test", PERF_GATE)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+class TestListSuites:
+    def test_listing_goes_to_stdout_and_exits_zero(self, perf_gate, capsys):
+        status = perf_gate.main(["--list-suites"])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert captured.err == ""
+        for name, (_, output) in perf_gate.SUITES.items():
+            assert name in captured.out
+            assert output in captured.out
+
+    def test_listing_is_one_line_per_suite_sorted(self, perf_gate, capsys):
+        perf_gate.main(["--list-suites"])
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        names = [line.split("\t")[0] for line in lines]
+        assert names == sorted(perf_gate.SUITES)
+
+    def test_registered_suites_include_problems(self, perf_gate):
+        assert set(perf_gate.SUITES) == {"assembly", "streaming", "shard", "problems"}
+        assert perf_gate.SUITES["problems"][1] == "BENCH_problems.json"
+
+
+class TestErrorPaths:
+    def test_unknown_suite_fails_fast_on_stderr(self, perf_gate, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            perf_gate.main(["--suite", "nope"])
+        assert excinfo.value.code != 0
+        captured = capsys.readouterr()
+        assert "unknown suite" in captured.err
+        assert "problems" in captured.err  # the message lists valid names
+
+    def test_output_with_all_suites_is_rejected(self, perf_gate, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            perf_gate.main(
+                ["--suite", "all", "--output", str(tmp_path / "out.json")]
+            )
+
+
+class TestProblemsSuiteSmoke:
+    def test_problems_suite_writes_certified_record(self, perf_gate, tmp_path, capsys):
+        output = tmp_path / "BENCH_problems.json"
+        status = perf_gate.main(
+            [
+                "--suite",
+                "problems",
+                "--scale",
+                "0.1",
+                "--repeats",
+                "1",
+                "--output",
+                str(output),
+            ]
+        )
+        assert status == 0
+        record = json.loads(output.read_text())
+        assert set(record["classes"]) == {
+            "matching",
+            "paths",
+            "segmentation",
+            "closure",
+        }
+        for row in record["classes"].values():
+            assert row["certified"] is True
+            assert row["num_edges"] > 0
+            assert row["total_ms"] >= 0.0
+        summary = capsys.readouterr().out
+        assert "wrote" in summary and "certified" in summary

@@ -37,6 +37,12 @@ this records the price of scaling past one substrate, not a win).  Use
 ``--scale 1.0`` (the ``make perf-gate-shard`` default) for instances large
 enough that N-way parallel beats sequential 2-way.
 
+``--suite problems`` writes ``BENCH_problems.json`` with, per reduction
+class (matching / paths / segmentation / closure), the reduced-network
+size, the per-stage medians (reduction build, backend solve, decode +
+certificate), the reduction-layer overhead fraction and the certificate
+status.
+
 The gate only *records*; regression thresholds live in the corresponding
 ``benchmarks/bench_*.py`` where pytest can enforce them.
 """
@@ -53,7 +59,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench import (  # noqa: E402
+    PROBLEM_CLASSES,
     measure_assembly_class,
+    measure_problems_class,
     measure_shard_class,
     measure_shard_rmat,
     measure_streaming_class,
@@ -184,11 +192,45 @@ def _shard_report(args) -> dict:
     }
 
 
+def _as_problems_record(metrics: dict) -> dict:
+    return {
+        "workload": metrics["workload"],
+        "backend": metrics["backend"],
+        "num_vertices": metrics["num_vertices"],
+        "num_edges": metrics["num_edges"],
+        "objective": round(float(metrics["objective"]), 4),
+        "certified": bool(metrics["certified"]),
+        "decode_source": metrics["decode_source"],
+        "reduce_ms": round(metrics["reduce_s"] * 1e3, 4),
+        "solve_ms": round(metrics["solve_s"] * 1e3, 4),
+        "decode_ms": round(metrics["decode_s"] * 1e3, 4),
+        "total_ms": round(metrics["total_s"] * 1e3, 4),
+        "overhead_fraction": round(metrics["overhead_fraction"], 4),
+    }
+
+
+def _problems_report(args) -> dict:
+    return {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "classes": {
+            kind: _as_problems_record(
+                measure_problems_class(
+                    kind, args.scale, repeats=args.repeats,
+                    reducer=statistics.median,
+                )
+            )
+            for kind in PROBLEM_CLASSES
+        },
+    }
+
+
 #: Registered suites: name -> (report builder, default output file name).
 SUITES = {
     "assembly": (_assembly_report, "BENCH_assembly.json"),
     "streaming": (_streaming_report, "BENCH_streaming.json"),
     "shard": (_shard_report, "BENCH_shard.json"),
+    "problems": (_problems_report, "BENCH_problems.json"),
 }
 
 
@@ -209,6 +251,14 @@ def _print_suite_summary(suite: str, report: dict) -> None:
                 f"{row['classical_cold_ms']} ms cold ({row['classical_speedup']}x), "
                 f"analog {row['analog_warm_ms']} ms warm vs "
                 f"{row['analog_cold_ms']} ms cold ({row['analog_speedup']}x)"
+            )
+        elif suite == "problems":
+            print(
+                f"  {regime} ({row['workload']}, |E|={row['num_edges']}): "
+                f"reduce {row['reduce_ms']} ms + solve {row['solve_ms']} ms + "
+                f"decode {row['decode_ms']} ms "
+                f"({row['overhead_fraction']:.0%} reduction-layer overhead, "
+                f"{'certified' if row['certified'] else 'CERTIFICATE FAILED'})"
             )
         else:
             print(
@@ -244,8 +294,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_suites:
+        # The listing is machine-consumable output and must go to *stdout*
+        # (``perf_gate.py --list-suites | grep ...``); only diagnostics may
+        # use stderr.  Guarded by tests/test_perf_gate_cli.py.
         for name in sorted(SUITES):
-            print(f"{name}\t-> {SUITES[name][1]}")
+            print(f"{name}\t-> {SUITES[name][1]}", file=sys.stdout)
+        sys.stdout.flush()
         return 0
     if args.suite != "all" and args.suite not in SUITES:
         parser.error(
