@@ -12,7 +12,7 @@ DOCTEST_MODULES := src/repro/service \
 	src/repro/circuit/nonlinear.py \
 	src/repro/circuit/stamps.py
 
-.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems ci
+.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel ci
 
 ## tier-1 suite plus the documented-API doctests
 test:
@@ -29,7 +29,7 @@ test-conformance:
 		--runslow -q
 
 ## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly
-## + streaming + sharding + problem reductions)
+## + streaming + sharding + problem reductions + flow kernel)
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest \
 		benchmarks/bench_service_batch.py \
@@ -38,6 +38,7 @@ bench-smoke:
 		benchmarks/bench_streaming.py \
 		benchmarks/bench_shard.py \
 		benchmarks/bench_problems.py \
+		benchmarks/bench_kernel.py \
 		-o python_files='bench_*.py' -q -s
 
 ## record assembly/DC-iteration medians to BENCH_assembly.json (perf trajectory)
@@ -60,6 +61,12 @@ perf-gate-shard:
 ## BENCH_problems.json; correctness thresholds live in bench_problems.py
 perf-gate-problems:
 	$(PYTHON) tools/perf_gate.py --suite problems --scale 1.0
+
+## record flat-array-kernel vs reference-Dinic medians to BENCH_kernel.json
+## (the default scale IS the headline 96x96-grid size; the >=10x floor is
+## enforced by bench_kernel.py)
+perf-gate-kernel:
+	$(PYTHON) tools/perf_gate.py --suite kernel
 
 ## broken intra-doc links + docstring coverage of repro.service
 docs-check:

@@ -15,6 +15,7 @@ from .workloads import (
 from .runner import BatchServiceSuiteRunner, Fig10Runner, Fig10Row
 from .reporting import format_table, format_series, relative
 from .assembly import assembly_workload, measure_assembly_class
+from .kernel import KERNEL_CLASSES, kernel_workload, measure_kernel_class
 from .problems import (
     PROBLEM_CLASSES,
     measure_problems_class,
@@ -31,6 +32,9 @@ from .streaming import measure_streaming_class, streaming_update_batches
 __all__ = [
     "assembly_workload",
     "measure_assembly_class",
+    "KERNEL_CLASSES",
+    "kernel_workload",
+    "measure_kernel_class",
     "PROBLEM_CLASSES",
     "measure_problems_class",
     "problems_workload",

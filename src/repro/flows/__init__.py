@@ -21,6 +21,7 @@ CPU baseline in its evaluation:
 
 from .base import FlowAlgorithm, MaxFlowResult, ResidualNetwork, validate_max_flow
 from .ford_fulkerson import FordFulkerson, ford_fulkerson
+from .kernel import FlatResidual, KernelDinic, kernel_enabled, resolve_default_algorithm
 from .edmonds_karp import EdmondsKarp, edmonds_karp
 from .dinic import Dinic, dinic
 from .push_relabel import PushRelabel, push_relabel
@@ -51,6 +52,10 @@ __all__ = [
     "CpuCostModel",
     "CpuEstimate",
     "IncrementalMaxFlow",
+    "FlatResidual",
+    "KernelDinic",
+    "kernel_enabled",
+    "resolve_default_algorithm",
     "ALGORITHMS",
     "get_algorithm",
     "solve_max_flow",

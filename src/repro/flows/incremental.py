@@ -37,6 +37,7 @@ from ..graph.network import FlowNetwork
 from ..graph.updates import MutableFlowNetwork, UpdateBatch, UpdateEvent
 from .base import INFINITY, MaxFlowResult, OperationCounter, ResidualNetwork
 from .dinic import Dinic
+from .kernel import KernelDinic
 from .registry import get_algorithm
 
 __all__ = ["IncrementalMaxFlow"]
@@ -60,7 +61,9 @@ class IncrementalMaxFlow:
     algorithm:
         Algorithm (a :data:`repro.flows.registry.ALGORITHMS` name) used for
         *cold* solves — the initial one and ``cold_ratio`` cutovers.  Warm
-        repairs always run the Dinic machinery on the maintained residual.
+        repairs always run the Dinic machinery on the maintained residual
+        (the flat-array kernel when ``"kernel-dinic"`` is named explicitly,
+        the pure-Python engine otherwise).
     cold_ratio:
         Cutover heuristic: when one batch touches more than this fraction of
         the network's edges, rebuild from scratch instead of repairing.
@@ -109,7 +112,13 @@ class IncrementalMaxFlow:
         self.algorithm = algorithm
         self.cold_ratio = cold_ratio
         self.validate = validate
-        self._dinic = Dinic()
+        # Warm repairs resume on the maintained residual.  The flat-array
+        # kernel round-trips that state, so explicit "kernel-dinic" streams
+        # run it as the augmentation engine; the "dinic" default keeps the
+        # pure-Python repair, whose per-push cost scales with the delta
+        # rather than the kernel's O(E) flat-array setup (at streaming
+        # delta sizes the setup would dominate the repair itself).
+        self._dinic = KernelDinic() if algorithm == "kernel-dinic" else Dinic()
         self.cold_solves = 0
         self.warm_solves = 0
         self.rerouted_flow = 0.0
@@ -174,7 +183,7 @@ class IncrementalMaxFlow:
         self._arc_of_edge: Dict[int, int] = {
             edge.index: 2 * edge.index for edge in self.network.edges()
         }
-        if self.algorithm == "dinic":
+        if self.algorithm in ("dinic", "kernel-dinic"):
             phases = self._dinic.augment_residual(self._residual)
         else:
             # Solve with the configured algorithm, then seed the maintained

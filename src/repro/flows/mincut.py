@@ -16,6 +16,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 from ..graph.network import FlowNetwork
 from .base import MaxFlowResult
 from .dinic import Dinic
+from .kernel import KernelDinic, kernel_enabled
 
 __all__ = ["MinCutResult", "min_cut_from_flow", "min_cut"]
 
@@ -96,7 +97,13 @@ def min_cut_from_flow(network: FlowNetwork, result: MaxFlowResult) -> MinCutResu
 
 
 def min_cut(network: FlowNetwork, flow_result: Optional[MaxFlowResult] = None) -> MinCutResult:
-    """Compute a minimum s-t cut (solving max-flow with Dinic if needed)."""
+    """Compute a minimum s-t cut (solving max-flow with Dinic if needed).
+
+    The implicit solve uses the flat-array kernel unless
+    ``REPRO_FLOW_KERNEL`` disables it; pass ``flow_result`` to pin the
+    solver.
+    """
     if flow_result is None:
-        flow_result = Dinic().solve(network)
+        solver = KernelDinic() if kernel_enabled() else Dinic()
+        flow_result = solver.solve(network)
     return min_cut_from_flow(network, flow_result)

@@ -24,6 +24,7 @@ from .base import MaxFlowResult
 from .dinic import Dinic
 from .edmonds_karp import EdmondsKarp
 from .ford_fulkerson import FordFulkerson
+from .kernel import KernelDinic
 from .linprog import LinearProgrammingSolver
 from .push_relabel import PushRelabel
 
@@ -40,6 +41,7 @@ ALGORITHMS: Dict[str, Callable[[], object]] = {
     "push-relabel": PushRelabel,
     "push-relabel-fifo": lambda: PushRelabel(selection="fifo"),
     "lp-reference": LinearProgrammingSolver,
+    "kernel-dinic": KernelDinic,
 }
 
 
@@ -70,7 +72,8 @@ def get_algorithm(name: str):
     Traceback (most recent call last):
         ...
     repro.errors.AlgorithmError: unknown algorithm 'simplex'; known: dinic, \
-edmonds-karp, ford-fulkerson, lp-reference, push-relabel, push-relabel-fifo
+edmonds-karp, ford-fulkerson, kernel-dinic, lp-reference, push-relabel, \
+push-relabel-fifo
     """
     try:
         factory = ALGORITHMS[name]

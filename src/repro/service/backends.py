@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..analog.solver import AnalogMaxFlowSolver
 from ..errors import AlgorithmError
+from ..flows.kernel import resolve_default_algorithm
 from ..flows.registry import ALGORITHMS, get_algorithm
 from ..graph.analysis import is_source_sink_connected
 from .api import SolveRequest, SolveResult, relative_error
@@ -100,7 +101,9 @@ class ClassicalBackend(SolveBackend):
         get_algorithm(algorithm)  # fail fast on unknown names
 
     def _solve(self, request: SolveRequest):
-        solver = get_algorithm(self.algorithm)
+        # The "dinic" default rides the flat-array kernel (explicit names
+        # always mean that exact implementation; REPRO_FLOW_KERNEL=0 reverts).
+        solver = get_algorithm(resolve_default_algorithm(self.algorithm))
         validate = bool(request.options.get("validate", False))
         result = solver.solve(request.network, validate=validate)
         return result.flow_value, result.edge_flows, result, False

@@ -34,6 +34,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import DecompositionError
 from ..flows.incremental import IncrementalMaxFlow
+from ..flows.kernel import resolve_default_algorithm
 from ..flows.mincut import min_cut_from_flow
 from ..flows.registry import ALGORITHMS, get_algorithm
 from ..graph.network import FlowNetwork
@@ -174,7 +175,9 @@ class _ShardState:
         network = self.mutable.network
         if not self.warm:
             self._pending.clear()
-            flow = get_algorithm(self.backend).solve(network)
+            # Cold shard solves ride the flat-array kernel when the shard
+            # backend is the "dinic" default (REPRO_FLOW_KERNEL=0 reverts).
+            flow = get_algorithm(resolve_default_algorithm(self.backend)).solve(network)
             cut = min_cut_from_flow(network, flow)
             return cut.cut_value, set(cut.source_side), False
         # Warm path: multiplier updates were capacity edits, so the engine
@@ -257,7 +260,7 @@ def _source_side_from_flows(
 def _solve_shard_payload(payload) -> Tuple[float, List[Vertex]]:
     """Top-level process-pool worker: cold-solve one classical shard."""
     network, algorithm = payload
-    flow = get_algorithm(algorithm).solve(network)
+    flow = get_algorithm(resolve_default_algorithm(algorithm)).solve(network)
     cut = min_cut_from_flow(network, flow)
     return cut.cut_value, list(cut.source_side)
 

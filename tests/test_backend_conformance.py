@@ -177,10 +177,12 @@ def _problem_suite():
 
 PROBLEMS = _problem_suite()
 
-#: (backend, shards) routes covering one classical, analog and sharded.
+#: (backend, shards) routes covering classical (reference + flat-array
+#: kernel), analog and sharded.
 BACKEND_ROUTES = [
     ("dinic", None),
     ("push-relabel", None),
+    ("kernel-dinic", None),
     ("analog", None),
     ("dinic", 2),
 ]

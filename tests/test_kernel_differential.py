@@ -1,0 +1,255 @@
+"""Differential fuzz gate for the flat-array kernel.
+
+A seeded randomized corpus (``REPRO_TEST_SEED`` via ``tests/seeding.py``)
+spanning seven instance families — grids, R-MAT, bipartite, zero-capacity
+edges, disconnected s/t, parallel edges, single-edge — drives
+:class:`repro.flows.kernel.KernelDinic` against *both* exact references
+(Dinic and push-relabel), asserting per instance that the kernel flow
+
+* has the reference flow value to 1e-9 relative,
+* is feasible (per-edge capacity bounds + vertex conservation, via
+  ``validate=True``),
+* certifies maximality: the residual cut extracted from the kernel's own
+  flow has the same value (max-flow = min-cut equality, matched against
+  the cut extracted from the reference flow).
+
+The dtype-promotion guard pins the latent hazard the object-based path
+never had: flat arrays built from int or mixed int/float capacities must
+promote to float64, not truncate; ``INFINITY`` capacities must survive the
+round trip as ``inf``.  Heavy sizes run behind ``--runslow``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from seeding import derive_seed
+
+from repro.flows.base import INFINITY
+from repro.flows.dinic import Dinic
+from repro.flows.kernel import (
+    KERNEL_ENV_VAR,
+    FlatResidual,
+    KernelDinic,
+    kernel_enabled,
+    resolve_default_algorithm,
+)
+from repro.flows.mincut import min_cut_from_flow
+from repro.flows.push_relabel import PushRelabel
+from repro.graph import FlowNetwork, bipartite_graph, grid_graph, rmat_graph
+
+# ----------------------------------------------------------------------
+# Instance families (each: seed, heavy -> FlowNetwork)
+# ----------------------------------------------------------------------
+
+
+def _grid(seed: int, heavy: bool) -> FlowNetwork:
+    rng = random.Random(seed)
+    rows = rng.randint(9, 14) if heavy else rng.randint(3, 7)
+    cols = rng.randint(12, 20) if heavy else rng.randint(4, 9)
+    return grid_graph(
+        rows,
+        cols,
+        capacity=rng.uniform(1.0, 4.0),
+        seed=seed,
+        capacity_jitter=rng.uniform(0.0, 0.5),
+    )
+
+
+def _rmat(seed: int, heavy: bool) -> FlowNetwork:
+    rng = random.Random(seed)
+    n = rng.randint(90, 140) if heavy else rng.randint(15, 45)
+    m = rng.randint(4 * n, 6 * n) if heavy else rng.randint(3 * n, 5 * n)
+    return rmat_graph(n, m, seed=seed)
+
+
+def _bipartite(seed: int, heavy: bool) -> FlowNetwork:
+    rng = random.Random(seed)
+    left = rng.randint(14, 22) if heavy else rng.randint(4, 9)
+    right = rng.randint(14, 22) if heavy else rng.randint(4, 9)
+    return bipartite_graph(
+        left, right, seed=seed, connectivity=rng.uniform(0.3, 0.7)
+    )
+
+
+def _zero_capacity(seed: int, heavy: bool) -> FlowNetwork:
+    """Random instance with ~25% of its edges zeroed out (live tombstones)."""
+    rng = random.Random(seed)
+    network = _rmat(seed, heavy)
+    for index in rng.sample(range(network.num_edges), network.num_edges // 4):
+        network.set_capacity(index, 0.0)
+    return network
+
+
+def _disconnected(seed: int, heavy: bool) -> FlowNetwork:
+    """Source and sink in different components (max flow exactly 0)."""
+    rng = random.Random(seed)
+    network = FlowNetwork()
+    for i in range(rng.randint(2, 5)):
+        network.add_edge("s", f"a{i}", rng.uniform(0.5, 5.0))
+        if i and rng.random() < 0.7:
+            network.add_edge(f"a{i}", f"a{i - 1}", rng.uniform(0.5, 5.0))
+    for j in range(rng.randint(2, 5)):
+        network.add_edge(f"b{j}", "t", rng.uniform(0.5, 5.0))
+        if j and rng.random() < 0.7:
+            network.add_edge(f"b{j - 1}", f"b{j}", rng.uniform(0.5, 5.0))
+    return network
+
+
+def _parallel_edges(seed: int, heavy: bool) -> FlowNetwork:
+    """Multigraph: every chosen vertex pair carries 2-3 parallel edges."""
+    rng = random.Random(seed)
+    network = FlowNetwork()
+    vertices = ["s", "u", "v", "w", "x", "t"]
+    pairs = [
+        (a, b) for a in vertices for b in vertices if a != b and b != "s" and a != "t"
+    ]
+    for tail, head in rng.sample(pairs, rng.randint(6, len(pairs))):
+        for _ in range(rng.randint(2, 3)):
+            network.add_edge(tail, head, round(rng.uniform(0.25, 4.0), 3))
+    if not network.has_edge("s", "u"):
+        network.add_edge("s", "u", 1.5)
+    if not network.has_edge("x", "t"):
+        network.add_edge("x", "t", 1.5)
+    return network
+
+
+def _single_edge(seed: int, heavy: bool) -> FlowNetwork:
+    rng = random.Random(seed)
+    network = FlowNetwork()
+    network.add_edge("s", "t", rng.choice([0.0, 1e-9, 4.5, 7, 2.0**40 + 0.5]))
+    return network
+
+
+FAMILIES = {
+    "grid": _grid,
+    "rmat": _rmat,
+    "bipartite": _bipartite,
+    "zero-capacity": _zero_capacity,
+    "disconnected": _disconnected,
+    "parallel-edges": _parallel_edges,
+    "single-edge": _single_edge,
+}
+
+#: Families whose heavy variants are worth the --runslow budget.
+HEAVY_FAMILIES = ("grid", "rmat", "bipartite", "zero-capacity")
+
+
+def _assert_kernel_conforms(network: FlowNetwork) -> None:
+    """The full differential contract on one instance."""
+    kernel = KernelDinic().solve(network, validate=True)  # feasibility gate
+    for reference in (Dinic(), PushRelabel()):
+        expected = reference.solve(network)
+        assert kernel.flow_value == pytest.approx(
+            expected.flow_value, rel=1e-9, abs=1e-9
+        ), (
+            f"kernel {kernel.flow_value} vs {reference.name} "
+            f"{expected.flow_value}"
+        )
+    # Maximality certificate: the cut of the kernel's *own* residual must
+    # equal its flow value, and match the reference flow's cut.
+    kernel_cut = min_cut_from_flow(network, kernel)
+    reference_cut = min_cut_from_flow(network, Dinic().solve(network))
+    assert kernel_cut.cut_value == pytest.approx(
+        kernel.flow_value, rel=1e-9, abs=1e-9
+    ), "kernel flow is not maximum: its residual cut exceeds its value"
+    assert kernel_cut.cut_value == pytest.approx(
+        reference_cut.cut_value, rel=1e-9, abs=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# The fuzz gate
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("trial", range(3))
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_kernel_matches_references(family, trial):
+    seed = derive_seed("kernel-fuzz", family, trial)
+    _assert_kernel_conforms(FAMILIES[family](seed, heavy=False))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("trial", range(2))
+@pytest.mark.parametrize("family", HEAVY_FAMILIES)
+def test_kernel_matches_references_heavy(family, trial):
+    seed = derive_seed("kernel-fuzz-heavy", family, trial)
+    _assert_kernel_conforms(FAMILIES[family](seed, heavy=True))
+
+
+# ----------------------------------------------------------------------
+# Dtype-promotion / INFINITY guards (the flat-array-only hazards)
+# ----------------------------------------------------------------------
+
+
+class TestFlatArrayDtypes:
+    def test_int_capacities_promote_without_truncation(self):
+        # All-int capacities with a fractional max flow: an int-dtype
+        # residual array would round 2.5 down to 2.
+        network = FlowNetwork()
+        network.add_edge("s", "a", 3)
+        network.add_edge("a", "t", 2.5)
+        network.add_edge("s", "t", 4)
+        flat = FlatResidual.from_network(network)
+        assert flat.residual.dtype == np.float64
+        result = KernelDinic().solve(network, validate=True)
+        assert result.flow_value == pytest.approx(6.5, abs=1e-12)
+
+    def test_mixed_int_float_fuzz_agrees_with_reference(self):
+        rng = random.Random(derive_seed("kernel-dtype-fuzz"))
+        network = rmat_graph(25, 90, seed=derive_seed("kernel-dtype-net"))
+        for edge in network.edges():
+            if rng.random() < 0.5:  # make half the capacities Python ints
+                network.set_capacity(edge.index, int(edge.capacity) + 1)
+        _assert_kernel_conforms(network)
+
+    def test_infinity_capacity_survives_round_trip(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 3.0)
+        network.add_edge("a", "b", INFINITY)
+        network.add_edge("b", "t", 1.75)
+        flat = FlatResidual.from_network(network)
+        assert np.isinf(flat.residual).any()
+        result = KernelDinic().solve(network, validate=True)
+        assert result.flow_value == pytest.approx(1.75, abs=1e-12)
+        # The uncapacitated arc must still be uncapacitated afterwards.
+        assert np.isinf(flat.residual).any() or np.isinf(
+            FlatResidual.from_network(network).residual
+        ).any()
+
+
+# ----------------------------------------------------------------------
+# Default routing / escape hatch
+# ----------------------------------------------------------------------
+
+
+class TestKernelSelection:
+    def test_dinic_default_routes_to_kernel(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert kernel_enabled()
+        assert resolve_default_algorithm("dinic") == "kernel-dinic"
+        # Explicit names always mean exactly that implementation.
+        assert resolve_default_algorithm("push-relabel") == "push-relabel"
+        assert resolve_default_algorithm("kernel-dinic") == "kernel-dinic"
+
+    @pytest.mark.parametrize("value", ["0", "off", "reference", "FALSE", " no "])
+    def test_escape_hatch_reverts_to_reference(self, monkeypatch, value):
+        monkeypatch.setenv(KERNEL_ENV_VAR, value)
+        assert not kernel_enabled()
+        assert resolve_default_algorithm("dinic") == "dinic"
+
+    def test_backend_and_registry_expose_kernel(self):
+        from repro.flows.registry import ALGORITHMS, solve_max_flow
+        from repro.service import available_backends
+
+        assert "kernel-dinic" in ALGORITHMS
+        assert "kernel-dinic" in available_backends()
+        network = FlowNetwork()
+        network.add_edge("s", "t", 2.25)
+        result = solve_max_flow(network, algorithm="kernel-dinic", validate=True)
+        assert result.algorithm == "kernel-dinic"
+        assert result.flow_value == 2.25

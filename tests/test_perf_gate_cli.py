@@ -48,8 +48,15 @@ class TestListSuites:
         assert names == sorted(perf_gate.SUITES)
 
     def test_registered_suites_include_problems(self, perf_gate):
-        assert set(perf_gate.SUITES) == {"assembly", "streaming", "shard", "problems"}
+        assert set(perf_gate.SUITES) == {
+            "assembly",
+            "streaming",
+            "shard",
+            "problems",
+            "kernel",
+        }
         assert perf_gate.SUITES["problems"][1] == "BENCH_problems.json"
+        assert perf_gate.SUITES["kernel"][1] == "BENCH_kernel.json"
 
 
 class TestErrorPaths:

@@ -22,9 +22,12 @@ import random
 
 import pytest
 
+from seeding import derive_seed
+
 from repro.analog import AnalogMaxFlowSolver
 from repro.errors import EdgeNotFoundError, InvalidGraphError
 from repro.flows.incremental import IncrementalMaxFlow
+from repro.flows.kernel import KernelDinic
 from repro.flows.registry import solve_max_flow
 from repro.graph import FlowNetwork, MutableFlowNetwork, rmat_graph
 from repro.graph.updates import (
@@ -220,6 +223,73 @@ class TestIncrementalMaxFlow:
         )
         assert result.flow_value == pytest.approx(3.5, abs=1e-12)
         assert result.algorithm == "incremental-dinic"
+
+
+class TestKernelIncremental:
+    """Flat-array export/import round trip under randomized edit streams.
+
+    The kernel-backed engine repairs on an object residual that is exported
+    to flat arrays, augmented there, and stored back after every warm
+    apply; these streams prove the round trip preserves residual state —
+    any drift would desynchronise the maintained flow from a cold solve.
+    """
+
+    def test_kernel_backed_streams_match_cold_solves(self):
+        rng = random.Random(derive_seed("kernel-incremental"))
+        saw_warm = False
+        for _ in range(6):
+            g = rmat_graph(
+                rng.randint(15, 40), rng.randint(50, 150), seed=rng.randint(0, 10**6)
+            )
+            dyn = MutableFlowNetwork(g)
+            engine = IncrementalMaxFlow(dyn, algorithm="kernel-dinic", validate=True)
+            for _ in range(6):
+                result = engine.push(random_update_batch(dyn, rng))
+                cold = solve_max_flow(dyn.snapshot(), algorithm="kernel-dinic")
+                reference = solve_max_flow(dyn.snapshot(), algorithm="dinic")
+                assert result.flow_value == pytest.approx(
+                    cold.flow_value, abs=1e-9, rel=1e-9
+                )
+                assert result.flow_value == pytest.approx(
+                    reference.flow_value, abs=1e-9, rel=1e-9
+                )
+            saw_warm = saw_warm or engine.warm_solves > 0
+        assert saw_warm, "streams never exercised the warm kernel path"
+
+    def test_kernel_warm_repair_reports_incremental(self):
+        g = rmat_graph(30, 120, seed=derive_seed("kernel-warm"))
+        dyn = MutableFlowNetwork(g)
+        engine = IncrementalMaxFlow(dyn, algorithm="kernel-dinic", validate=True)
+        result = engine.push([CapacityUpdate(0, g.edge(0).capacity * 2)])
+        assert result.algorithm == "incremental-dinic"
+        assert engine.warm_solves == 1 and engine.cold_solves == 1
+
+    def test_kernel_engine_matches_reference_engine(self):
+        """Same stream through the kernel engine and the reference engine.
+
+        The "dinic" streaming default keeps the pure-Python repair engine
+        (its per-push cost scales with the delta, not with |E| flat-array
+        setup); explicit "kernel-dinic" swaps in the flat-array kernel.
+        Both must walk the same stream to identical flow values.
+        """
+        events_seed = derive_seed("kernel-vs-reference")
+
+        def run_stream(algorithm: str) -> list:
+            rng = random.Random(events_seed)
+            g = rmat_graph(25, 90, seed=events_seed)
+            dyn = MutableFlowNetwork(g)
+            engine = IncrementalMaxFlow(dyn, algorithm=algorithm, validate=True)
+            assert isinstance(engine._dinic, KernelDinic) == (
+                algorithm == "kernel-dinic"
+            )
+            return [
+                engine.push(random_update_batch(dyn, rng)).flow_value
+                for _ in range(6)
+            ]
+
+        kernel_values = run_stream("kernel-dinic")
+        reference_values = run_stream("dinic")
+        assert kernel_values == pytest.approx(reference_values, abs=1e-9, rel=1e-9)
 
 
 # ----------------------------------------------------------------------

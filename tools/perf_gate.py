@@ -43,6 +43,14 @@ size, the per-stage medians (reduction build, backend solve, decode +
 certificate), the reduction-layer overhead fraction and the certificate
 status.
 
+``--suite kernel`` writes ``BENCH_kernel.json`` with, per conformance-
+corpus instance class (grid / rmat / bipartite), the median reference
+Dinic and flat-array :class:`KernelDinic` wall clocks on the identical
+network, the speedup, the kernel's discharge-sweep count and the relative
+flow-value disagreement.  The default scale (0.25) is the headline size —
+the 64x64 vision grid where the kernel's >=10x floor is enforced by
+``benchmarks/bench_kernel.py``.
+
 The gate only *records*; regression thresholds live in the corresponding
 ``benchmarks/bench_*.py`` where pytest can enforce them.
 """
@@ -59,8 +67,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench import (  # noqa: E402
+    KERNEL_CLASSES,
     PROBLEM_CLASSES,
     measure_assembly_class,
+    measure_kernel_class,
     measure_problems_class,
     measure_shard_class,
     measure_shard_rmat,
@@ -225,12 +235,42 @@ def _problems_report(args) -> dict:
     }
 
 
+def _as_kernel_record(metrics: dict) -> dict:
+    return {
+        "workload": metrics["workload"],
+        "num_vertices": metrics["num_vertices"],
+        "num_edges": metrics["num_edges"],
+        "dinic_ms": round(metrics["dinic_s"] * 1e3, 3),
+        "kernel_ms": round(metrics["kernel_s"] * 1e3, 3),
+        "speedup": round(metrics["speedup"], 2),
+        "kernel_sweeps": metrics["kernel_sweeps"],
+        "value_diff": float(f"{metrics['value_diff']:.3e}"),
+    }
+
+
+def _kernel_report(args) -> dict:
+    return {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "classes": {
+            regime: _as_kernel_record(
+                measure_kernel_class(
+                    regime, args.scale, repeats=args.repeats,
+                    reducer=statistics.median,
+                )
+            )
+            for regime in KERNEL_CLASSES
+        },
+    }
+
+
 #: Registered suites: name -> (report builder, default output file name).
 SUITES = {
     "assembly": (_assembly_report, "BENCH_assembly.json"),
     "streaming": (_streaming_report, "BENCH_streaming.json"),
     "shard": (_shard_report, "BENCH_shard.json"),
     "problems": (_problems_report, "BENCH_problems.json"),
+    "kernel": (_kernel_report, "BENCH_kernel.json"),
 }
 
 
@@ -251,6 +291,13 @@ def _print_suite_summary(suite: str, report: dict) -> None:
                 f"{row['classical_cold_ms']} ms cold ({row['classical_speedup']}x), "
                 f"analog {row['analog_warm_ms']} ms warm vs "
                 f"{row['analog_cold_ms']} ms cold ({row['analog_speedup']}x)"
+            )
+        elif suite == "kernel":
+            print(
+                f"  {regime} ({row['workload']}, {row['num_edges']} edges): "
+                f"kernel {row['kernel_ms']} ms vs dinic {row['dinic_ms']} ms "
+                f"({row['speedup']}x, {row['kernel_sweeps']} sweeps, "
+                f"value diff {row['value_diff']:.1e})"
             )
         elif suite == "problems":
             print(
