@@ -12,7 +12,7 @@ DOCTEST_MODULES := src/repro/service \
 	src/repro/circuit/nonlinear.py \
 	src/repro/circuit/stamps.py
 
-.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel ci
+.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience ci
 
 ## tier-1 suite plus the documented-API doctests
 test:
@@ -29,7 +29,7 @@ test-conformance:
 		--runslow -q
 
 ## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly
-## + streaming + sharding + problem reductions + flow kernel)
+## + streaming + sharding + problem reductions + flow kernel + resilience)
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest \
 		benchmarks/bench_service_batch.py \
@@ -39,6 +39,7 @@ bench-smoke:
 		benchmarks/bench_shard.py \
 		benchmarks/bench_problems.py \
 		benchmarks/bench_kernel.py \
+		benchmarks/bench_resilience.py \
 		-o python_files='bench_*.py' -q -s
 
 ## record assembly/DC-iteration medians to BENCH_assembly.json (perf trajectory)
@@ -67,6 +68,12 @@ perf-gate-problems:
 ## enforced by bench_kernel.py)
 perf-gate-kernel:
 	$(PYTHON) tools/perf_gate.py --suite kernel
+
+## record fault-free resilience overhead + per-fault-class recovery latency
+## to BENCH_resilience.json (the <5% overhead ceiling is enforced by
+## bench_resilience.py on the same kernel-corpus grid)
+perf-gate-resilience:
+	$(PYTHON) tools/perf_gate.py --suite resilience
 
 ## broken intra-doc links + docstring coverage of repro.service
 docs-check:

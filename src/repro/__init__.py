@@ -104,6 +104,15 @@ from .problems import (
     ProjectSelection,
     solve_problem,
 )
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    FailoverPolicy,
+    RetryPolicy,
+    deadline_scope,
+    inject_faults,
+    solve_with_failover,
+)
 from .service import (
     BatchReport,
     BatchSolveService,
@@ -189,4 +198,12 @@ __all__ = [
     "BatchSolveService",
     "SolveRequest",
     "SolveResult",
+    # resilience
+    "CircuitBreaker",
+    "Deadline",
+    "FailoverPolicy",
+    "RetryPolicy",
+    "deadline_scope",
+    "inject_faults",
+    "solve_with_failover",
 ]

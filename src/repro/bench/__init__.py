@@ -21,6 +21,11 @@ from .problems import (
     measure_problems_class,
     problems_workload,
 )
+from .resilience import (
+    RESILIENCE_FAULT_CLASSES,
+    measure_recovery_class,
+    measure_resilience_overhead,
+)
 from .shard import (
     SHARD_CLASSES,
     measure_shard_class,
@@ -38,6 +43,9 @@ __all__ = [
     "PROBLEM_CLASSES",
     "measure_problems_class",
     "problems_workload",
+    "RESILIENCE_FAULT_CLASSES",
+    "measure_recovery_class",
+    "measure_resilience_overhead",
     "measure_shard_class",
     "measure_shard_rmat",
     "measure_streaming_class",

@@ -32,6 +32,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import ConvergenceError, SimulationError, SingularCircuitError
+from ..resilience.policy import check_deadline
 from .linsolve import LinearSystemSolver
 from .mna import MNASystem
 from .netlist import Circuit
@@ -327,6 +328,7 @@ class DCOperatingPoint:
         best_states = state_arr.copy()
 
         for iterations in range(1, self.max_iterations + 1):
+            check_deadline("dc diode iteration")
             if engine is not None:
                 solution, via_smw = engine.solve(state_arr)
             else:

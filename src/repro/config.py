@@ -12,6 +12,7 @@ All values carry SI units unless stated otherwise in the attribute docstring.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -338,3 +339,101 @@ class NonIdealityModel:
 def ideal_nonidealities() -> NonIdealityModel:
     """Return a :class:`NonIdealityModel` with every non-ideal effect off."""
     return NonIdealityModel()
+
+
+# ---------------------------------------------------------------------------
+# Environment-variable parsing
+# ---------------------------------------------------------------------------
+#
+# Every runtime knob the library reads from the environment goes through the
+# helpers below so that "what counts as off" is defined exactly once
+# (``REPRO_FLOW_KERNEL`` in :mod:`repro.flows.kernel` and the
+# ``REPRO_FAULT_PLAN``/retry knobs in :mod:`repro.resilience` all reuse them).
+
+#: Spellings that disable a boolean flag, case-insensitively.
+ENV_FALSE_VALUES = frozenset({"0", "off", "false", "no"})
+
+
+def env_flag(name, default=True, extra_false=()):
+    """Parse environment variable ``name`` as a boolean flag.
+
+    Unset returns ``default``.  A set value is *false* when it matches
+    :data:`ENV_FALSE_VALUES` (or ``extra_false``) case-insensitively after
+    stripping, and *true* otherwise.
+
+    >>> import os
+    >>> os.environ["_REPRO_DEMO_FLAG"] = "OFF"
+    >>> env_flag("_REPRO_DEMO_FLAG")
+    False
+    >>> del os.environ["_REPRO_DEMO_FLAG"]
+    >>> env_flag("_REPRO_DEMO_FLAG", default=False)
+    False
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return bool(default)
+    value = raw.strip().lower()
+    return value not in ENV_FALSE_VALUES and value not in {
+        str(v).strip().lower() for v in extra_false
+    }
+
+
+def env_float(name, default):
+    """Parse environment variable ``name`` as a float (unset → ``default``)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"{name}={raw!r} is not a number") from exc
+
+
+def env_int(name, default):
+    """Parse environment variable ``name`` as an int (unset → ``default``)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"{name}={raw!r} is not an integer") from exc
+
+
+def env_plan(name, raw=None):
+    """Parse a structured plan variable into a list of key/value dicts.
+
+    The grammar is ``entry[;entry...]`` where each ``entry`` is
+    ``key=value[,key=value...]``; whitespace around separators is ignored
+    and empty entries are dropped.  Values are returned as strings — the
+    consumer owns typing.  Pass ``raw`` to parse a literal spec instead of
+    reading the environment (the context-manager API of the fault injector
+    uses this).
+
+    >>> env_plan("_UNSET_", raw="backend=analog, kind=convergence; kind=stall")
+    [{'backend': 'analog', 'kind': 'convergence'}, {'kind': 'stall'}]
+    """
+    if raw is None:
+        raw = os.environ.get(name, "")
+    entries = []
+    for chunk in raw.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        entry = {}
+        for pair in chunk.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            if "=" not in pair:
+                raise ConfigurationError(
+                    f"{name}: expected key=value, got {pair!r} in {raw!r}"
+                )
+            key, value = pair.split("=", 1)
+            key = key.strip()
+            if not key:
+                raise ConfigurationError(f"{name}: empty key in {raw!r}")
+            entry[key] = value.strip()
+        if entry:
+            entries.append(entry)
+    return entries

@@ -32,6 +32,10 @@ __all__ = [
     "ConfigurationError",
     "ProblemError",
     "CertificateError",
+    "ResilienceError",
+    "SolveTimeoutError",
+    "BackendUnavailableError",
+    "FaultInjectedError",
 ]
 
 
@@ -150,3 +154,24 @@ class ProblemError(ReproError):
 
 class CertificateError(ProblemError):
     """A decoded solution failed its optimality-certificate check."""
+
+
+# ---------------------------------------------------------------------------
+# Resilience / fault-tolerance errors
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(ReproError):
+    """Base class for fault-tolerance errors (deadlines, failover, faults)."""
+
+
+class SolveTimeoutError(ResilienceError):
+    """A cooperative wall-clock deadline expired inside a solver loop."""
+
+
+class BackendUnavailableError(ResilienceError):
+    """Every backend in a degradation chain failed or is circuit-broken."""
+
+
+class FaultInjectedError(ResilienceError):
+    """A generic failure raised on purpose by the fault injector."""

@@ -13,6 +13,7 @@ from collections import deque
 from typing import List, Tuple
 
 from ..graph.network import FlowNetwork
+from ..resilience.policy import check_deadline
 from .base import FlowAlgorithm, MaxFlowResult, ResidualNetwork, INFINITY
 
 __all__ = ["Dinic", "dinic"]
@@ -39,6 +40,7 @@ class Dinic(FlowAlgorithm):
         phases = 0
         level = [0] * residual.num_vertices
         while self._build_levels(residual, level):
+            check_deadline("dinic blocking-flow phase")
             phases += 1
             current_arc = [0] * residual.num_vertices
             while True:

@@ -32,9 +32,11 @@ import time
 from collections import deque
 from typing import Dict, List, Optional
 
-from ..errors import AlgorithmError
+from ..errors import AlgorithmError, ReproError, SolveTimeoutError
 from ..graph.network import FlowNetwork
 from ..graph.updates import MutableFlowNetwork, UpdateBatch, UpdateEvent
+from ..resilience.faults import fault_point
+from ..resilience.policy import check_deadline
 from .base import INFINITY, MaxFlowResult, OperationCounter, ResidualNetwork
 from .dinic import Dinic
 from .kernel import KernelDinic
@@ -121,8 +123,10 @@ class IncrementalMaxFlow:
         self._dinic = KernelDinic() if algorithm == "kernel-dinic" else Dinic()
         self.cold_solves = 0
         self.warm_solves = 0
+        self.repair_failures = 0
         self.rerouted_flow = 0.0
         self.cancelled_flow = 0.0
+        self._stale = False
         self._result = self._cold_solve()
 
     # ------------------------------------------------------------------
@@ -163,13 +167,39 @@ class IncrementalMaxFlow:
             ``"incremental-dinic"`` for warm repairs and the configured cold
             algorithm name for cold cutovers.
         """
+        if self._stale:
+            # A previous apply died mid-repair (deadline): the maintained
+            # residual is unusable, so rebuild cold.  The network already
+            # carries every applied batch, including this one.
+            self._result = self._cold_solve()
+            self._stale = False
+            return self._result
         changed = batch.num_changed_edges
         if changed == 0:
             return self._result
         if changed > self.cold_ratio * max(1, self.network.num_edges):
             self._result = self._cold_solve()
             return self._result
-        self._result = self._warm_apply(batch)
+        try:
+            self._result = self._warm_apply(batch)
+        except SolveTimeoutError:
+            # The budget that killed the repair would kill a rebuild too;
+            # mark the warm state unusable and let the next apply (or
+            # refresh()) re-solve cold from the already-mutated network.
+            self._stale = True
+            raise
+        except ReproError:
+            # Warm repair failed (numerically degenerate residual, injected
+            # fault, ...): degrade to a cold rebuild from the network, which
+            # does not depend on any maintained warm state.
+            self.repair_failures += 1
+            self._result = self._cold_solve()
+        return self._result
+
+    def refresh(self) -> MaxFlowResult:
+        """Force a cold re-solve of the network's current state."""
+        self._result = self._cold_solve()
+        self._stale = False
         return self._result
 
     # ------------------------------------------------------------------
@@ -207,6 +237,7 @@ class IncrementalMaxFlow:
     # ------------------------------------------------------------------
 
     def _warm_apply(self, batch: UpdateBatch) -> MaxFlowResult:
+        fault_point("warm-repair", self.algorithm)
         start = time.perf_counter()
         before = self._counter_snapshot()
         residual = self._residual
@@ -290,6 +321,7 @@ class IncrementalMaxFlow:
         pushed_total = 0.0
         parent_arc: List[int] = [-1] * residual.num_vertices
         while limit - pushed_total > _REPAIR_TOL:
+            check_deadline("incremental repair path search")
             for i in range(residual.num_vertices):
                 parent_arc[i] = -1
             parent_arc[source] = -2

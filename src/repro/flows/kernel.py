@@ -39,14 +39,15 @@ everywhere.
 
 from __future__ import annotations
 
-import os
 import time
 from itertools import chain
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..config import env_flag
 from ..errors import AlgorithmError
+from ..resilience.policy import check_deadline
 from ..graph.network import FlowNetwork
 from .base import (
     FlowAlgorithm,
@@ -68,12 +69,14 @@ __all__ = [
 #: kernel default and run the pure-Python reference everywhere.
 KERNEL_ENV_VAR = "REPRO_FLOW_KERNEL"
 
-_DISABLED_VALUES = {"0", "off", "false", "no", "reference"}
+#: ``"reference"`` disables the kernel on top of the shared false spellings
+#: understood by :func:`repro.config.env_flag`.
+_EXTRA_DISABLED_VALUES = ("reference",)
 
 
 def kernel_enabled() -> bool:
     """True unless ``REPRO_FLOW_KERNEL`` disables the flat-array kernel."""
-    return os.environ.get(KERNEL_ENV_VAR, "1").strip().lower() not in _DISABLED_VALUES
+    return env_flag(KERNEL_ENV_VAR, default=True, extra_false=_EXTRA_DISABLED_VALUES)
 
 
 def resolve_default_algorithm(name: str) -> str:
@@ -378,6 +381,7 @@ class FlatResidual:
         sweeps = 0
         cap = 30 * num_vertices + 10000
         while True:
+            check_deadline("kernel discharge sweep")
             mask = (excess > tol) & interior
             if phase_one:
                 mask &= height < num_vertices

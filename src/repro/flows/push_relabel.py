@@ -22,6 +22,7 @@ from typing import List, Tuple
 
 from ..errors import AlgorithmError
 from ..graph.network import FlowNetwork
+from ..resilience.policy import check_deadline
 from .base import FlowAlgorithm, MaxFlowResult, ResidualNetwork, INFINITY
 
 __all__ = ["PushRelabel", "push_relabel"]
@@ -94,7 +95,13 @@ class PushRelabel(FlowAlgorithm):
 
         relabel_count = 0
         work = 0
+        discharges = 0
         while active:
+            # Cooperative budget check every few hundred discharges keeps
+            # the overhead off the per-push hot path.
+            discharges += 1
+            if discharges & 0xFF == 0:
+                check_deadline("push-relabel discharge loop")
             vertex = active.pop(height)
             residual.counter.queue_operations += 1
             if excess[vertex] <= 0:

@@ -1,0 +1,66 @@
+"""Fault tolerance for every solve path: retries, deadlines, failover, faults.
+
+The paper's analog substrate fails by design — diode iteration can refuse to
+converge, device variation can corrupt a readout — and production serving
+(the ROADMAP north star) cannot let one such failure abort a batch, wedge a
+streaming session, or hang a shard coordinator.  This package provides the
+three layers the services compose:
+
+* :mod:`~repro.resilience.policy` — typed :class:`RetryPolicy` /
+  :class:`Deadline` / :class:`CircuitBreaker` primitives, plus the ambient
+  cooperative-deadline plumbing (:func:`deadline_scope`,
+  :func:`check_deadline`) threaded through the solver inner loops;
+* :mod:`~repro.resilience.failover` — declarative degradation chains with
+  validation-gated fallback (:func:`solve_with_failover`,
+  :func:`certify_flow_result`);
+* :mod:`~repro.resilience.faults` — the seeded deterministic fault injector
+  (:func:`inject_faults`, ``REPRO_FAULT_PLAN``) that proves the rest works.
+
+See ``docs/architecture.md`` (resilience section) for the full design.
+"""
+
+from .failover import (
+    DEGRADATION_CHAINS,
+    FailoverPolicy,
+    certify_flow_result,
+    degradation_chain,
+    solve_with_failover,
+)
+from .faults import (
+    FAULT_ENV_VAR,
+    FaultInjector,
+    FaultPlan,
+    corrupt_value,
+    current_injector,
+    fault_point,
+    inject_faults,
+)
+from .policy import (
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    active_deadline,
+    check_deadline,
+    deadline_scope,
+)
+
+__all__ = [
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "active_deadline",
+    "check_deadline",
+    "deadline_scope",
+    "DEGRADATION_CHAINS",
+    "degradation_chain",
+    "FailoverPolicy",
+    "certify_flow_result",
+    "solve_with_failover",
+    "FAULT_ENV_VAR",
+    "FaultPlan",
+    "FaultInjector",
+    "inject_faults",
+    "fault_point",
+    "corrupt_value",
+    "current_injector",
+]

@@ -21,6 +21,10 @@ package turns the reproduction into a serving system:
   segmentations and closures on any backend, with certified decoding
   (:mod:`repro.problems`).
 
+Every service is resilience-aware (:mod:`repro.resilience`): solves accept
+wall-clock deadlines, failed backends degrade along validated failover
+chains, and the fault injector exercises all of it deterministically.
+
 Quick start::
 
     from repro import FlowNetwork

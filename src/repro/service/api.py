@@ -93,6 +93,17 @@ class SolveResult:
         ``True`` when the backend returned a result, ``False`` on error.
     error:
         Error description when ``ok`` is ``False``.
+    error_type:
+        Exception class name behind ``error`` (``"ConvergenceError"``,
+        ``"SolveTimeoutError"``, ...), so callers can discriminate failure
+        classes without parsing the message.
+    degraded:
+        ``True`` when a failover policy produced this result on a fallback
+        backend rather than the one the request asked for; the request's
+        ``backend`` field then names the backend that actually ran.
+    failover_trail:
+        Human-readable record of every failed attempt a failover made
+        before this result (empty without failover).
     cache_hit:
         ``True`` when the analog backend reused a memoized compiled circuit.
     relative_error:
@@ -110,6 +121,9 @@ class SolveResult:
     wall_time_s: float = 0.0
     ok: bool = True
     error: Optional[str] = None
+    error_type: Optional[str] = None
+    degraded: bool = False
+    failover_trail: List[str] = field(default_factory=list)
     cache_hit: bool = False
     relative_error: Optional[float] = None
     detail: Any = field(default=None, repr=False)
@@ -181,6 +195,20 @@ class BatchReport:
         return self.num_requests - self.num_ok
 
     @property
+    def num_degraded(self) -> int:
+        """Number of requests answered by a fallback backend."""
+        return sum(1 for r in self.results if r.degraded)
+
+    def error_counts(self) -> Dict[str, int]:
+        """Failed requests per exception class name (typed error entries)."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            if not result.ok:
+                key = result.error_type or "unknown"
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @property
     def solve_time_total_s(self) -> float:
         """Sum of per-instance backend times (CPU-side work, not wall time)."""
         return sum(r.wall_time_s for r in self.results)
@@ -219,6 +247,8 @@ class BatchReport:
             "requests": self.num_requests,
             "ok": self.num_ok,
             "failed": self.num_failed,
+            "degraded": self.num_degraded,
+            "errors": self.error_counts(),
             "backends": self.backend_counts(),
             "wall_time_s": self.total_wall_time_s,
             "solve_time_total_s": self.solve_time_total_s,
@@ -248,7 +278,11 @@ class BatchReport:
                 "flow": "" if math.isnan(result.flow_value) else round(result.flow_value, 4),
                 "time (s)": f"{result.wall_time_s:.3e}",
                 "cache": "hit" if result.cache_hit else "",
-                "status": "ok" if result.ok else f"error: {result.error}",
+                "status": (
+                    ("degraded" if result.degraded else "ok")
+                    if result.ok
+                    else f"error: {result.error}"
+                ),
             }
             if result.relative_error is not None:
                 row["rel.err"] = f"{result.relative_error:.2%}"

@@ -25,6 +25,8 @@ from ..errors import AlgorithmError
 from ..flows.kernel import resolve_default_algorithm
 from ..flows.registry import ALGORITHMS, get_algorithm
 from ..graph.analysis import is_source_sink_connected
+from ..resilience.faults import corrupt_value, fault_point
+from ..resilience.policy import Deadline, deadline_scope
 from .api import SolveRequest, SolveResult, relative_error
 from .cache import CompiledCircuitCache, network_signature
 
@@ -49,15 +51,26 @@ class SolveBackend:
     name = "abstract"
 
     def solve(self, request: SolveRequest) -> SolveResult:
-        """Solve ``request``, never raising: failures become ``ok=False`` results."""
+        """Solve ``request``, never raising: failures become ``ok=False`` results.
+
+        ``request.options["deadline_s"]`` opens a cooperative wall-clock
+        budget around the solve (see :mod:`repro.resilience.policy`); an
+        ambient deadline from an enclosing :func:`deadline_scope` stays in
+        force if it is tighter.  Failures carry ``error_type`` (the
+        exception class name) so callers can route on failure class.
+        """
         start = time.perf_counter()
         try:
-            flow_value, edge_flows, detail, cache_hit = self._solve(request)
+            budget = request.options.get("deadline_s")
+            with deadline_scope(Deadline.from_seconds(budget, label=self.name)):
+                fault_point("batch-solve", self.name)
+                flow_value, edge_flows, detail, cache_hit = self._solve(request)
         except Exception as exc:  # noqa: BLE001 - per-instance fault isolation
             return SolveResult(
                 request=request,
                 ok=False,
                 error=f"{type(exc).__name__}: {exc}",
+                error_type=type(exc).__name__,
                 wall_time_s=time.perf_counter() - start,
             )
         return SolveResult(
@@ -190,14 +203,29 @@ class AnalogBackend(SolveBackend):
                 compiled.mna()
                 self.cache.store(key, compiled)
             result = self.solver.solve_compiled(compiled)
-            return result.flow_value, result.edge_flows, result, hit
+            return self._readout(result, hit)
         result = self.solver.solve(
             request.network,
             method=method,
             vflow_v=vflow_v,
             measure_convergence=bool(request.options.get("measure_convergence", False)),
         )
-        return result.flow_value, result.edge_flows, result, False
+        return self._readout(result, False)
+
+    def _readout(self, result, cache_hit):
+        """Final readout, routed through the fault injector's corrupt hook.
+
+        An injected corruption scales value and edge flows by the same
+        factor, so the corrupted result stays self-consistent and only
+        capacity validation (saturated min-cut edges now overflow) can
+        reject it — the realistic failure mode for a mis-read substrate.
+        """
+        flow_value = corrupt_value("analog-readout", self.name, result.flow_value)
+        edge_flows = result.edge_flows
+        if flow_value != result.flow_value and result.flow_value != 0.0:
+            factor = flow_value / result.flow_value
+            edge_flows = {k: f * factor for k, f in edge_flows.items()}
+        return flow_value, edge_flows, result, cache_hit
 
 
 # ----------------------------------------------------------------------

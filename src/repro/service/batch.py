@@ -26,12 +26,16 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from dataclasses import replace
+
 from ..analog.solver import AnalogMaxFlowSolver
 from ..errors import AlgorithmError
 from ..graph.network import FlowNetwork
+from ..resilience.failover import FailoverPolicy, solve_with_failover
+from ..resilience.policy import Deadline, deadline_scope
 from .api import BatchReport, SolveRequest, SolveResult
 from .backends import SolveBackend, create_backend
-from .cache import CompiledCircuitCache
+from .cache import CompiledCircuitCache, network_signature
 
 __all__ = ["BatchSolveService", "ParallelMap"]
 
@@ -40,6 +44,45 @@ RequestLike = Union[SolveRequest, FlowNetwork]
 
 def _default_max_workers() -> int:
     return min(8, os.cpu_count() or 1)
+
+
+class _ContextualCall:
+    """Picklable wrapper attaching item context to worker exceptions.
+
+    An exception escaping a thread/process worker otherwise surfaces with a
+    bare traceback and no hint of *which* item it was processing; this
+    wrapper notes the item index plus whatever ``describe(item)`` reports
+    (the batch service uses backend name, tag and topology signature).
+    """
+
+    def __init__(self, fn, describe=None):
+        self.fn = fn
+        self.describe = describe
+
+    def __call__(self, indexed):
+        index, item = indexed
+        try:
+            return self.fn(item)
+        except Exception as exc:
+            detail = ""
+            if self.describe is not None:
+                try:
+                    detail = f" ({self.describe(item)})"
+                except Exception:  # noqa: BLE001 - context must never mask
+                    detail = ""
+            note = f"while processing item {index}{detail}"
+            if hasattr(exc, "add_note"):  # Python >= 3.11
+                exc.add_note(note)
+            else:  # pragma: no cover - pre-3.11 fallback
+                exc.args = tuple(exc.args) + (note,)
+            raise
+
+
+def _describe_request(item) -> str:
+    """Context line for one batch item (request or process-pool payload)."""
+    request = item[0] if isinstance(item, tuple) else item
+    signature = network_signature(request.network)[:12]
+    return f"backend={request.backend!r} tag={request.tag!r} network={signature}"
 
 
 class ParallelMap:
@@ -68,9 +111,18 @@ class ParallelMap:
         self.max_workers = max_workers if max_workers is not None else _default_max_workers()
         self._pool = None
 
-    def map(self, fn, items) -> list:
-        """Apply ``fn`` to every item, in order; short inputs run inline."""
+    def map(self, fn, items, describe=None) -> list:
+        """Apply ``fn`` to every item, in order; short inputs run inline.
+
+        ``describe`` (optional, ``item -> str``) enriches any exception that
+        escapes a worker with the failing item's index and description, via
+        ``Exception.add_note``; with a process pool it must be picklable (a
+        module-level function).
+        """
         items = list(items)
+        if describe is not None or self.executor != "serial":
+            fn = _ContextualCall(fn, describe)
+            items = list(enumerate(items))
         if self.executor == "serial" or self.max_workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
         if self._pool is None:
@@ -115,6 +167,15 @@ class BatchSolveService:
         every ``"analog"`` request (Table 1 defaults when omitted).
     cache_size:
         Capacity of the shared compiled-circuit cache (``0`` disables it).
+    failover:
+        Opt-in degraded-mode solving: ``True`` enables the default
+        :class:`~repro.resilience.failover.FailoverPolicy`, or pass a
+        configured policy.  Failed requests then retry and degrade along
+        their declared backend chain (``analog → kernel-dinic → dinic``,
+        ...), with every fallback result re-validated before it is
+        accepted; requests whose whole chain fails still come back as
+        typed ``ok=False`` entries.  Off (``None``) by default so the
+        plain service's one-backend-one-result contract is unchanged.
 
     Examples
     --------
@@ -145,6 +206,7 @@ class BatchSolveService:
         executor: str = "thread",
         analog_solver: Optional[AnalogMaxFlowSolver] = None,
         cache_size: int = 128,
+        failover: Union[FailoverPolicy, bool, None] = None,
     ) -> None:
         if executor not in ("thread", "process", "serial"):
             raise AlgorithmError(f"unknown executor {executor!r}")
@@ -154,6 +216,11 @@ class BatchSolveService:
         self.executor = executor
         self.analog_solver = analog_solver if analog_solver is not None else AnalogMaxFlowSolver()
         self.cache = CompiledCircuitCache(max_entries=cache_size)
+        if failover is True:
+            failover = FailoverPolicy()
+        elif failover is False:
+            failover = None
+        self.failover: Optional[FailoverPolicy] = failover
 
     # ------------------------------------------------------------------
 
@@ -173,6 +240,26 @@ class BatchSolveService:
             name: create_backend(name, analog_solver=self.analog_solver, cache=self.cache)
             for name in {r.backend for r in requests}
         }
+
+    def _backend_factory(self, seeded: Optional[Dict[str, SolveBackend]] = None):
+        """Lazy per-name backend maker for failover chains.
+
+        Fallback backends are not known up front (they come from the
+        degradation chain), so they are created on first use and memoized,
+        sharing the service's analog solver and compiled-circuit cache.
+        """
+        created: Dict[str, SolveBackend] = dict(seeded or {})
+
+        def make(name: str) -> SolveBackend:
+            backend = created.get(name)
+            if backend is None:
+                backend = create_backend(
+                    name, analog_solver=self.analog_solver, cache=self.cache
+                )
+                created[name] = backend
+            return backend
+
+        return make
 
     # ------------------------------------------------------------------
 
@@ -198,10 +285,16 @@ class BatchSolveService:
         1.5
         """
         request = SolveRequest(network=network, backend=backend, options=dict(options))
+        if self.failover is not None:
+            return solve_with_failover(request, self.failover, self._backend_factory())
         backend_obj = create_backend(backend, analog_solver=self.analog_solver, cache=self.cache)
         return backend_obj.solve(request)
 
-    def solve_batch(self, requests: Iterable[RequestLike]) -> BatchReport:
+    def solve_batch(
+        self,
+        requests: Iterable[RequestLike],
+        deadline: Union[Deadline, float, None] = None,
+    ) -> BatchReport:
         """Solve a batch of instances and aggregate the outcome.
 
         Parameters
@@ -210,14 +303,24 @@ class BatchSolveService:
             :class:`SolveRequest` objects and/or bare
             :class:`~repro.graph.network.FlowNetwork` instances (which get
             the default ``"analog"`` backend).
+        deadline:
+            Optional shared wall-clock budget (seconds or a
+            :class:`~repro.resilience.policy.Deadline`) for the whole batch:
+            instances past the budget fail with typed
+            ``SolveTimeoutError`` entries instead of running.  With the
+            process executor each instance gets the budget remaining at
+            dispatch via its ``deadline_s`` option (context variables do not
+            cross process boundaries).
 
         Returns
         -------
         BatchReport
             Per-instance results in request order plus aggregate stats.
-            Backend exceptions are captured per instance (``ok=False``);
-            only malformed batches (unknown backend name, wrong item type)
-            raise.
+            Backend exceptions are captured per instance (``ok=False``,
+            typed ``error_type``); only malformed batches (unknown backend
+            name, wrong item type) raise.  With a ``failover`` policy
+            configured, failed instances degrade along their backend chain
+            before being reported as failures.
         """
         reqs = [self._as_request(item) for item in requests]
         start = time.perf_counter()
@@ -229,17 +332,52 @@ class BatchSolveService:
                 executor=self.executor,
                 cache_stats=self.cache.stats(),
             )
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline(float(deadline), label="batch")
         backends = self._backends_for(reqs)
 
         with ParallelMap(executor=self.executor, max_workers=self.max_workers) as pool:
             if self.executor == "process" and len(reqs) > 1 and self.max_workers > 1:
+                if deadline is not None:
+                    reqs = [
+                        replace(
+                            r,
+                            options={
+                                **r.options,
+                                "deadline_s": max(1e-6, deadline.remaining()),
+                            },
+                        )
+                        for r in reqs
+                    ]
                 payloads = [(r, self.analog_solver) for r in reqs]
-                results = pool.map(_process_worker, payloads)
+                results = pool.map(_process_worker, payloads, describe=_describe_request)
+                if self.failover is not None:
+                    # Chains re-run in the parent: the policy's breakers and
+                    # the compiled-circuit cache are not shared with workers.
+                    make = self._backend_factory(backends)
+                    results = [
+                        r
+                        if r.ok
+                        else solve_with_failover(r.request, self.failover, make)
+                        for r in results
+                    ]
             else:
                 # Inline execution (serial, threads, or a degenerate process
                 # pool that would run one task at a time anyway) keeps the
                 # shared backend instances and their compiled-circuit cache.
-                results = pool.map(lambda r: backends[r.backend].solve(r), reqs)
+                failover = self.failover
+                make = self._backend_factory(backends) if failover is not None else None
+
+                def run(r: SolveRequest) -> SolveResult:
+                    # Deadlines re-scope inside the worker: the Deadline
+                    # object carries an absolute expiry, and context
+                    # variables do not propagate into pool threads.
+                    with deadline_scope(deadline):
+                        if failover is not None:
+                            return solve_with_failover(r, failover, make)
+                        return backends[r.backend].solve(r)
+
+                results = pool.map(run, reqs, describe=_describe_request)
 
         return BatchReport(
             results=results,

@@ -42,12 +42,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from ..errors import CertificateError, ProblemError
+from ..errors import CertificateError, ProblemError, SolveTimeoutError
 from ..flows.dinic import Dinic
 from ..flows.mincut import MinCutResult, min_cut_from_flow
 from ..flows.registry import ALGORITHMS
 from ..graph.network import FlowNetwork
 from ..problems.base import CertificateReport, Problem, Reduction, Solution
+from ..resilience.failover import degradation_chain
+from ..resilience.policy import Deadline, RetryPolicy, deadline_scope
 from .api import SolveRequest, SolveResult, relative_error
 
 __all__ = ["ProblemReport", "ProblemSolve", "ProblemSolveService"]
@@ -195,6 +197,20 @@ class ProblemSolveService:
         When set, a failed certificate raises
         :class:`~repro.errors.CertificateError` instead of returning a
         report with ``certified == False``.
+    retry:
+        :class:`~repro.resilience.policy.RetryPolicy` for the exact decode
+        pass (a transient fault in the certifying Dinic solve is retried
+        instead of losing the whole problem solve); two zero-delay attempts
+        by default.
+    failover:
+        When a *known* backend fails at solve time, walk its
+        :func:`~repro.resilience.failover.degradation_chain` (e.g.
+        ``analog -> kernel-dinic -> dinic``) and accept the first
+        fallback whose answer survives the decode + certificate machinery;
+        the result is marked ``degraded`` with a ``failover_trail``.
+        Unknown backend names and timeouts still fail fast, and the
+        sharded path keeps its own unsharded fallback.  ``False``
+        restores strict fail-fast behaviour.
 
     Examples
     --------
@@ -211,6 +227,8 @@ class ProblemSolveService:
         batch_service=None,
         sharded_service=None,
         strict: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        failover: bool = True,
     ) -> None:
         if batch_service is None:
             from ..analog.solver import AnalogMaxFlowSolver
@@ -226,6 +244,10 @@ class ProblemSolveService:
         self.batch = batch_service
         self.sharded = sharded_service
         self.strict = strict
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=2, base_delay_s=0.0
+        )
+        self.failover = failover
 
     # ------------------------------------------------------------------
 
@@ -236,6 +258,7 @@ class ProblemSolveService:
         shards: Optional[int] = None,
         tag: Optional[str] = None,
         value_rtol: Optional[float] = None,
+        deadline: "Deadline | float | None" = None,
         **options: Any,
     ) -> ProblemSolve:
         """Reduce ``problem``, solve it on ``backend``, decode and certify.
@@ -254,6 +277,11 @@ class ProblemSolveService:
         value_rtol:
             Override of the backend's flow-value cross-check tolerance
             (defaults: exact backends 1e-9, analog 2e-2).
+        deadline:
+            Optional wall-clock budget (seconds or a
+            :class:`~repro.resilience.policy.Deadline`) covering reduce,
+            every solve attempt (primary *and* failover) and the decode
+            pass; expiry raises :class:`~repro.errors.SolveTimeoutError`.
         **options:
             Passed through to the underlying backend / sharded solve.
 
@@ -262,6 +290,14 @@ class ProblemSolveService:
         ProblemSolve
             Certified solution, backend result and report.
         """
+        with deadline_scope(deadline, label=f"problem {problem.kind}"):
+            return self._solve_scoped(
+                problem, backend, shards, tag, value_rtol, options
+            )
+
+    def _solve_scoped(
+        self, problem, backend, shards, tag, value_rtol, options
+    ) -> ProblemSolve:
         start = time.perf_counter()
         t0 = time.perf_counter()
         reduction = problem.reduce()
@@ -279,6 +315,11 @@ class ProblemSolveService:
             )
 
         if not result.ok:
+            if result.error_type == SolveTimeoutError.__name__:
+                raise SolveTimeoutError(
+                    f"{problem.kind}: backend {backend_name!r} timed out: "
+                    f"{result.error}"
+                )
             raise ProblemError(
                 f"{problem.kind}: backend {backend_name!r} failed: {result.error}"
             )
@@ -429,6 +470,34 @@ class ProblemSolveService:
         # A one-request batch (rather than BatchSolveService.solve) so the
         # tag survives into the request the result echoes back.
         result = self.batch.solve_batch([request]).results[0]
+        if (
+            not result.ok
+            and self.failover
+            and result.error_type != SolveTimeoutError.__name__
+            and (backend in ALGORITHMS or backend == "analog")
+        ):
+            # Known backend failed at solve time: walk its degradation
+            # chain.  Unknown names keep failing fast (a typo must not be
+            # silently "fixed" by a fallback), and an expired deadline is
+            # terminal — the budget is already gone.
+            trail = [f"{backend}: {result.error}"]
+            for name in degradation_chain(backend)[1:]:
+                fallback_request = SolveRequest(
+                    network=reduction.network,
+                    backend=name,
+                    options=dict(options),
+                    tag=tag,
+                )
+                fallback = self.batch.solve_batch([fallback_request]).results[0]
+                if fallback.ok:
+                    fallback.degraded = True
+                    fallback.failover_trail = trail + list(fallback.failover_trail)
+                    result, backend = fallback, name
+                    break
+                trail.append(f"{name}: {fallback.error}")
+                if fallback.error_type == SolveTimeoutError.__name__:
+                    result = fallback
+                    break
         flow, cut, decode_source = self._flat_decode_inputs(reduction, result, backend)
         return result, flow, cut, decode_source, backend
 
@@ -482,7 +551,9 @@ class ProblemSolveService:
                     return solution, certificate, decode_source
             except ProblemError:
                 pass
-        flow, cut = self._decode_pass(reduction)
+        flow, cut = self.retry.run(
+            lambda: self._decode_pass(reduction), describe="exact decode pass"
+        )
         solution = problem.decode(reduction, flow=flow, cut=cut)
         certificate = problem.verify(
             reduction, solution, flow=flow, cut=cut, tolerance=_EXACT_RTOL

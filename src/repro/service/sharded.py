@@ -27,9 +27,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import DecompositionError
+from ..errors import DecompositionError, ReproError, SolveTimeoutError
 from ..graph.network import FlowNetwork
+from ..resilience.failover import certify_flow_result
+from ..resilience.policy import Deadline, RetryPolicy, deadline_scope
 from ..shard.coordinator import ShardCoordinator, ShardOutcome
+from ..shard.partition import validate_partition_args
 from .api import SolveRequest, SolveResult, relative_error
 
 __all__ = ["ShardReport", "ShardedSolve", "ShardedSolveService"]
@@ -230,6 +233,9 @@ class ShardedSolveService:
         cold_ratio: float = 0.25,
         tag: Optional[str] = None,
         reference_value: Optional[float] = None,
+        deadline: Union[Deadline, float, None] = None,
+        retry: Optional[RetryPolicy] = None,
+        fallback: bool = True,
     ) -> ShardedSolve:
         """Partition ``network`` into ``shards`` and coordinate the solve.
 
@@ -254,12 +260,31 @@ class ShardedSolveService:
             Echoed into the :class:`~repro.service.api.SolveRequest`
             exactly like the batch service (``reference_value`` yields a
             ``relative_error`` on the result).
+        deadline:
+            Optional wall-clock budget (seconds or a
+            :class:`~repro.resilience.policy.Deadline`) covering the whole
+            sharded solve; the coordinator loop, every shard solver loop
+            and any fallback all share it, raising
+            :class:`~repro.errors.SolveTimeoutError` when it expires.
+        retry:
+            Per-shard retry policy (defaults to two attempts with a cold
+            rebuild in between; pass an explicit policy to tune it).
+        fallback:
+            Degrade to one *unsharded* cold exact solve when the sharded
+            path fails (shard solves exhaust their retries, the coordinator
+            errors, or the bound bracket ``dual <= feasible`` is violated).
+            The fallback result is validated against the strong-duality
+            certificate before it is accepted and is marked ``degraded``.
+            Timeouts never trigger the fallback — the expired budget is
+            shared.  ``False`` restores fail-fast behaviour.
 
         Returns
         -------
         ShardedSolve
             ``result`` (service-shaped) plus ``report`` (telemetry).
         """
+        # Configuration mistakes must fail fast — never degrade to fallback.
+        validate_partition_args(network, shards, partition_method, fractions)
         backend_name = backend if isinstance(backend, str) else ",".join(backend)
         request = SolveRequest(
             network=network,
@@ -277,15 +302,35 @@ class ShardedSolveService:
             partition_method=partition_method,
             fractions=fractions,
         )
-        outcome = coordinator.solve(
-            network,
-            backend=backend,
-            executor=self.executor,
-            max_workers=self.max_workers,
-            analog_solver=self.analog_solver,
-            warm=warm,
-            cold_ratio=cold_ratio,
-        )
+        if retry is None:
+            retry = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        with deadline_scope(deadline, label="sharded solve"):
+            try:
+                outcome = coordinator.solve(
+                    network,
+                    backend=backend,
+                    executor=self.executor,
+                    max_workers=self.max_workers,
+                    analog_solver=self.analog_solver,
+                    warm=warm,
+                    cold_ratio=cold_ratio,
+                    retry=retry,
+                )
+                if fallback and outcome.dual_value > outcome.cut_value + 1e-6 * max(
+                    1.0, abs(outcome.cut_value)
+                ):
+                    raise DecompositionError(
+                        f"bound bracket violated: dual {outcome.dual_value!r} "
+                        f"exceeds feasible {outcome.cut_value!r}"
+                    )
+            except SolveTimeoutError:
+                raise
+            except ReproError as exc:
+                if not fallback:
+                    raise
+                return self._fallback_solve(
+                    request, backend_name, exc, start, reference_value
+                )
         wall = time.perf_counter() - start
 
         result = SolveResult(
@@ -298,6 +343,55 @@ class ShardedSolveService:
             detail=outcome,
         )
         report = self._report(outcome, backend_name, wall)
+        return ShardedSolve(result=result, report=report)
+
+    def _fallback_solve(
+        self,
+        request: SolveRequest,
+        backend_name: str,
+        cause: ReproError,
+        start: float,
+        reference_value: Optional[float],
+    ) -> ShardedSolve:
+        """Unsharded cold degradation: one exact solve, duality-validated.
+
+        Runs inside the caller's :func:`deadline_scope`, so a budget that
+        killed the sharded path also bounds (and may kill) the fallback.
+        """
+        from ..flows.kernel import resolve_default_algorithm
+        from ..flows.registry import get_algorithm
+
+        algorithm = resolve_default_algorithm("dinic")
+        flow = get_algorithm(algorithm).solve(request.network)
+        certify_flow_result(
+            request.network, flow.flow_value, flow.edge_flows, exact=True
+        )
+        wall = time.perf_counter() - start
+        trail = [f"sharded:{backend_name}: {type(cause).__name__}: {cause}"]
+        result = SolveResult(
+            request=request,
+            flow_value=flow.flow_value,
+            edge_flows=dict(flow.edge_flows),
+            wall_time_s=wall,
+            ok=True,
+            degraded=True,
+            failover_trail=trail,
+            relative_error=relative_error(flow.flow_value, reference_value),
+            detail=flow,
+        )
+        report = ShardReport(
+            num_shards=1,
+            backend=f"fallback:{algorithm}",
+            executor=self.executor,
+            max_workers=1,
+            iterations=flow.iterations,
+            converged=True,
+            disagreements=0,
+            cut_value=flow.flow_value,
+            dual_value=flow.flow_value,
+            partition_summary={"fallback": trail[0]},
+            wall_time_s=wall,
+        )
         return ShardedSolve(result=result, report=report)
 
     # ------------------------------------------------------------------

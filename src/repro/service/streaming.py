@@ -45,11 +45,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analog.solver import AnalogMaxFlowResult, AnalogMaxFlowSolver
-from ..errors import AlgorithmError
+from ..errors import AlgorithmError, InfeasibleFlowError, ReproError, SolveTimeoutError
 from ..flows.incremental import IncrementalMaxFlow
 from ..flows.registry import ALGORITHMS
 from ..graph.network import FlowNetwork
 from ..graph.updates import MutableFlowNetwork, UpdateBatch, UpdateEvent
+from ..resilience.failover import certify_flow_result
+from ..resilience.faults import corrupt_value, fault_point
+from ..resilience.policy import Deadline, deadline_scope
 from .api import SolveRequest, SolveResult
 from .cache import CompiledCircuitCache
 
@@ -127,6 +130,13 @@ class StreamingSession:
     delta_tolerance:
         Minimum per-edge flow change reported in
         :attr:`StreamingDelta.changed_edge_flows`.
+    validate:
+        Gate every pushed result through a feasibility check
+        (:func:`~repro.resilience.failover.certify_flow_result`).  A warm
+        result that fails the check is discarded and re-solved cold once
+        (counted in ``degraded_pushes``); a cold result that still fails
+        raises :class:`~repro.errors.InfeasibleFlowError` — corrupted
+        answers never reach the caller silently.
 
     Examples
     --------
@@ -153,6 +163,7 @@ class StreamingSession:
         cold_ratio: float = 0.25,
         delta_tolerance: float = 1e-9,
         options: Optional[Dict[str, Any]] = None,
+        validate: bool = False,
     ) -> None:
         if backend != "analog" and backend not in ALGORITHMS:
             known = ", ".join(["analog"] + sorted(ALGORITHMS))
@@ -161,10 +172,12 @@ class StreamingSession:
         self.cold_ratio = cold_ratio
         self.delta_tolerance = delta_tolerance
         self.options = dict(options or {})
+        self.validate = validate
         self.cache = cache if cache is not None else CompiledCircuitCache(max_entries=8)
         self._mutable = MutableFlowNetwork(network, copy=True)
         self.warm_solves = 0
         self.cold_solves = 0
+        self.degraded_pushes = 0
         self.recompiles = 0
         self.total_solve_time_s = 0.0
         self._opened_at = time.perf_counter()
@@ -232,6 +245,7 @@ class StreamingSession:
             "pushes": pushes,
             "warm_solves": self.warm_solves,
             "cold_solves": self.cold_solves,
+            "degraded_pushes": self.degraded_pushes,
             "recompiles": self.recompiles,
             "flow_value": self.flow_value,
             "solve_time_total_s": self.total_solve_time_s,
@@ -243,7 +257,11 @@ class StreamingSession:
     # Update ingestion
     # ------------------------------------------------------------------
 
-    def push(self, events: Iterable[UpdateEvent]) -> StreamingDelta:
+    def push(
+        self,
+        events: Iterable[UpdateEvent],
+        deadline: "Deadline | float | None" = None,
+    ) -> StreamingDelta:
         """Apply an update batch and re-solve, returning the delta view.
 
         Parameters
@@ -253,6 +271,12 @@ class StreamingSession:
             :class:`~repro.graph.updates.EdgeInsert` /
             :class:`~repro.graph.updates.EdgeRemove` events, applied in
             order (see :meth:`repro.graph.updates.MutableFlowNetwork.apply`).
+        deadline:
+            Optional wall-clock budget (seconds or a
+            :class:`~repro.resilience.policy.Deadline`) for this push.  On
+            expiry :class:`~repro.errors.SolveTimeoutError` is raised and
+            the session's warm state is discarded, so the next push rebuilds
+            cold from the (already-applied) current revision.
 
         Returns
         -------
@@ -272,20 +296,85 @@ class StreamingSession:
                 recompiled=False,
                 flow_delta=0.0,
             )
-        if self.backend == "analog":
-            result = self._analog_solve(batch)
-            warm = result.cache_hit
+        with deadline_scope(deadline, label=f"streaming push rev {batch.revision}"):
+            try:
+                if self.backend == "analog":
+                    result, warm = self._analog_push(batch)
+                else:
+                    result, warm = self._classical_push(batch)
+            except ReproError:
+                # The events are already applied to the network; dropping the
+                # warm solver state keeps the session consistent — the next
+                # push (or a retry) rebuilds cold at the current revision.
+                self._invalidate()
+                raise
+        self._last = result
+        return self._delta(previous, result, batch, warm, recompiles_before)
+
+    def _invalidate(self) -> None:
+        """Discard warm solver state after a failed push (session stays usable)."""
+        self._compiled = None
+        self._analog_previous = None
+        self._incremental = None
+
+    def _classical_push(self, batch: UpdateBatch) -> Tuple[SolveResult, bool]:
+        if self._incremental is None:
+            # A previous push died mid-solve: rebuild the engine cold at the
+            # current revision (the mutable network carries every batch).
+            self._incremental = IncrementalMaxFlow(
+                self._mutable, algorithm=self.backend, cold_ratio=self.cold_ratio
+            )
+            self.degraded_pushes += 1
+            self.cold_solves += 1
+            self.total_solve_time_s += self._incremental.result.wall_time_s
+            inc_result = self._incremental.result
+            warm = False
         else:
+            repair_failures = self._incremental.repair_failures
             inc_result = self._incremental.apply(batch)
+            if self._incremental.repair_failures > repair_failures:
+                self.degraded_pushes += 1
             warm = inc_result.algorithm.startswith("incremental")
             if warm:
                 self.warm_solves += 1
             else:
                 self.cold_solves += 1
             self.total_solve_time_s += inc_result.wall_time_s
-            result = self._as_solve_result(inc_result, warm=warm)
-        self._last = result
-        return self._delta(previous, result, batch, warm, recompiles_before)
+        result = self._as_solve_result(inc_result, warm=warm)
+        if self.validate:
+            certify_flow_result(
+                self._mutable.network, result.flow_value, result.edge_flows, exact=True
+            )
+        return result, warm
+
+    def _analog_push(self, batch: UpdateBatch) -> Tuple[SolveResult, bool]:
+        result = self._analog_solve(batch)
+        warm = result.cache_hit
+        if self.validate:
+            try:
+                certify_flow_result(
+                    self._mutable.network,
+                    result.flow_value,
+                    result.edge_flows,
+                    exact=False,
+                )
+            except InfeasibleFlowError:
+                if not warm:
+                    raise
+                # Corrupted warm answer: discard the warm state, re-solve
+                # cold once and insist the cold answer certifies.
+                self._compiled = None
+                self._analog_previous = None
+                self.degraded_pushes += 1
+                result = self._analog_solve(batch)
+                warm = False
+                certify_flow_result(
+                    self._mutable.network,
+                    result.flow_value,
+                    result.edge_flows,
+                    exact=False,
+                )
+        return result, warm
 
     # ------------------------------------------------------------------
     # Backend plumbing
@@ -329,6 +418,24 @@ class StreamingSession:
         network = self._mutable.network
         structural = batch is None or batch.structural or self._compiled is None
         warm = False
+        analog = None
+        if not structural:
+            try:
+                fault_point("streaming-warm", "analog")
+                analog = self.analog_solver.resolve(
+                    self._compiled, network=network, previous=self._analog_previous
+                )
+                self.warm_solves += 1
+                warm = True
+            except SolveTimeoutError:
+                raise
+            except ReproError:
+                # Warm re-solve failed (substrate fault, singular update …):
+                # degrade to a cold recompile of the same revision.
+                self._compiled = None
+                self._analog_previous = None
+                self.degraded_pushes += 1
+                structural = True
         if structural:
             key = (
                 self._mutable.topology_signature(),
@@ -355,23 +462,23 @@ class StreamingSession:
                 self._compiled, network=network, previous=None
             )
             self.cold_solves += 1
-        else:
-            analog = self.analog_solver.resolve(
-                self._compiled, network=network, previous=self._analog_previous
-            )
-            self.warm_solves += 1
-            warm = True
         self._analog_previous = analog
         elapsed = time.perf_counter() - start
         self.total_solve_time_s += elapsed
         request = SolveRequest(
             network=network, backend="analog", options=dict(self.options)
         )
+        # The readout builds a fresh flow dict per decode; no copy needed.
+        flow_value = corrupt_value("analog-readout", "analog", analog.flow_value)
+        edge_flows = analog.edge_flows
+        if flow_value != analog.flow_value and analog.flow_value != 0.0:
+            # Injected readout corruption scales the whole decode coherently.
+            factor = flow_value / analog.flow_value
+            edge_flows = {k: f * factor for k, f in edge_flows.items()}
         return SolveResult(
             request=request,
-            flow_value=analog.flow_value,
-            # The readout builds a fresh flow dict per decode; no copy needed.
-            edge_flows=analog.edge_flows,
+            flow_value=flow_value,
+            edge_flows=edge_flows,
             wall_time_s=elapsed,
             cache_hit=warm,
             detail=analog,

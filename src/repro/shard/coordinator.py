@@ -40,6 +40,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import DecompositionError
 from ..graph.network import FlowNetwork
+from ..resilience.policy import check_deadline
 from .executor import ShardExecutor, ShardSolve
 from .partition import MultiwayPartition, partition_multiway
 
@@ -159,6 +160,7 @@ class ShardCoordinator:
         analog_solver=None,
         warm: bool = True,
         cold_ratio: float = 0.25,
+        retry=None,
     ) -> ShardOutcome:
         """Run the coordinated N-way solve on ``network``.
 
@@ -166,10 +168,10 @@ class ShardCoordinator:
         ----------
         network:
             The instance to solve.
-        backend, executor, max_workers, analog_solver, warm, cold_ratio:
+        backend, executor, max_workers, analog_solver, warm, cold_ratio, retry:
             Passed through to :class:`~repro.shard.executor.ShardExecutor`
             (per-shard backend choice, service executor layer, warm shard
-            re-solves across iterations).
+            re-solves across iterations, per-shard retry policy).
 
         Returns
         -------
@@ -209,8 +211,10 @@ class ShardCoordinator:
             analog_solver=analog_solver,
             warm=warm,
             cold_ratio=cold_ratio,
+            retry=retry,
         ) as shards:
             for iteration in range(1, self.max_iterations + 1):
+                check_deadline("shard coordinator iteration")
                 coefficients, constant = self._coefficients(
                     partition.num_shards, overlap, members, multipliers
                 )

@@ -39,6 +39,8 @@ from ..flows.mincut import min_cut_from_flow
 from ..flows.registry import ALGORITHMS, get_algorithm
 from ..graph.network import FlowNetwork
 from ..graph.updates import CapacityUpdate, MutableFlowNetwork
+from ..resilience.faults import fault_point
+from ..resilience.policy import RetryPolicy, active_deadline, deadline_scope
 from .partition import MultiwayPartition
 
 __all__ = ["ShardSolve", "ShardExecutor"]
@@ -149,8 +151,21 @@ class _ShardState:
             self._pending.append(self.mutable.apply(events))
         return len(events)
 
+    def reset(self) -> None:
+        """Drop all warm state so the next solve rebuilds cold.
+
+        Called between retry attempts: a failure can leave the incremental
+        engine / analog operating point half-updated, and a cold rebuild
+        only depends on the (consistent) augmented network.
+        """
+        self._pending.clear()
+        self._incremental = None
+        self.compiled = None
+        self.previous = None
+
     def solve(self) -> ShardSolve:
         """Solve the current augmented shard network with its backend."""
+        fault_point("shard-solve", self.backend)
         start = time.perf_counter()
         if self.backend == ANALOG_BACKEND:
             value, side, warm = self._solve_analog()
@@ -300,6 +315,11 @@ class ShardExecutor:
         Warm engine cutover: batches touching more than this fraction of a
         shard's edges rebuild cold (see
         :class:`~repro.flows.incremental.IncrementalMaxFlow`).
+    retry:
+        Optional :class:`~repro.resilience.policy.RetryPolicy` for failed
+        shard solves (thread/serial executors): each retry first drops the
+        shard's warm state so the attempt rebuilds cold from the consistent
+        augmented network.  Timeouts are never retried.
     """
 
     def __init__(
@@ -311,6 +331,7 @@ class ShardExecutor:
         analog_solver=None,
         warm: bool = True,
         cold_ratio: float = 0.25,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         from ..service.batch import ParallelMap, _default_max_workers
 
@@ -337,6 +358,7 @@ class ShardExecutor:
 
         self.partition = partition
         self.backends = backends
+        self.retry = retry
         if max_workers is None:
             max_workers = min(num_shards, _default_max_workers())
         self._pool = ParallelMap(executor=executor, max_workers=max_workers)
@@ -432,7 +454,27 @@ class ShardExecutor:
                     )
                 )
             return solves
-        return self._pool.map(lambda state: state.solve(), self._states)
+        # Capture the ambient deadline at dispatch: Deadline objects carry
+        # an absolute expiry, but context variables do not propagate into
+        # pool threads, so each worker re-opens the scope itself.
+        deadline = active_deadline()
+        retry = self.retry
+
+        def solve_state(state: _ShardState) -> ShardSolve:
+            with deadline_scope(deadline):
+                if retry is None:
+                    return state.solve()
+                # run() owns the attempt budget; each failed attempt drops
+                # the shard's warm state so the next one rebuilds cold
+                # (timeouts propagate immediately, never retried).
+                return retry.run(
+                    state.solve,
+                    on_retry=lambda attempt, exc: state.reset(),
+                )
+
+        return self._pool.map(
+            solve_state, self._states, describe=lambda s: f"shard {s.shard} ({s.backend})"
+        )
 
     def close(self) -> None:
         """Release the worker pool (idempotent)."""

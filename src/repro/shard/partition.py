@@ -23,7 +23,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 from ..errors import DecompositionError
 from ..graph.network import FlowNetwork
 
-__all__ = ["MultiwayPartition", "partition_multiway"]
+__all__ = ["MultiwayPartition", "partition_multiway", "validate_partition_args"]
 
 Vertex = Hashable
 
@@ -152,6 +152,49 @@ def _chunk_bounds(total: int, fractions: Sequence[float]) -> List[int]:
     return bounds
 
 
+def validate_partition_args(
+    network: FlowNetwork,
+    num_shards: int,
+    method: str = "bfs",
+    fractions: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Validate partition arguments and return the normalised fractions.
+
+    Shared by :func:`partition_multiway` and the service layer, which
+    validates *eagerly* so that configuration mistakes fail fast instead of
+    being mistaken for runtime solve failures (and e.g. triggering an
+    unsharded degradation fallback).
+
+    Raises
+    ------
+    DecompositionError
+        For fewer than 2 shards, more shards than vertices, malformed
+        fractions or an unknown ``method``.
+    """
+    if num_shards < 2:
+        raise DecompositionError("partition_multiway needs at least 2 shards")
+    # The terminals are pinned to the first/last core, so the chunking runs
+    # over the interior vertices only — each of the N chunks needs one.
+    if num_shards > max(2, network.num_vertices - 2):
+        raise DecompositionError(
+            f"cannot cut {network.num_vertices - 2} interior vertices into "
+            f"{num_shards} shards"
+        )
+    if method not in PARTITION_METHODS:
+        known = ", ".join(PARTITION_METHODS)
+        raise DecompositionError(f"unknown partition method {method!r}; known: {known}")
+    if fractions is None:
+        return [1.0 / num_shards] * num_shards
+    fractions = [float(f) for f in fractions]
+    if len(fractions) != num_shards:
+        raise DecompositionError(
+            f"got {len(fractions)} fractions for {num_shards} shards"
+        )
+    if any(f <= 0 for f in fractions) or abs(sum(fractions) - 1.0) > 1e-6:
+        raise DecompositionError("fractions must be positive and sum to 1")
+    return fractions
+
+
 def partition_multiway(
     network: FlowNetwork,
     num_shards: int,
@@ -187,28 +230,7 @@ def partition_multiway(
         For fewer than 2 shards, more shards than vertices, malformed
         fractions or an unknown ``method``.
     """
-    if num_shards < 2:
-        raise DecompositionError("partition_multiway needs at least 2 shards")
-    # The terminals are pinned to the first/last core, so the chunking runs
-    # over the interior vertices only — each of the N chunks needs one.
-    if num_shards > max(2, network.num_vertices - 2):
-        raise DecompositionError(
-            f"cannot cut {network.num_vertices - 2} interior vertices into "
-            f"{num_shards} shards"
-        )
-    if method not in PARTITION_METHODS:
-        known = ", ".join(PARTITION_METHODS)
-        raise DecompositionError(f"unknown partition method {method!r}; known: {known}")
-    if fractions is None:
-        fractions = [1.0 / num_shards] * num_shards
-    else:
-        fractions = [float(f) for f in fractions]
-        if len(fractions) != num_shards:
-            raise DecompositionError(
-                f"got {len(fractions)} fractions for {num_shards} shards"
-            )
-        if any(f <= 0 for f in fractions) or abs(sum(fractions) - 1.0) > 1e-6:
-            raise DecompositionError("fractions must be positive and sum to 1")
+    fractions = validate_partition_args(network, num_shards, method, fractions)
 
     order = _bfs_order(network) if method == "bfs" else _geometric_order(network)
     # The terminals get pinned to the first/last core below; keep them out of

@@ -151,3 +151,81 @@ class TestNonIdealityModel:
     def test_invalid_nonidealities(self, kwargs):
         with pytest.raises(ConfigurationError):
             NonIdealityModel(**kwargs).validate()
+
+
+class TestEnvHelpers:
+    """The centralized environment-knob parsers (shared by the kernel toggle
+    and every resilience knob — 'what counts as off' is defined once)."""
+
+    def test_env_flag_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("_REPRO_TEST_FLAG", raising=False)
+        from repro.config import env_flag
+
+        assert env_flag("_REPRO_TEST_FLAG") is True
+        assert env_flag("_REPRO_TEST_FLAG", default=False) is False
+
+    @pytest.mark.parametrize("spelling", ["0", "off", "OFF", " false ", "No"])
+    def test_env_flag_false_spellings(self, monkeypatch, spelling):
+        from repro.config import env_flag
+
+        monkeypatch.setenv("_REPRO_TEST_FLAG", spelling)
+        assert env_flag("_REPRO_TEST_FLAG") is False
+
+    @pytest.mark.parametrize("spelling", ["1", "on", "yes", "anything"])
+    def test_env_flag_true_spellings(self, monkeypatch, spelling):
+        from repro.config import env_flag
+
+        monkeypatch.setenv("_REPRO_TEST_FLAG", spelling)
+        assert env_flag("_REPRO_TEST_FLAG", default=False) is True
+
+    def test_env_flag_extra_false_values(self, monkeypatch):
+        from repro.config import env_flag
+
+        monkeypatch.setenv("_REPRO_TEST_FLAG", "Reference")
+        assert env_flag("_REPRO_TEST_FLAG", extra_false=("reference",)) is False
+
+    def test_env_float_and_int(self, monkeypatch):
+        from repro.config import env_float, env_int
+
+        monkeypatch.delenv("_REPRO_TEST_NUM", raising=False)
+        assert env_float("_REPRO_TEST_NUM", 1.5) == 1.5
+        assert env_int("_REPRO_TEST_NUM", 7) == 7
+        monkeypatch.setenv("_REPRO_TEST_NUM", "2.5")
+        assert env_float("_REPRO_TEST_NUM", 0.0) == 2.5
+        monkeypatch.setenv("_REPRO_TEST_NUM", "42")
+        assert env_int("_REPRO_TEST_NUM", 0) == 42
+
+    def test_env_numbers_reject_garbage_typed(self, monkeypatch):
+        from repro.config import env_float, env_int
+
+        monkeypatch.setenv("_REPRO_TEST_NUM", "tuesday")
+        with pytest.raises(ConfigurationError):
+            env_float("_REPRO_TEST_NUM", 0.0)
+        with pytest.raises(ConfigurationError):
+            env_int("_REPRO_TEST_NUM", 0)
+
+    def test_env_plan_grammar(self):
+        from repro.config import env_plan
+
+        entries = env_plan(
+            "_X_", raw=" kind=stall , stall_s=0.2 ; ; kind=corrupt ;"
+        )
+        assert entries == [
+            {"kind": "stall", "stall_s": "0.2"},
+            {"kind": "corrupt"},
+        ]
+        assert env_plan("_X_", raw="") == []
+
+    def test_env_plan_rejects_malformed(self):
+        from repro.config import env_plan
+
+        with pytest.raises(ConfigurationError):
+            env_plan("_X_", raw="no-equals-sign")
+        with pytest.raises(ConfigurationError):
+            env_plan("_X_", raw="=value")
+
+    def test_env_plan_reads_environment(self, monkeypatch):
+        from repro.config import env_plan
+
+        monkeypatch.setenv("_REPRO_TEST_PLAN", "kind=error,times=2")
+        assert env_plan("_REPRO_TEST_PLAN") == [{"kind": "error", "times": "2"}]

@@ -1,0 +1,63 @@
+"""The error taxonomy contract: one catchable root, typed leaves.
+
+Every exception the package raises must subclass :class:`repro.errors.ReproError`
+so that service layers (and users) can write ``except ReproError`` once and
+catch *everything* typed — the property the failover and retry machinery of
+:mod:`repro.resilience` is built on.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import (
+    BackendUnavailableError,
+    FaultInjectedError,
+    ReproError,
+    ResilienceError,
+    SolveTimeoutError,
+)
+
+
+class TestHierarchy:
+    def test_every_public_name_subclasses_repro_error(self):
+        for name in errors.__all__:
+            obj = getattr(errors, name)
+            assert inspect.isclass(obj), f"{name} is not a class"
+            assert issubclass(obj, ReproError), f"{name} escapes ReproError"
+            assert issubclass(obj, Exception)
+
+    def test_every_module_level_exception_is_exported(self):
+        # No hidden exception classes: anything defined in the module that
+        # subclasses Exception must be in __all__ (so failover code that
+        # matches on the taxonomy can't be surprised).
+        for name, obj in vars(errors).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert name in errors.__all__, f"{name} defined but not exported"
+
+    def test_root_is_exception_not_base_exception_leaf(self):
+        # ReproError must not derive from SystemExit/KeyboardInterrupt,
+        # which would let `except ReproError` eat interpreter shutdowns.
+        assert not issubclass(ReproError, SystemExit)
+        assert not issubclass(ReproError, KeyboardInterrupt)
+        assert issubclass(ReproError, Exception)
+
+    def test_resilience_errors_form_their_own_family(self):
+        assert issubclass(ResilienceError, ReproError)
+        for leaf in (SolveTimeoutError, BackendUnavailableError, FaultInjectedError):
+            assert issubclass(leaf, ResilienceError)
+
+    def test_timeout_is_catchable_and_distinguishable(self):
+        # The failover machinery relies on timeouts being ReproErrors that
+        # are nevertheless *distinguishable* from retryable failures.
+        with pytest.raises(ReproError):
+            raise SolveTimeoutError("budget gone")
+        assert not issubclass(errors.ConvergenceError, ResilienceError)
+
+    def test_names_are_stable_strings(self):
+        # error_type fields serialize type names; duplicates would make
+        # them ambiguous.
+        assert len(errors.__all__) == len(set(errors.__all__))

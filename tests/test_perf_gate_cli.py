@@ -54,9 +54,11 @@ class TestListSuites:
             "shard",
             "problems",
             "kernel",
+            "resilience",
         }
         assert perf_gate.SUITES["problems"][1] == "BENCH_problems.json"
         assert perf_gate.SUITES["kernel"][1] == "BENCH_kernel.json"
+        assert perf_gate.SUITES["resilience"][1] == "BENCH_resilience.json"
 
 
 class TestErrorPaths:
@@ -104,3 +106,40 @@ class TestProblemsSuiteSmoke:
             assert row["total_ms"] >= 0.0
         summary = capsys.readouterr().out
         assert "wrote" in summary and "certified" in summary
+
+
+class TestResilienceSuiteSmoke:
+    def test_resilience_suite_records_overhead_and_recovery(
+        self, perf_gate, tmp_path, capsys
+    ):
+        output = tmp_path / "BENCH_resilience.json"
+        status = perf_gate.main(
+            [
+                "--suite",
+                "resilience",
+                "--scale",
+                "0.02",
+                "--repeats",
+                "1",
+                "--output",
+                str(output),
+            ]
+        )
+        assert status == 0
+        record = json.loads(output.read_text())
+        assert record["overhead"]["value_diff"] <= 1e-9
+        assert set(record["recovery"]) == {
+            "convergence",
+            "singular",
+            "error",
+            "stall",
+        }
+        for kind, row in record["recovery"].items():
+            if kind == "stall":
+                assert row["outcome"] == "deadline-abort"
+            else:
+                assert row["outcome"] == "degraded"
+                assert row["fallback_backend"] == "dinic"
+                assert row["value_error"] <= 1e-9
+        summary = capsys.readouterr().out
+        assert "fault-free" in summary and "deadline-abort" in summary

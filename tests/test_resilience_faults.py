@@ -1,0 +1,413 @@
+"""Fault-injection matrix: every service x every fault class.
+
+The contract under test (ISSUE 7 / docs/architecture.md): for each cell of
+(batch, streaming, sharded, problems) x (convergence, singular, error,
+stall + deadline, corrupt), the service either
+
+* **recovers** — returns a result equal to the fault-free reference (exact
+  for classical fallbacks, within the analog tolerance otherwise), marked
+  ``degraded`` where a fallback ran — or
+* **fails typed** — raises / reports a :class:`~repro.errors.ReproError`
+  subclass (never a bare Exception, never a silent wrong answer),
+
+and never hangs: stalls are bounded by tiny deadlines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FlowNetwork, grid_graph
+from repro.errors import (
+    CertificateError,
+    ConfigurationError,
+    InfeasibleFlowError,
+    ReproError,
+    SolveTimeoutError,
+)
+from repro.flows.dinic import Dinic
+from repro.graph.updates import CapacityUpdate
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    corrupt_value,
+    fault_point,
+    inject_faults,
+)
+from repro.service import BatchSolveService, SolveRequest
+from repro.service.problems import ProblemSolveService
+from repro.service.sharded import ShardedSolveService
+from repro.service.streaming import StreamingSession
+
+RAISING_KINDS = ["convergence", "singular", "error"]
+EXACT = 1e-9
+ANALOG_RTOL = 0.1  # warm resolves drift a few percent more than solve()
+
+
+def certificate_grade_analog():
+    """Unquantized adaptive-drive solver: accurate enough that an inflated
+    readout violates saturated min-cut capacities (the detection premise)."""
+    from repro.analog import AnalogMaxFlowSolver
+
+    return AnalogMaxFlowSolver(quantize=False, adaptive_drive=True)
+
+
+def analog_session(network, **kwargs):
+    """Streaming session on the compiled/resolve analog path.
+
+    ``resolve()`` reuses the compiled drive voltage (adaptive drive only
+    applies in ``solve()``), so the session needs an explicit ``vflow_v``
+    big enough for the instance — 6 V saturates a unit-capacity grid.
+    """
+    return StreamingSession(
+        network,
+        backend="analog",
+        analog_solver=certificate_grade_analog(),
+        options={"vflow_v": 6.0},
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def network():
+    return grid_graph(3, 4, capacity=4.0, seed=11)
+
+
+@pytest.fixture()
+def reference(network):
+    return Dinic().solve(network).flow_value
+
+
+# ---------------------------------------------------------------------------
+# Injector unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_plan_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(kind="meteor")
+        with pytest.raises(ConfigurationError):
+            FaultPlan(kind="corrupt", relative_error=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(kind="stall", times=-1)
+
+    def test_spec_parsing_and_wildcards(self):
+        injector = FaultInjector.from_spec(
+            "kind=convergence,backend=analog,times=2;kind=corrupt,relative_error=0.5"
+        )
+        assert len(injector.plans) == 2
+        assert injector.plans[0].matches("batch-solve", "analog")
+        assert not injector.plans[0].matches("batch-solve", "dinic")
+        assert injector.plans[1].matches("anything", "anything")
+
+    def test_bad_spec_keys_are_typed_errors(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector.from_spec("kind=stall,wibble=1")
+        with pytest.raises(ConfigurationError):
+            FaultInjector.from_spec("backend=analog")  # no kind
+
+    def test_times_and_skip_counters(self):
+        plan = FaultPlan(kind="error", times=2, skip=1)
+        with inject_faults(plan):
+            fault_point("site", "b")  # skipped
+            with pytest.raises(ReproError):
+                fault_point("site", "b")
+            with pytest.raises(ReproError):
+                fault_point("site", "b")
+            fault_point("site", "b")  # budget of 2 spent
+        assert plan.matched == 4 and plan.fired == 2
+
+    def test_corrupt_always_inflates(self):
+        with inject_faults("kind=corrupt,relative_error=0.5,times=0"):
+            assert corrupt_value("analog-readout", "analog", 2.0) == pytest.approx(3.0)
+        assert corrupt_value("analog-readout", "analog", 2.0) == 2.0  # inactive
+
+    def test_env_var_activation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "kind=error,site=env-only,times=1")
+        with pytest.raises(ReproError):
+            fault_point("env-only", "x")
+        fault_point("env-only", "x")  # fired once, now spent
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "")
+        fault_point("env-only", "x")
+
+    def test_context_manager_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "kind=error,times=0")
+        with inject_faults("kind=error,site=elsewhere,times=0"):
+            fault_point("here", "x")  # override only matches 'elsewhere'
+        with pytest.raises(ReproError):
+            fault_point("here", "x")  # env plan visible again
+
+
+# ---------------------------------------------------------------------------
+# Batch service
+# ---------------------------------------------------------------------------
+
+
+class TestBatchMatrix:
+    @pytest.mark.parametrize("kind", RAISING_KINDS)
+    def test_analog_fault_degrades_to_exact(self, network, reference, kind):
+        service = BatchSolveService(failover=True)
+        with inject_faults(f"kind={kind},site=batch-solve,backend=analog,times=0"):
+            report = service.solve_batch(
+                [SolveRequest(network=network, backend="analog")]
+            )
+        result = report.results[0]
+        assert result.ok and result.degraded
+        assert result.failover_trail
+        assert result.flow_value == pytest.approx(reference, abs=EXACT)
+        assert report.num_degraded == 1
+
+    @pytest.mark.parametrize("kind", RAISING_KINDS)
+    def test_without_failover_failures_are_typed_entries(self, network, kind):
+        service = BatchSolveService()
+        with inject_faults(f"kind={kind},site=batch-solve,times=0"):
+            report = service.solve_batch(
+                [SolveRequest(network=network, backend="dinic")]
+            )
+        result = report.results[0]
+        assert not result.ok
+        assert result.error_type in (
+            "ConvergenceError", "SingularCircuitError", "FaultInjectedError"
+        )
+        assert report.error_counts()[result.error_type] == 1
+
+    def test_transient_fault_is_absorbed_by_failover_retry(self, network, reference):
+        service = BatchSolveService(failover=True)
+        with inject_faults("kind=convergence,site=batch-solve,backend=dinic,times=1"):
+            result = service.solve(network, backend="dinic")
+        assert result.ok
+        assert result.flow_value == pytest.approx(reference, abs=EXACT)
+
+    def test_stall_bounded_by_deadline(self, network):
+        service = BatchSolveService()
+        with inject_faults("kind=stall,site=batch-solve,stall_s=5.0,times=0"):
+            report = service.solve_batch(
+                [SolveRequest(network=network, backend="dinic")], deadline=0.05
+            )
+        result = report.results[0]
+        assert not result.ok
+        assert result.error_type == "SolveTimeoutError"
+
+    def test_corrupt_readout_is_rejected_then_degraded(self, network, reference):
+        service = BatchSolveService(
+            failover=True, analog_solver=certificate_grade_analog()
+        )
+        with inject_faults(
+            "kind=corrupt,site=analog-readout,relative_error=0.5,times=0"
+        ):
+            report = service.solve_batch(
+                [SolveRequest(network=network, backend="analog")]
+            )
+        result = report.results[0]
+        # Validation must refuse the corrupted analog answer and hand the
+        # request to an exact fallback — never return the inflated value.
+        assert result.ok and result.degraded
+        assert result.flow_value == pytest.approx(reference, abs=EXACT)
+        assert any("Infeasible" in step for step in result.failover_trail)
+
+    def test_thread_executor_cells_recover_too(self, network, reference):
+        service = BatchSolveService(executor="thread", max_workers=2, failover=True)
+        with inject_faults("kind=singular,site=batch-solve,backend=analog,times=0"):
+            report = service.solve_batch(
+                [SolveRequest(network=network, backend="analog") for _ in range(3)]
+            )
+        assert report.num_failed == 0
+        for result in report.results:
+            assert result.flow_value == pytest.approx(reference, abs=EXACT)
+
+
+# ---------------------------------------------------------------------------
+# Streaming sessions
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingMatrix:
+    @pytest.mark.parametrize("kind", RAISING_KINDS)
+    def test_classical_repair_fault_recovers_cold(self, network, kind):
+        session = StreamingSession(network, backend="dinic", validate=True)
+        with inject_faults(f"kind={kind},site=warm-repair,times=1"):
+            delta = session.push([CapacityUpdate(0, 1.0)])
+        edited = session.snapshot()
+        assert delta.flow_value == pytest.approx(
+            Dinic().solve(edited).flow_value, abs=EXACT
+        )
+        assert session.degraded_pushes == 1
+
+    @pytest.mark.parametrize("kind", RAISING_KINDS)
+    def test_analog_warm_fault_degrades_to_cold_recompile(self, kind):
+        session = analog_session(grid_graph(3, 4, capacity=1.0, seed=11))
+        with inject_faults(f"kind={kind},site=streaming-warm,times=1"):
+            delta = session.push([CapacityUpdate(0, 0.5)])
+        reference = Dinic().solve(session.snapshot()).flow_value
+        assert not delta.warm
+        assert session.degraded_pushes == 1
+        assert delta.flow_value == pytest.approx(reference, rel=ANALOG_RTOL)
+
+    def test_stall_bounded_by_deadline_session_stays_usable(self, network):
+        session = StreamingSession(network, backend="dinic")
+        with inject_faults("kind=stall,site=warm-repair,stall_s=5.0,times=1"):
+            with pytest.raises(SolveTimeoutError):
+                session.push([CapacityUpdate(0, 1.0)], deadline=0.05)
+        # The events were applied; the next push rebuilds cold and agrees
+        # with an exact solve of the current revision.
+        delta = session.push([CapacityUpdate(1, 2.0)])
+        assert delta.flow_value == pytest.approx(
+            Dinic().solve(session.snapshot()).flow_value, abs=EXACT
+        )
+
+    def test_corrupt_readout_validated_and_recovered(self):
+        session = analog_session(
+            grid_graph(3, 4, capacity=1.0, seed=11), validate=True
+        )
+        with inject_faults(
+            "kind=corrupt,site=analog-readout,relative_error=0.5,times=1"
+        ):
+            delta = session.push([CapacityUpdate(0, 0.5)])
+        reference = Dinic().solve(session.snapshot()).flow_value
+        assert delta.flow_value == pytest.approx(reference, rel=ANALOG_RTOL)
+
+    def test_persistent_corruption_raises_typed_never_silent(self):
+        session = analog_session(
+            grid_graph(3, 4, capacity=1.0, seed=11), validate=True
+        )
+        with inject_faults(
+            "kind=corrupt,site=analog-readout,relative_error=0.5,times=0"
+        ):
+            with pytest.raises(InfeasibleFlowError):
+                session.push([CapacityUpdate(0, 0.5)])
+        # Session recovers once the fault clears.
+        delta = session.push([CapacityUpdate(1, 0.75)])
+        reference = Dinic().solve(session.snapshot()).flow_value
+        assert delta.flow_value == pytest.approx(reference, rel=ANALOG_RTOL)
+
+
+# ---------------------------------------------------------------------------
+# Sharded service
+# ---------------------------------------------------------------------------
+
+
+class TestShardedMatrix:
+    @pytest.mark.parametrize("kind", RAISING_KINDS)
+    def test_persistent_shard_fault_falls_back_unsharded(
+        self, network, reference, kind
+    ):
+        service = ShardedSolveService(executor="serial")
+        with inject_faults(f"kind={kind},site=shard-solve,times=0"):
+            sharded = service.solve(network, shards=2, backend="dinic")
+        assert sharded.result.ok and sharded.result.degraded
+        assert sharded.result.flow_value == pytest.approx(reference, abs=EXACT)
+        assert sharded.report.num_shards == 1
+        assert sharded.result.edge_flows  # the fallback is a real flow
+
+    def test_transient_shard_fault_recovers_via_retry(self, network, reference):
+        service = ShardedSolveService(executor="serial")
+        with inject_faults("kind=convergence,site=shard-solve,times=1"):
+            sharded = service.solve(network, shards=2, backend="dinic")
+        assert not sharded.result.degraded
+        assert sharded.result.flow_value == pytest.approx(reference, abs=EXACT)
+
+    def test_stall_bounded_by_deadline_no_fallback(self, network):
+        service = ShardedSolveService(executor="serial")
+        with inject_faults("kind=stall,site=shard-solve,stall_s=5.0,times=0"):
+            with pytest.raises(SolveTimeoutError):
+                service.solve(network, shards=2, backend="dinic", deadline=0.05)
+
+    def test_corrupt_cannot_touch_exact_sharded_solves(self, network, reference):
+        # Corrupt faults only exist at analog readouts; a classical sharded
+        # solve has none, so the answer must equal the reference untouched.
+        service = ShardedSolveService(executor="serial")
+        with inject_faults("kind=corrupt,relative_error=0.5,times=0"):
+            sharded = service.solve(network, shards=2, backend="dinic")
+        assert sharded.result.flow_value == pytest.approx(reference, abs=EXACT)
+
+    def test_fallback_false_raises_typed(self, network):
+        service = ShardedSolveService(executor="serial")
+        with inject_faults("kind=singular,site=shard-solve,times=0"):
+            with pytest.raises(ReproError):
+                service.solve(network, shards=2, backend="dinic", fallback=False)
+
+
+# ---------------------------------------------------------------------------
+# Problems service
+# ---------------------------------------------------------------------------
+
+
+def _matching_problem():
+    from repro.problems import BipartiteMatching
+
+    return BipartiteMatching(
+        ["a", "b", "c"],
+        ["x", "y", "z"],
+        [("a", "x"), ("b", "x"), ("b", "y"), ("c", "y"), ("c", "z")],
+    )
+
+
+class TestProblemsMatrix:
+    @pytest.mark.parametrize("kind", RAISING_KINDS)
+    def test_backend_fault_walks_degradation_chain(self, kind):
+        problem = _matching_problem()
+        service = ProblemSolveService()
+        baseline = service.solve(problem, backend="dinic")
+        with inject_faults(f"kind={kind},site=batch-solve,backend=dinic,times=0"):
+            solved = service.solve(problem, backend="dinic")
+        assert solved.certified
+        assert solved.result.degraded
+        assert solved.value == pytest.approx(baseline.value, abs=EXACT)
+        assert solved.report.backend != "dinic"
+
+    def test_stall_bounded_by_deadline(self):
+        service = ProblemSolveService()
+        with inject_faults("kind=stall,site=batch-solve,stall_s=5.0,times=0"):
+            with pytest.raises(SolveTimeoutError):
+                service.solve(_matching_problem(), backend="dinic", deadline=0.05)
+
+    def test_corrupt_analog_fails_certificate_in_strict_mode(self):
+        problem = _matching_problem()
+        strict = ProblemSolveService(strict=True)
+        with inject_faults(
+            "kind=corrupt,site=analog-readout,relative_error=0.5,times=0"
+        ):
+            with pytest.raises(CertificateError):
+                strict.solve(problem, backend="analog")
+
+    def test_corrupt_analog_is_flagged_in_lenient_mode(self):
+        problem = _matching_problem()
+        service = ProblemSolveService()
+        baseline = service.solve(problem, backend="dinic")
+        with inject_faults(
+            "kind=corrupt,site=analog-readout,relative_error=0.5,times=0"
+        ):
+            solved = service.solve(problem, backend="analog")
+        # The decoded answer comes from the exact decode pass (correct), and
+        # the failed cross-check is recorded — never a silent wrong answer.
+        assert solved.value == pytest.approx(baseline.value, abs=EXACT)
+        assert not solved.certified
+        assert "backend-value-consistent" in solved.report.certificate_status
+
+    def test_failover_disabled_fails_typed(self):
+        service = ProblemSolveService(failover=False)
+        with inject_faults("kind=convergence,site=batch-solve,backend=dinic,times=0"):
+            with pytest.raises(ReproError):
+                service.solve(_matching_problem(), backend="dinic")
+
+
+# ---------------------------------------------------------------------------
+# ParallelMap worker-exception context (satellite 3)
+# ---------------------------------------------------------------------------
+
+
+class TestParallelMapContext:
+    def test_worker_exception_carries_item_index_and_description(self):
+        from repro.service.batch import ParallelMap
+
+        def explode(item):
+            raise ValueError(f"boom on {item}")
+
+        pool = ParallelMap(executor="thread", max_workers=2)
+        with pytest.raises(ValueError) as info:
+            pool.map(explode, ["alpha", "beta"], describe=lambda item: f"item={item}")
+        notes = "".join(getattr(info.value, "__notes__", []) or [])
+        combined = notes + str(info.value)
+        assert "while processing item" in combined
+        assert "item=" in combined

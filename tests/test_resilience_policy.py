@@ -1,0 +1,302 @@
+"""Unit tests for the resilience policy primitives.
+
+Covers the :class:`~repro.resilience.policy.Deadline` budget semantics, the
+ambient :func:`deadline_scope` / :func:`check_deadline` plumbing (including
+nesting and thread hand-off), the deterministic
+:class:`~repro.resilience.policy.RetryPolicy` backoff, and the
+:class:`~repro.resilience.policy.CircuitBreaker` state machine.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError, ReproError, SolveTimeoutError
+from repro.resilience.policy import (
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    active_deadline,
+    check_deadline,
+    deadline_scope,
+)
+
+
+class TestDeadline:
+    def test_fresh_deadline_is_not_expired(self):
+        d = Deadline(60.0)
+        assert not d.expired()
+        assert 0.0 < d.remaining() <= 60.0
+        d.check("anywhere")  # no raise
+
+    def test_expired_deadline_raises_with_site_and_label(self):
+        d = Deadline(1e-9, label="unit")
+        with pytest.raises(SolveTimeoutError) as info:
+            while True:
+                d.check("busy loop")
+        assert "busy loop" in str(info.value)
+        assert "unit" in str(info.value)
+
+    def test_budget_must_be_positive(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ConfigurationError):
+                Deadline(bad)
+
+    def test_from_seconds_propagates_none(self):
+        assert Deadline.from_seconds(None) is None
+        assert isinstance(Deadline.from_seconds(5.0), Deadline)
+
+
+class TestDeadlineScope:
+    def test_no_active_deadline_by_default(self):
+        assert active_deadline() is None
+        check_deadline("idle")  # cheap no-op
+
+    def test_scope_makes_deadline_ambient_and_restores(self):
+        with deadline_scope(30.0, label="outer") as d:
+            assert active_deadline() is d
+        assert active_deadline() is None
+
+    def test_none_scope_is_a_no_op(self):
+        with deadline_scope(None):
+            assert active_deadline() is None
+
+    def test_nested_scope_keeps_the_tighter_deadline(self):
+        tight = Deadline(0.5)
+        with deadline_scope(tight):
+            # A looser inner budget must NOT extend the outer one.
+            with deadline_scope(3600.0) as inner:
+                assert inner is tight
+                assert active_deadline() is tight
+            # A tighter inner budget takes over, then restores.
+            tighter = Deadline(0.1)
+            with deadline_scope(tighter) as inner2:
+                assert inner2 is tighter
+            assert active_deadline() is tight
+
+    def test_check_deadline_raises_inside_expired_scope(self):
+        with deadline_scope(1e-9):
+            with pytest.raises(SolveTimeoutError):
+                while True:
+                    check_deadline("spin")
+
+    def test_deadline_object_crosses_threads_by_rescoping(self):
+        # contextvars don't propagate into worker threads; the executors
+        # capture the Deadline object and re-open the scope — the absolute
+        # expiry must mean the same instant there.
+        d = Deadline(1e-9)
+        seen = {}
+
+        def worker():
+            assert active_deadline() is None
+            with deadline_scope(d):
+                try:
+                    while True:
+                        check_deadline("worker")
+                except SolveTimeoutError:
+                    seen["timed_out"] = True
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen == {"timed_out": True}
+
+
+class TestRetryPolicy:
+    def test_success_on_first_attempt_calls_once(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=3, sleep=lambda s: None)
+        assert policy.run(lambda: calls.append(1) or "ok") == "ok"
+        assert len(calls) == 1
+
+    def test_retries_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConvergenceError("transient")
+            return 42
+
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, sleep=lambda s: None)
+        assert policy.run(flaky) == 42
+        assert len(attempts) == 3
+
+    def test_exhausted_attempts_reraise_last_error(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0, sleep=lambda s: None)
+
+        def always():
+            raise ConvergenceError("permanent")
+
+        with pytest.raises(ConvergenceError):
+            policy.run(always)
+
+    def test_non_repro_errors_are_not_retried(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=5, sleep=lambda s: None)
+
+        def boom():
+            calls.append(1)
+            raise ValueError("not ours")
+
+        with pytest.raises(ValueError):
+            policy.run(boom)
+        assert len(calls) == 1
+
+    def test_timeouts_are_never_retried(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=5, sleep=lambda s: None)
+
+        def timed_out():
+            calls.append(1)
+            raise SolveTimeoutError("budget gone")
+
+        with pytest.raises(SolveTimeoutError):
+            policy.run(timed_out)
+        assert len(calls) == 1
+
+    def test_backoff_is_deterministic_and_monotone_under_clamp(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.1, multiplier=2.0, max_delay_s=10.0,
+            jitter=0.1, seed=7, sleep=lambda s: None,
+        )
+        a = [policy.delay_for(i) for i in range(1, 5)]
+        b = [policy.delay_for(i) for i in range(1, 5)]
+        assert a == b  # seeded jitter: identical replay
+        # Within 10% jitter the exponential growth still dominates.
+        assert a[0] < a[1] < a[2] < a[3]
+        assert policy.delay_for(1) == pytest.approx(0.1, rel=0.11)
+
+    def test_zero_base_delay_means_no_sleep(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.0, sleep=lambda s: slept.append(s)
+        )
+
+        def flaky_once():
+            if not slept and not getattr(flaky_once, "done", False):
+                flaky_once.done = True
+                raise ConvergenceError("once")
+            return "ok"
+
+        assert policy.run(flaky_once) == "ok"
+        assert slept == []
+
+    def test_sleep_that_would_outlive_deadline_raises_instead(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=5.0, jitter=0.0,
+            sleep=lambda s: slept.append(s),
+        )
+
+        def always():
+            raise ConvergenceError("transient")
+
+        with deadline_scope(0.5):
+            with pytest.raises(ConvergenceError):
+                policy.run(always)
+        assert slept == []  # never slept into the expired budget
+
+    def test_on_retry_observes_each_failed_attempt(self):
+        observed = []
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, sleep=lambda s: None)
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise ConvergenceError(f"fail {state['n']}")
+            return "ok"
+
+        policy.run(flaky, on_retry=lambda attempt, exc: observed.append(attempt))
+        assert observed == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=-0.1)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_MAX_ATTEMPTS", "5")
+        monkeypatch.setenv("REPRO_RETRY_BASE_DELAY_S", "0.25")
+        monkeypatch.setenv("REPRO_RETRY_SEED", "99")
+        policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 5
+        assert policy.base_delay_s == 0.25
+        assert policy.seed == 99
+        # Keyword overrides beat the environment.
+        assert RetryPolicy.from_env(max_attempts=1).max_attempts == 1
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(window=4, failure_threshold=2, cooldown_s=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_successes_age_failures_out_of_the_window(self):
+        breaker = CircuitBreaker(window=3, failure_threshold=2, cooldown_s=10.0)
+        breaker.record_failure()
+        for _ in range(3):
+            breaker.record_success()
+        assert breaker.failure_count == 0
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(window=2, failure_threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # one probe
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failure_count == 0
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(window=2, failure_threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        clock.now = 9.9
+        assert not breaker.allow()  # cooldown restarted at re-open
+        clock.now = 10.0
+        assert breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(window=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(window=2, failure_threshold=3)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_s=-1.0)

@@ -51,6 +51,14 @@ flow-value disagreement.  The default scale (0.25) is the headline size —
 the 64x64 vision grid where the kernel's >=10x floor is enforced by
 ``benchmarks/bench_kernel.py``.
 
+``--suite resilience`` writes ``BENCH_resilience.json`` with the fault-free
+overhead of the resilient solve path (deadline scope + failover wrapper +
+breaker bookkeeping) over the plain service backend on the kernel-corpus
+grid, and the recovered-solve latency per injected fault class
+(convergence / singular / error degrade to the certified reference Dinic;
+stall records the deadline-abort lag).  The <5 % overhead ceiling is
+enforced by ``benchmarks/bench_resilience.py``.
+
 The gate only *records*; regression thresholds live in the corresponding
 ``benchmarks/bench_*.py`` where pytest can enforce them.
 """
@@ -69,9 +77,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.bench import (  # noqa: E402
     KERNEL_CLASSES,
     PROBLEM_CLASSES,
+    RESILIENCE_FAULT_CLASSES,
     measure_assembly_class,
     measure_kernel_class,
     measure_problems_class,
+    measure_recovery_class,
+    measure_resilience_overhead,
     measure_shard_class,
     measure_shard_rmat,
     measure_streaming_class,
@@ -264,6 +275,47 @@ def _kernel_report(args) -> dict:
     }
 
 
+def _resilience_report(args) -> dict:
+    # min, not median: the overhead is a ratio of near-identical solves and
+    # contention only inflates samples (see repro.bench.resilience).
+    overhead = measure_resilience_overhead(
+        "grid", args.scale, repeats=args.repeats, reducer=min
+    )
+    recovery = {
+        kind: measure_recovery_class(
+            kind, args.scale, repeats=args.repeats, reducer=statistics.median
+        )
+        for kind in RESILIENCE_FAULT_CLASSES
+    }
+    return {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "overhead": {
+            "workload": overhead["workload"],
+            "num_vertices": overhead["num_vertices"],
+            "num_edges": overhead["num_edges"],
+            "raw_ms": round(overhead["raw_s"] * 1e3, 3),
+            "backend_ms": round(overhead["backend_s"] * 1e3, 3),
+            "resilient_ms": round(overhead["resilient_s"] * 1e3, 3),
+            "overhead_fraction": round(overhead["overhead_fraction"], 4),
+            "value_diff": float(f"{overhead['value_diff']:.3e}"),
+        },
+        "recovery": {
+            kind: {
+                "workload": row["workload"],
+                "outcome": row["outcome"],
+                "fallback_backend": row["fallback_backend"],
+                "trail_length": row["trail_length"],
+                "baseline_ms": round(row["baseline_s"] * 1e3, 3),
+                "recovered_ms": round(row["recovered_s"] * 1e3, 3),
+                "recovery_ratio": round(row["recovery_ratio"], 2),
+                "value_error": float(f"{row['value_error']:.3e}"),
+            }
+            for kind, row in recovery.items()
+        },
+    }
+
+
 #: Registered suites: name -> (report builder, default output file name).
 SUITES = {
     "assembly": (_assembly_report, "BENCH_assembly.json"),
@@ -271,10 +323,29 @@ SUITES = {
     "shard": (_shard_report, "BENCH_shard.json"),
     "problems": (_problems_report, "BENCH_problems.json"),
     "kernel": (_kernel_report, "BENCH_kernel.json"),
+    "resilience": (_resilience_report, "BENCH_resilience.json"),
 }
 
 
 def _print_suite_summary(suite: str, report: dict) -> None:
+    if suite == "resilience":
+        over = report["overhead"]
+        print(
+            f"  fault-free ({over['workload']}, {over['num_edges']} edges): "
+            f"resilient {over['resilient_ms']} ms vs backend "
+            f"{over['backend_ms']} ms ({over['overhead_fraction']:+.1%} overhead)"
+        )
+        for kind, row in report["recovery"].items():
+            tail = (
+                f"-> {row['fallback_backend']}"
+                if row["outcome"] == "degraded"
+                else row["outcome"]
+            )
+            print(
+                f"  {kind}: {row['recovered_ms']} ms vs {row['baseline_ms']} ms "
+                f"fault-free ({row['recovery_ratio']}x, {tail})"
+            )
+        return
     for regime, row in report["classes"].items():
         if suite == "assembly":
             print(
