@@ -10,9 +10,11 @@ DOCTEST_MODULES := src/repro/service \
 	src/repro/analog/solver.py \
 	src/repro/circuit/linsolve.py \
 	src/repro/circuit/nonlinear.py \
-	src/repro/circuit/stamps.py
+	src/repro/circuit/stamps.py \
+	src/repro/obs/metrics.py \
+	src/repro/obs/trace.py
 
-.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience ci
+.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience perf-gate-obs ci
 
 ## tier-1 suite plus the documented-API doctests
 test:
@@ -29,7 +31,8 @@ test-conformance:
 		--runslow -q
 
 ## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly
-## + streaming + sharding + problem reductions + flow kernel + resilience)
+## + streaming + sharding + problem reductions + flow kernel + resilience
+## + telemetry overhead)
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest \
 		benchmarks/bench_service_batch.py \
@@ -40,6 +43,7 @@ bench-smoke:
 		benchmarks/bench_problems.py \
 		benchmarks/bench_kernel.py \
 		benchmarks/bench_resilience.py \
+		benchmarks/bench_obs.py \
 		-o python_files='bench_*.py' -q -s
 
 ## record assembly/DC-iteration medians to BENCH_assembly.json (perf trajectory)
@@ -74,6 +78,12 @@ perf-gate-kernel:
 ## bench_resilience.py on the same kernel-corpus grid)
 perf-gate-resilience:
 	$(PYTHON) tools/perf_gate.py --suite resilience
+
+## record the telemetry layer's overhead (raw vs obs-off vs obs-on) to
+## BENCH_obs.json (the <2% disabled / <10% enabled ceilings are enforced
+## by bench_obs.py on the same kernel-corpus grid)
+perf-gate-obs:
+	$(PYTHON) tools/perf_gate.py --suite obs
 
 ## broken intra-doc links + docstring coverage of repro.service
 docs-check:

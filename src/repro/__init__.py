@@ -25,7 +25,10 @@ The package is organised by subsystem:
   ``benchmarks/`` directory;
 * :mod:`repro.service` — the batched solving service: backend registry
   (analog + classical), worker pools, compiled-circuit memoization and
-  aggregate batch reports.
+  aggregate batch reports;
+* :mod:`repro.obs` — observability: ambient hierarchical spans, the
+  process metrics registry, typed solver/resilience probes and the
+  unified ``telemetry()`` document (off by default; ``REPRO_OBS=1``).
 
 Quick start::
 
@@ -103,6 +106,18 @@ from .problems import (
     ImageSegmentation,
     ProjectSelection,
     solve_problem,
+)
+from .obs import (
+    MetricsRegistry,
+    Span,
+    annotate_span,
+    current_span,
+    get_registry,
+    obs_enabled,
+    reset_metrics,
+    set_obs_enabled,
+    span,
+    span_scope,
 )
 from .resilience import (
     CircuitBreaker,
@@ -206,4 +221,15 @@ __all__ = [
     "deadline_scope",
     "inject_faults",
     "solve_with_failover",
+    # observability
+    "MetricsRegistry",
+    "Span",
+    "annotate_span",
+    "current_span",
+    "get_registry",
+    "obs_enabled",
+    "reset_metrics",
+    "set_obs_enabled",
+    "span",
+    "span_scope",
 ]

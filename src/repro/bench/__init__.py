@@ -16,6 +16,7 @@ from .runner import BatchServiceSuiteRunner, Fig10Runner, Fig10Row
 from .reporting import format_table, format_series, relative
 from .assembly import assembly_workload, measure_assembly_class
 from .kernel import KERNEL_CLASSES, kernel_workload, measure_kernel_class
+from .obs import measure_obs_overhead
 from .problems import (
     PROBLEM_CLASSES,
     measure_problems_class,
@@ -41,6 +42,7 @@ __all__ = [
     "kernel_workload",
     "measure_kernel_class",
     "PROBLEM_CLASSES",
+    "measure_obs_overhead",
     "measure_problems_class",
     "problems_workload",
     "RESILIENCE_FAULT_CLASSES",

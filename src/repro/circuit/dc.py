@@ -32,6 +32,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import ConvergenceError, SimulationError, SingularCircuitError
+from ..obs import probes
+from ..obs.trace import annotate_span
 from ..resilience.policy import check_deadline
 from .linsolve import LinearSystemSolver
 from .mna import MNASystem
@@ -329,6 +331,7 @@ class DCOperatingPoint:
 
         for iterations in range(1, self.max_iterations + 1):
             check_deadline("dc diode iteration")
+            probes.dc_iteration()
             if engine is not None:
                 solution, via_smw = engine.solve(state_arr)
             else:
@@ -388,7 +391,7 @@ class DCOperatingPoint:
                 solution = best_solution
 
         final_states = dict(zip(system.diode_names, (bool(s) for s in state_arr)))
-        return DCSolution(
+        dc_solution = DCSolution(
             voltages=system.voltages(solution),
             branch_currents={
                 e.name: system.branch_current(solution, e.name)
@@ -408,6 +411,12 @@ class DCOperatingPoint:
                 engine.smw_solves - smw_solves_before if engine is not None else 0
             ),
         )
+        annotate_span(
+            dc_iterations=dc_solution.iterations,
+            dc_refactorizations=dc_solution.refactorizations,
+            dc_smw_solves=dc_solution.smw_solves,
+        )
+        return dc_solution
 
     # ------------------------------------------------------------------
 

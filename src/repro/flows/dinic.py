@@ -13,6 +13,7 @@ from collections import deque
 from typing import List, Tuple
 
 from ..graph.network import FlowNetwork
+from ..obs import probes
 from ..resilience.policy import check_deadline
 from .base import FlowAlgorithm, MaxFlowResult, ResidualNetwork, INFINITY
 
@@ -41,6 +42,7 @@ class Dinic(FlowAlgorithm):
         level = [0] * residual.num_vertices
         while self._build_levels(residual, level):
             check_deadline("dinic blocking-flow phase")
+            probes.dinic_phase()
             phases += 1
             current_arc = [0] * residual.num_vertices
             while True:

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 from ..errors import AlgorithmError, ReproError, SolveTimeoutError
 from ..graph.network import FlowNetwork
 from ..graph.updates import MutableFlowNetwork, UpdateBatch, UpdateEvent
+from ..obs import probes
 from ..resilience.faults import fault_point
 from ..resilience.policy import check_deadline
 from .base import INFINITY, MaxFlowResult, OperationCounter, ResidualNetwork
@@ -230,6 +231,7 @@ class IncrementalMaxFlow:
                 residual.residual[residual.partner(arc)] = flow
             phases = result.iterations
         self.cold_solves += 1
+        probes.incremental_cold(self.algorithm)
         return self._build_result(self.algorithm, phases, start, before)
 
     # ------------------------------------------------------------------
@@ -238,6 +240,7 @@ class IncrementalMaxFlow:
 
     def _warm_apply(self, batch: UpdateBatch) -> MaxFlowResult:
         fault_point("warm-repair", self.algorithm)
+        probes.incremental_repair(self.algorithm)
         start = time.perf_counter()
         before = self._counter_snapshot()
         residual = self._residual

@@ -47,6 +47,8 @@ import numpy as np
 
 from ..config import env_flag
 from ..errors import AlgorithmError
+from ..obs import probes
+from ..obs.trace import annotate_span
 from ..resilience.policy import check_deadline
 from ..graph.network import FlowNetwork
 from .base import (
@@ -382,6 +384,7 @@ class FlatResidual:
         cap = 30 * num_vertices + 10000
         while True:
             check_deadline("kernel discharge sweep")
+            probes.kernel_sweep()
             mask = (excess > tol) & interior
             if phase_one:
                 mask &= height < num_vertices
@@ -519,6 +522,11 @@ class KernelDinic(FlowAlgorithm):
             operations=flat.counter,
             wall_time_s=elapsed,
             iterations=phases,
+        )
+        annotate_span(
+            kernel_sweeps=phases,
+            kernel_pushes=flat.counter.pushes,
+            kernel_relabels=flat.counter.relabels,
         )
         if validate:
             validate_max_flow(network, result)

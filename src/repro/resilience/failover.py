@@ -37,6 +37,8 @@ from ..errors import (
     ReproError,
     SolveTimeoutError,
 )
+from ..obs import probes
+from ..obs.trace import annotate_span
 from .policy import CircuitBreaker, RetryPolicy, active_deadline
 
 __all__ = [
@@ -168,6 +170,7 @@ class FailoverPolicy:
                 window=self.breaker_window,
                 failure_threshold=self.breaker_threshold,
                 cooldown_s=self.breaker_cooldown_s,
+                name=backend,
             )
             self._breakers[backend] = breaker
         return breaker
@@ -199,11 +202,13 @@ def solve_with_failover(
         breaker = policy.breaker_for(name)
         if not breaker.allow():
             trail.append(f"{name}: circuit breaker open")
+            probes.failover_hop(name, "breaker-open")
             continue
         try:
             backend = make_backend(name)
         except ReproError as exc:
             trail.append(f"{name}: {type(exc).__name__}: {exc}")
+            probes.failover_hop(name, "backend-unavailable")
             continue
         staged = request if name == request.backend else replace(request, backend=name)
         for attempt in range(1, policy.retry.max_attempts + 1):
@@ -220,14 +225,21 @@ def solve_with_failover(
                 except ReproError as exc:
                     breaker.record_failure()
                     trail.append(f"{name}#{attempt}: {type(exc).__name__}: {exc}")
+                    probes.failover_hop(name, "validation-failed")
                 else:
                     breaker.record_success()
                     result.degraded = stage > 0
                     result.failover_trail = list(trail)
+                    if stage > 0:
+                        probes.failover_hop(name, "degraded-accept")
+                        annotate_span(
+                            failover_stage=stage, failover_backend=name
+                        )
                     return result
             else:
                 breaker.record_failure()
                 trail.append(f"{name}#{attempt}: {result.error}")
+                probes.failover_hop(name, "attempt-failed")
                 if result.error_type == SolveTimeoutError.__name__:
                     # The expired budget is shared with every fallback.
                     result.failover_trail = list(trail)

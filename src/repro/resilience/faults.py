@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..config import env_plan
+from ..obs import probes
 from ..errors import (
     ConfigurationError,
     ConvergenceError,
@@ -184,10 +185,12 @@ class FaultInjector:
             if plan.kind != "corrupt" or not plan.matches(site, backend):
                 continue
             if plan.should_fire():
+                probes.fault_injected(site, backend, plan.kind)
                 return value * (1.0 + plan.relative_error)
         return value
 
     def _trigger(self, plan: FaultPlan, site: str, backend: str) -> None:
+        probes.fault_injected(site, backend, plan.kind)
         where = f"{site}/{backend or '*'}"
         if plan.kind == "stall":
             remaining = plan.stall_s

@@ -41,6 +41,7 @@ from typing import Callable, Iterator, Optional, Tuple, Type, Union
 
 from ..config import env_float, env_int
 from ..errors import ConfigurationError, ReproError, SolveTimeoutError
+from ..obs import probes
 
 __all__ = [
     "Deadline",
@@ -230,6 +231,7 @@ class RetryPolicy:
                     raise
                 if on_retry is not None:
                     on_retry(attempt, exc)
+                probes.retry_attempt(describe, attempt)
                 delay = self.delay_for(attempt)
                 if deadline is not None and deadline.remaining() <= delay:
                     raise
@@ -271,6 +273,7 @@ class CircuitBreaker:
         failure_threshold: int = 4,
         cooldown_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        name: str = "",
     ) -> None:
         if window < 1 or failure_threshold < 1:
             raise ConfigurationError("breaker window/threshold must be >= 1")
@@ -278,6 +281,7 @@ class CircuitBreaker:
             raise ConfigurationError("failure_threshold cannot exceed window")
         if cooldown_s < 0:
             raise ConfigurationError("cooldown must be non-negative")
+        self.name = name
         self.window = window
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
@@ -293,6 +297,7 @@ class CircuitBreaker:
             self._clock() - self._opened_at >= self.cooldown_s
         ):
             self._state = self.HALF_OPEN
+            probes.breaker_transition(self.name, self.HALF_OPEN)
         return self._state
 
     @property
@@ -326,10 +331,12 @@ class CircuitBreaker:
     def _trip(self) -> None:
         self._state = self.OPEN
         self._opened_at = self._clock()
+        probes.breaker_transition(self.name, self.OPEN)
 
     def _reset(self) -> None:
         self._state = self.CLOSED
         self._outcomes.clear()
+        probes.breaker_transition(self.name, self.CLOSED)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

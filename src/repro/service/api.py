@@ -260,6 +260,17 @@ class BatchReport:
             "cache": dict(self.cache_stats),
         }
 
+    def telemetry(self) -> Dict[str, object]:
+        """The unified ``repro.telemetry/v1`` document for this batch.
+
+        Same shape as every other service's ``telemetry()`` — the batch
+        ``summary()`` plus the compiled-circuit cache statistics and the
+        process metrics snapshot (see :mod:`repro.obs.telemetry`).
+        """
+        from ..obs.telemetry import build_telemetry
+
+        return build_telemetry("batch", self.summary(), cache=self.cache_stats)
+
     # ------------------------------------------------------------------
     # Benchmark-harness interoperability
     # ------------------------------------------------------------------

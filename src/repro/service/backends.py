@@ -25,6 +25,8 @@ from ..errors import AlgorithmError
 from ..flows.kernel import resolve_default_algorithm
 from ..flows.registry import ALGORITHMS, get_algorithm
 from ..graph.analysis import is_source_sink_connected
+from ..obs import probes
+from ..obs.trace import span
 from ..resilience.faults import corrupt_value, fault_point
 from ..resilience.policy import Deadline, deadline_scope
 from .api import SolveRequest, SolveResult, relative_error
@@ -60,19 +62,24 @@ class SolveBackend:
         exception class name) so callers can route on failure class.
         """
         start = time.perf_counter()
-        try:
-            budget = request.options.get("deadline_s")
-            with deadline_scope(Deadline.from_seconds(budget, label=self.name)):
-                fault_point("batch-solve", self.name)
-                flow_value, edge_flows, detail, cache_hit = self._solve(request)
-        except Exception as exc:  # noqa: BLE001 - per-instance fault isolation
-            return SolveResult(
-                request=request,
-                ok=False,
-                error=f"{type(exc).__name__}: {exc}",
-                error_type=type(exc).__name__,
-                wall_time_s=time.perf_counter() - start,
-            )
+        with span("backend.solve", backend=self.name) as sp:
+            try:
+                budget = request.options.get("deadline_s")
+                with deadline_scope(Deadline.from_seconds(budget, label=self.name)):
+                    fault_point("batch-solve", self.name)
+                    flow_value, edge_flows, detail, cache_hit = self._solve(request)
+            except Exception as exc:  # noqa: BLE001 - per-instance fault isolation
+                sp.set(ok=False, error_type=type(exc).__name__)
+                probes.solve_error(self.name, type(exc).__name__)
+                return SolveResult(
+                    request=request,
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    wall_time_s=time.perf_counter() - start,
+                )
+            sp.set(ok=True, cache_hit=cache_hit)
+            probes.solve_finished(self.name, cache_hit)
         return SolveResult(
             request=request,
             flow_value=flow_value,

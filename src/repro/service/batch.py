@@ -31,6 +31,8 @@ from dataclasses import replace
 from ..analog.solver import AnalogMaxFlowSolver
 from ..errors import AlgorithmError
 from ..graph.network import FlowNetwork
+from ..obs import probes
+from ..obs.trace import current_span, record_span, span, span_scope
 from ..resilience.failover import FailoverPolicy, solve_with_failover
 from ..resilience.policy import Deadline, deadline_scope
 from .api import BatchReport, SolveRequest, SolveResult
@@ -336,7 +338,11 @@ class BatchSolveService:
             deadline = Deadline(float(deadline), label="batch")
         backends = self._backends_for(reqs)
 
-        with ParallelMap(executor=self.executor, max_workers=self.max_workers) as pool:
+        with span(
+            "batch.solve", executor=self.executor, requests=len(reqs)
+        ) as batch_span, ParallelMap(
+            executor=self.executor, max_workers=self.max_workers
+        ) as pool:
             if self.executor == "process" and len(reqs) > 1 and self.max_workers > 1:
                 if deadline is not None:
                     reqs = [
@@ -361,23 +367,45 @@ class BatchSolveService:
                         else solve_with_failover(r.request, self.failover, make)
                         for r in results
                     ]
+                # Worker processes cannot attach to this trace tree (nor
+                # reach this registry), so their returned timings become
+                # post-hoc child spans and counters on the parent side —
+                # the same explicit hand-off as ``deadline_s`` above.
+                for r in results:
+                    record_span(
+                        "backend.solve",
+                        r.wall_time_s,
+                        backend=r.request.backend,
+                        ok=r.ok,
+                        executor="process",
+                    )
+                    if r.ok:
+                        probes.solve_finished(r.request.backend, r.cache_hit)
+                    else:
+                        probes.solve_error(r.request.backend, r.error_type or "")
             else:
                 # Inline execution (serial, threads, or a degenerate process
                 # pool that would run one task at a time anyway) keeps the
                 # shared backend instances and their compiled-circuit cache.
                 failover = self.failover
                 make = self._backend_factory(backends) if failover is not None else None
+                parent_span = current_span()
 
                 def run(r: SolveRequest) -> SolveResult:
-                    # Deadlines re-scope inside the worker: the Deadline
-                    # object carries an absolute expiry, and context
-                    # variables do not propagate into pool threads.
-                    with deadline_scope(deadline):
+                    # Deadlines and trace context re-scope inside the
+                    # worker: the Deadline object carries an absolute
+                    # expiry, the parent span was captured at dispatch, and
+                    # context variables do not propagate into pool threads.
+                    with span_scope(parent_span), deadline_scope(deadline):
                         if failover is not None:
                             return solve_with_failover(r, failover, make)
                         return backends[r.backend].solve(r)
 
                 results = pool.map(run, reqs, describe=_describe_request)
+            batch_span.set(
+                ok=sum(1 for r in results if r.ok),
+                failed=sum(1 for r in results if not r.ok),
+            )
 
         return BatchReport(
             results=results,

@@ -47,6 +47,7 @@ from ..flows.dinic import Dinic
 from ..flows.mincut import MinCutResult, min_cut_from_flow
 from ..flows.registry import ALGORITHMS
 from ..graph.network import FlowNetwork
+from ..obs.trace import annotate_span, span
 from ..problems.base import CertificateReport, Problem, Reduction, Solution
 from ..resilience.failover import degradation_chain
 from ..resilience.policy import Deadline, RetryPolicy, deadline_scope
@@ -133,6 +134,17 @@ class ProblemReport:
             "decode_time_s": self.decode_time_s,
             "wall_time_s": self.wall_time_s,
         }
+
+    def telemetry(self) -> Dict[str, object]:
+        """The unified ``repro.telemetry/v1`` document for this solve.
+
+        Same shape as :meth:`repro.service.api.BatchReport.telemetry`; the
+        problems layer owns no compiled-circuit cache, so the ``cache``
+        section is empty (see :mod:`repro.obs.telemetry`).
+        """
+        from ..obs.telemetry import build_telemetry
+
+        return build_telemetry("problems", self.summary())
 
     def format(self) -> str:
         """One human-readable line naming reduction, size and certificate."""
@@ -290,7 +302,9 @@ class ProblemSolveService:
         ProblemSolve
             Certified solution, backend result and report.
         """
-        with deadline_scope(deadline, label=f"problem {problem.kind}"):
+        with span(
+            "problem.solve", kind=problem.kind, backend=backend
+        ), deadline_scope(deadline, label=f"problem {problem.kind}"):
             return self._solve_scoped(
                 problem, backend, shards, tag, value_rtol, options
             )
@@ -300,7 +314,8 @@ class ProblemSolveService:
     ) -> ProblemSolve:
         start = time.perf_counter()
         t0 = time.perf_counter()
-        reduction = problem.reduce()
+        with span("problem.reduce", kind=problem.kind):
+            reduction = problem.reduce()
         reduce_time = time.perf_counter() - t0
 
         if shards is not None:
@@ -329,9 +344,10 @@ class ProblemSolveService:
         )
 
         t0 = time.perf_counter()
-        solution, certificate, decode_source = self._decode_certified(
-            problem, reduction, flow, cut, decode_source, result, shards
-        )
+        with span("problem.decode", kind=problem.kind):
+            solution, certificate, decode_source = self._decode_certified(
+                problem, reduction, flow, cut, decode_source, result, shards
+            )
         decode_time = time.perf_counter() - t0
 
         backend_objective = reduction.objective_from_flow(result.flow_value)
@@ -365,6 +381,12 @@ class ProblemSolveService:
             solve_time_s=result.wall_time_s,
             decode_time_s=decode_time,
             wall_time_s=time.perf_counter() - start,
+        )
+        annotate_span(
+            decode_source=decode_source,
+            certificate=certificate.status,
+            reduce_time_s=reduce_time,
+            decode_time_s=decode_time,
         )
         if self.strict and not certificate.ok:
             raise CertificateError(

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import DecompositionError, ReproError, SolveTimeoutError
 from ..graph.network import FlowNetwork
+from ..obs.trace import span
 from ..resilience.failover import certify_flow_result
 from ..resilience.policy import Deadline, RetryPolicy, deadline_scope
 from ..shard.coordinator import ShardCoordinator, ShardOutcome
@@ -136,6 +137,17 @@ class ShardReport:
             "shard_solve_time_total_s": self.shard_solve_time_total_s,
             "parallel_speedup": self.parallel_speedup,
         }
+
+    def telemetry(self) -> Dict[str, object]:
+        """The unified ``repro.telemetry/v1`` document for this solve.
+
+        Same shape as :meth:`repro.service.api.BatchReport.telemetry`; the
+        sharded path has no compiled-circuit cache of its own, so the
+        ``cache`` section is empty (see :mod:`repro.obs.telemetry`).
+        """
+        from ..obs.telemetry import build_telemetry
+
+        return build_telemetry("sharded", self.summary())
 
     def format(self, title: Optional[str] = None) -> str:
         """Aligned ASCII table of the shard rows plus a summary footer."""
@@ -304,7 +316,9 @@ class ShardedSolveService:
         )
         if retry is None:
             retry = RetryPolicy(max_attempts=2, base_delay_s=0.0)
-        with deadline_scope(deadline, label="sharded solve"):
+        with span(
+            "sharded.solve", backend=backend_name, executor=self.executor
+        ) as sp, deadline_scope(deadline, label="sharded solve"):
             try:
                 outcome = coordinator.solve(
                     network,
@@ -331,6 +345,11 @@ class ShardedSolveService:
                 return self._fallback_solve(
                     request, backend_name, exc, start, reference_value
                 )
+            sp.set(
+                shards=outcome.num_shards,
+                iterations=outcome.iterations,
+                converged=outcome.converged,
+            )
         wall = time.perf_counter() - start
 
         result = SolveResult(
@@ -362,10 +381,11 @@ class ShardedSolveService:
         from ..flows.registry import get_algorithm
 
         algorithm = resolve_default_algorithm("dinic")
-        flow = get_algorithm(algorithm).solve(request.network)
-        certify_flow_result(
-            request.network, flow.flow_value, flow.edge_flows, exact=True
-        )
+        with span("sharded.fallback", algorithm=algorithm):
+            flow = get_algorithm(algorithm).solve(request.network)
+            certify_flow_result(
+                request.network, flow.flow_value, flow.edge_flows, exact=True
+            )
         wall = time.perf_counter() - start
         trail = [f"sharded:{backend_name}: {type(cause).__name__}: {cause}"]
         result = SolveResult(

@@ -50,6 +50,9 @@ from ..flows.incremental import IncrementalMaxFlow
 from ..flows.registry import ALGORITHMS
 from ..graph.network import FlowNetwork
 from ..graph.updates import MutableFlowNetwork, UpdateBatch, UpdateEvent
+from ..obs import probes
+from ..obs.telemetry import build_telemetry
+from ..obs.trace import annotate_span, current_span, span, span_scope
 from ..resilience.failover import certify_flow_result
 from ..resilience.faults import corrupt_value, fault_point
 from ..resilience.policy import Deadline, deadline_scope
@@ -253,6 +256,15 @@ class StreamingSession:
             "cache": self.cache.stats(),
         }
 
+    def telemetry(self) -> Dict[str, object]:
+        """The unified ``repro.telemetry/v1`` document for this session.
+
+        Same shape as :meth:`repro.service.api.BatchReport.telemetry` —
+        the session ``summary()`` plus compiled-circuit cache statistics
+        and the process metrics snapshot (see :mod:`repro.obs.telemetry`).
+        """
+        return build_telemetry("streaming", self.summary(), cache=self.cache.stats())
+
     # ------------------------------------------------------------------
     # Update ingestion
     # ------------------------------------------------------------------
@@ -296,7 +308,11 @@ class StreamingSession:
                 recompiled=False,
                 flow_delta=0.0,
             )
-        with deadline_scope(deadline, label=f"streaming push rev {batch.revision}"):
+        with span(
+            "streaming.push", backend=self.backend, revision=batch.revision
+        ) as sp, deadline_scope(
+            deadline, label=f"streaming push rev {batch.revision}"
+        ):
             try:
                 if self.backend == "analog":
                     result, warm = self._analog_push(batch)
@@ -308,6 +324,8 @@ class StreamingSession:
                 # push (or a retry) rebuilds cold at the current revision.
                 self._invalidate()
                 raise
+            sp.set(warm=warm)
+            probes.streaming_push(self.backend, warm)
         self._last = result
         return self._delta(previous, result, batch, warm, recompiles_before)
 
@@ -465,6 +483,11 @@ class StreamingSession:
         self._analog_previous = analog
         elapsed = time.perf_counter() - start
         self.total_solve_time_s += elapsed
+        annotate_span(
+            analog_warm=warm,
+            analog_recompiled=structural,
+            analog_solve_s=elapsed,
+        )
         request = SolveRequest(
             network=network, backend="analog", options=dict(self.options)
         )
@@ -564,5 +587,15 @@ def push_all(
     workers = max_workers if max_workers is not None else min(8, len(sessions))
     if workers <= 1 or len(sessions) == 1:
         return [s.push(b) for s, b in zip(sessions, batches)]
+    # Trace context is captured at dispatch and re-entered per worker —
+    # contextvars do not propagate into pool threads (same contract as the
+    # resilience deadline scope).
+    parent_span = current_span()
+
+    def push_one(pair):
+        session, events = pair
+        with span_scope(parent_span):
+            return session.push(events)
+
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(lambda pair: pair[0].push(pair[1]), zip(sessions, batches)))
+        return list(pool.map(push_one, zip(sessions, batches)))

@@ -40,6 +40,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import DecompositionError
 from ..graph.network import FlowNetwork
+from ..obs import probes
 from ..resilience.policy import check_deadline
 from .executor import ShardExecutor, ShardSolve
 from .partition import MultiwayPartition, partition_multiway
@@ -215,6 +216,7 @@ class ShardCoordinator:
         ) as shards:
             for iteration in range(1, self.max_iterations + 1):
                 check_deadline("shard coordinator iteration")
+                probes.shard_iteration()
                 coefficients, constant = self._coefficients(
                     partition.num_shards, overlap, members, multipliers
                 )

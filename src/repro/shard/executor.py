@@ -39,6 +39,8 @@ from ..flows.mincut import min_cut_from_flow
 from ..flows.registry import ALGORITHMS, get_algorithm
 from ..graph.network import FlowNetwork
 from ..graph.updates import CapacityUpdate, MutableFlowNetwork
+from ..obs import probes
+from ..obs.trace import current_span, record_span, span, span_scope
 from ..resilience.faults import fault_point
 from ..resilience.policy import RetryPolicy, active_deadline, deadline_scope
 from .partition import MultiwayPartition
@@ -167,11 +169,14 @@ class _ShardState:
         """Solve the current augmented shard network with its backend."""
         fault_point("shard-solve", self.backend)
         start = time.perf_counter()
-        if self.backend == ANALOG_BACKEND:
-            value, side, warm = self._solve_analog()
-        else:
-            value, side, warm = self._solve_classical()
+        with span("shard.solve", shard=str(self.shard), backend=self.backend) as sp:
+            if self.backend == ANALOG_BACKEND:
+                value, side, warm = self._solve_analog()
+            else:
+                value, side, warm = self._solve_classical()
+            sp.set(warm=warm)
         elapsed = time.perf_counter() - start
+        probes.shard_solve(self.backend, warm)
         self.solves += 1
         if warm:
             self.warm_solves += 1
@@ -445,6 +450,16 @@ class ShardExecutor:
                 state.solves += 1
                 per_shard = elapsed / max(1, len(self._states))
                 state.solve_time_s += per_shard
+                # Worker processes cannot attach to this trace tree, so the
+                # measured interval is recorded post hoc (see record_span).
+                record_span(
+                    "shard.solve",
+                    per_shard,
+                    shard=str(state.shard),
+                    backend=state.backend,
+                    executor="process",
+                )
+                probes.shard_solve(state.backend, False)
                 solves.append(
                     ShardSolve(
                         shard=state.shard,
@@ -458,10 +473,13 @@ class ShardExecutor:
         # an absolute expiry, but context variables do not propagate into
         # pool threads, so each worker re-opens the scope itself.
         deadline = active_deadline()
+        # Trace context obeys the same contract as the deadline: captured
+        # at dispatch, re-entered by each pool worker via span_scope.
+        parent_span = current_span()
         retry = self.retry
 
         def solve_state(state: _ShardState) -> ShardSolve:
-            with deadline_scope(deadline):
+            with span_scope(parent_span), deadline_scope(deadline):
                 if retry is None:
                     return state.solve()
                 # run() owns the attempt budget; each failed attempt drops

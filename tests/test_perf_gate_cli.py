@@ -55,10 +55,12 @@ class TestListSuites:
             "problems",
             "kernel",
             "resilience",
+            "obs",
         }
         assert perf_gate.SUITES["problems"][1] == "BENCH_problems.json"
         assert perf_gate.SUITES["kernel"][1] == "BENCH_kernel.json"
         assert perf_gate.SUITES["resilience"][1] == "BENCH_resilience.json"
+        assert perf_gate.SUITES["obs"][1] == "BENCH_obs.json"
 
 
 class TestErrorPaths:
@@ -143,3 +145,33 @@ class TestResilienceSuiteSmoke:
                 assert row["value_error"] <= 1e-9
         summary = capsys.readouterr().out
         assert "fault-free" in summary and "deadline-abort" in summary
+
+
+class TestObsSuiteSmoke:
+    def test_obs_suite_records_overhead_fractions(
+        self, perf_gate, tmp_path, capsys
+    ):
+        output = tmp_path / "BENCH_obs.json"
+        status = perf_gate.main(
+            [
+                "--suite",
+                "obs",
+                "--scale",
+                "0.02",
+                "--repeats",
+                "1",
+                "--output",
+                str(output),
+            ]
+        )
+        assert status == 0
+        record = json.loads(output.read_text())
+        over = record["overhead"]
+        assert over["value_diff"] <= 1e-9
+        assert over["enabled_sweeps"] > 0
+        assert over["enabled_root_spans"] > 0
+        assert over["raw_ms"] > 0.0
+        for key in ("disabled_overhead_fraction", "enabled_overhead_fraction"):
+            assert isinstance(over[key], float)
+        summary = capsys.readouterr().out
+        assert "wrote" in summary and "obs cost" in summary

@@ -59,6 +59,13 @@ grid, and the recovered-solve latency per injected fault class
 stall records the deadline-abort lag).  The <5 % overhead ceiling is
 enforced by ``benchmarks/bench_resilience.py``.
 
+``--suite obs`` writes ``BENCH_obs.json`` with the observability layer's
+cost on the kernel-corpus grid: the same ``kernel-dinic`` solve timed raw
+(bare algorithm), through the service backend with obs disabled (the
+default no-op path), and with obs enabled (live spans + per-sweep probe
+counters), plus both overhead fractions against raw.  The ceilings
+(disabled <2 %, enabled <10 %) are enforced by ``benchmarks/bench_obs.py``.
+
 The gate only *records*; regression thresholds live in the corresponding
 ``benchmarks/bench_*.py`` where pytest can enforce them.
 """
@@ -80,6 +87,7 @@ from repro.bench import (  # noqa: E402
     RESILIENCE_FAULT_CLASSES,
     measure_assembly_class,
     measure_kernel_class,
+    measure_obs_overhead,
     measure_problems_class,
     measure_recovery_class,
     measure_resilience_overhead,
@@ -316,6 +324,35 @@ def _resilience_report(args) -> dict:
     }
 
 
+def _obs_report(args) -> dict:
+    # min, not median: the overheads are ratios of near-identical solves
+    # and contention only inflates samples (see repro.bench.obs).
+    overhead = measure_obs_overhead(
+        "grid", args.scale, repeats=args.repeats, reducer=min
+    )
+    return {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "overhead": {
+            "workload": overhead["workload"],
+            "num_vertices": overhead["num_vertices"],
+            "num_edges": overhead["num_edges"],
+            "raw_ms": round(overhead["raw_s"] * 1e3, 3),
+            "disabled_ms": round(overhead["disabled_s"] * 1e3, 3),
+            "enabled_ms": round(overhead["enabled_s"] * 1e3, 3),
+            "disabled_overhead_fraction": round(
+                overhead["disabled_overhead_fraction"], 4
+            ),
+            "enabled_overhead_fraction": round(
+                overhead["enabled_overhead_fraction"], 4
+            ),
+            "enabled_sweeps": overhead["enabled_sweeps"],
+            "enabled_root_spans": overhead["enabled_root_spans"],
+            "value_diff": float(f"{overhead['value_diff']:.3e}"),
+        },
+    }
+
+
 #: Registered suites: name -> (report builder, default output file name).
 SUITES = {
     "assembly": (_assembly_report, "BENCH_assembly.json"),
@@ -324,10 +361,21 @@ SUITES = {
     "problems": (_problems_report, "BENCH_problems.json"),
     "kernel": (_kernel_report, "BENCH_kernel.json"),
     "resilience": (_resilience_report, "BENCH_resilience.json"),
+    "obs": (_obs_report, "BENCH_obs.json"),
 }
 
 
 def _print_suite_summary(suite: str, report: dict) -> None:
+    if suite == "obs":
+        over = report["overhead"]
+        print(
+            f"  obs cost ({over['workload']}, {over['num_edges']} edges): "
+            f"raw {over['raw_ms']} ms, disabled {over['disabled_ms']} ms "
+            f"({over['disabled_overhead_fraction']:+.1%}), enabled "
+            f"{over['enabled_ms']} ms ({over['enabled_overhead_fraction']:+.1%}, "
+            f"{over['enabled_sweeps']} sweeps counted)"
+        )
+        return
     if suite == "resilience":
         over = report["overhead"]
         print(

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Render a recorded trace document as an indented tree.
+
+Reads the ``repro.trace/v1`` JSON produced by
+``repro.obs.trace_document()`` (a bare span dict or a list of span dicts
+is also accepted) and prints one line per span: cumulative time, self
+time (cumulative minus children), and the span's attributes.
+
+Usage::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro import set_obs_enabled, FlowNetwork, SolveRequest
+    from repro.obs import trace_document
+    from repro.service.batch import BatchSolveService
+
+    set_obs_enabled(True)
+    g = FlowNetwork(source="s", sink="t")
+    g.add_edge("s", "a", 3.0); g.add_edge("a", "t", 2.0)
+    BatchSolveService(executor="serial").solve_batch(
+        [SolveRequest(network=g, backend="dinic")]
+    )
+    with open("TRACE.json", "w") as fh:
+        json.dump(trace_document(), fh)
+    EOF
+    python tools/trace_dump.py TRACE.json
+
+Output::
+
+    batch.solve                         1.82 ms  (self 0.31 ms)  executor=serial requests=1
+      backend.solve                     1.51 ms  (self 1.51 ms)  backend=dinic ok=True
+
+Pass ``-`` to read the document from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+TRACE_SCHEMA = "repro.trace/v1"
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def _fmt_attrs(attributes: Dict[str, object]) -> str:
+    if not attributes:
+        return ""
+    return "  " + " ".join(f"{k}={attributes[k]}" for k in sorted(attributes))
+
+
+def render_span(node: Dict[str, object], depth: int = 0) -> List[str]:
+    """One indented line per span, children in recorded order."""
+    indent = "  " * depth
+    name = str(node.get("name", "?"))
+    duration = float(node.get("duration_s", 0.0))
+    self_time = float(node.get("self_time_s", duration))
+    label = f"{indent}{name}"
+    lines = [
+        f"{label:<36}{_fmt_time(duration):>10}  "
+        f"(self {_fmt_time(self_time)})"
+        f"{_fmt_attrs(node.get('attributes') or {})}"
+    ]
+    for child in node.get("children") or []:
+        lines.extend(render_span(child, depth + 1))
+    return lines
+
+
+def load_spans(document) -> List[Dict[str, object]]:
+    """Accept a trace document, a bare span dict, or a list of spans."""
+    if isinstance(document, list):
+        return document
+    if isinstance(document, dict) and "spans" in document:
+        schema = document.get("schema")
+        if schema not in (None, TRACE_SCHEMA):
+            raise ValueError(f"unsupported trace schema {schema!r}")
+        return list(document["spans"])
+    if isinstance(document, dict) and "name" in document:
+        return [document]
+    raise ValueError("not a trace document (expected 'spans' or a span dict)")
+
+
+def render_document(document) -> str:
+    spans = load_spans(document)
+    if not spans:
+        return "(no spans recorded — is REPRO_OBS enabled?)"
+    lines: List[str] = []
+    for root in spans:
+        lines.extend(render_span(root))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render a repro.trace/v1 JSON document as an indented tree"
+    )
+    parser.add_argument(
+        "path", help="trace JSON file ('-' reads the document from stdin)"
+    )
+    args = parser.parse_args(argv)
+    if args.path == "-":
+        document = json.load(sys.stdin)
+    else:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    print(render_document(document))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
