@@ -11,10 +11,12 @@ DOCTEST_MODULES := src/repro/service \
 	src/repro/circuit/linsolve.py \
 	src/repro/circuit/nonlinear.py \
 	src/repro/circuit/stamps.py \
+	src/repro/obs/export.py \
 	src/repro/obs/metrics.py \
-	src/repro/obs/trace.py
+	src/repro/obs/trace.py \
+	src/repro/obs/windows.py
 
-.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience perf-gate-obs ci
+.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience perf-gate-obs perf-gate-all bench-check ci
 
 ## tier-1 suite plus the documented-API doctests
 test:
@@ -85,10 +87,21 @@ perf-gate-resilience:
 perf-gate-obs:
 	$(PYTHON) tools/perf_gate.py --suite obs
 
+## refresh every registered BENCH_*.json record at its canonical scale
+## (minutes of wall clock; run before committing a perf-relevant change)
+perf-gate-all: perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience perf-gate-obs
+
+## perf-regression sentinel: judge a fresh smoke-scale run of every suite
+## against the same-scale entries committed in the BENCH_*.json histories
+## (suites without smoke-scale history pass as new-baseline; nothing is
+## written — tools/perf_gate.py --history-only records new entries)
+bench-check:
+	$(PYTHON) tools/bench_watch.py --suite all --run --scale 0.05 --repeats 1
+
 ## broken intra-doc links + docstring coverage of repro.service
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
 ## the full local CI chain: tests + doctests, conformance gate, doc health,
-## benchmark smoke
-ci: test test-conformance docs-check bench-smoke
+## benchmark smoke, perf-regression sentinel
+ci: test test-conformance docs-check bench-smoke bench-check

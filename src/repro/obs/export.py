@@ -1,0 +1,393 @@
+"""Exporters: how a registry snapshot leaves the process.
+
+PR 8 made every solving path record into one in-process
+:class:`~repro.obs.metrics.MetricsRegistry`; nothing could get *out*.
+This module renders a ``snapshot()`` into the two wire formats a
+production front door actually scrapes or ships, plus a bounded event
+sink for the probe stream:
+
+* :func:`prometheus_text` — the Prometheus text exposition format:
+  ``# HELP``/``# TYPE`` headers per family, sorted label sets,
+  histograms as cumulative ``_bucket{le=...}`` series ending in
+  ``le="+Inf"`` plus ``_sum``/``_count``.  Registry names are dotted
+  (``service.solves``); Prometheus names must match
+  ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so names are mangled (``.`` → ``_``,
+  ``repro_`` prefix) and the **original name rides in the HELP line**,
+  which is what makes the export reversible: :func:`parse_prometheus_text`
+  reconstructs a snapshot equal to the one rendered (the round-trip gate
+  in ``tests/test_obs_export.py``).
+* :func:`metrics_document` — an OTLP-flavoured JSON document
+  (``repro.metrics/v1``): one entry per metric family with typed data
+  points (``sum`` / ``gauge`` / ``histogram``), attributes recovered
+  from the flattened keys via
+  :func:`~repro.obs.metrics.parse_metric_key`, deterministically
+  ordered.
+* :class:`JsonlEventSink` — an append-only JSONL file for probe events
+  with size-capped rotation and an injectable clock, the same
+  determinism discipline as :mod:`repro.obs.trace`.  Attach one with
+  :func:`repro.obs.probes.add_event_sink` and every probe emission is
+  mirrored as one JSON line.
+
+Everything here is a pure function of the snapshot: exporters never
+touch live registry state beyond taking a snapshot, so rendering is
+safe from any thread and deterministic given the counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry, metric_key, parse_metric_key
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "JsonlEventSink",
+    "metrics_document",
+    "parse_prometheus_text",
+    "prometheus_text",
+]
+
+#: Schema tag of the OTLP-flavoured JSON metrics document.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Mangle a dotted registry name into a legal Prometheus name."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not safe or not (safe[0].isalpha() or safe[0] == "_"):
+        safe = "_" + safe
+    return f"repro_{safe}"
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _prom_unescape(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def _prom_labels(labels: Dict[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = sorted(labels.items()) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_prom_escape(str(v))}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def _families(entries: Dict[str, object]) -> Dict[str, List[Tuple[Dict[str, str], object]]]:
+    """Group flattened ``name{labels}`` keys into per-name families."""
+    families: Dict[str, List[Tuple[Dict[str, str], object]]] = {}
+    for key in sorted(entries):
+        name, labels = parse_metric_key(key)
+        families.setdefault(name, []).append((labels, entries[key]))
+    return families
+
+
+def prometheus_text(
+    snapshot: Optional[Dict[str, object]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Render a registry snapshot as Prometheus text exposition.
+
+    Families are sorted by name, label sets within a family by their
+    flattened key, and every histogram emits the full cumulative bucket
+    ladder including ``le="+Inf"`` (taken directly from the registry's
+    explicit overflow slot) plus ``_sum`` and ``_count``.
+
+    >>> reg = MetricsRegistry(latency_buckets_s=(0.1,))
+    >>> _ = reg.counter("service.solves", 3, backend="dinic")
+    >>> print(prometheus_text(registry=reg))
+    # HELP repro_service_solves service.solves
+    # TYPE repro_service_solves counter
+    repro_service_solves{backend="dinic"} 3.0
+    <BLANKLINE>
+    """
+    if snapshot is None:
+        snapshot = (registry if registry is not None else get_registry()).snapshot()
+    lines: List[str] = []
+    for kind, prom_type in (("counters", "counter"), ("gauges", "gauge")):
+        for name, points in _families(snapshot.get(kind, {})).items():
+            prom = _prom_name(name)
+            lines.append(f"# HELP {prom} {_prom_escape(name)}")
+            lines.append(f"# TYPE {prom} {prom_type}")
+            for labels, value in points:
+                lines.append(f"{prom}{_prom_labels(labels)} {_prom_value(value)}")
+    for name, points in _families(snapshot.get("histograms", {})).items():
+        prom = _prom_name(name)
+        lines.append(f"# HELP {prom} {_prom_escape(name)}")
+        lines.append(f"# TYPE {prom} histogram")
+        for labels, hist in points:
+            bounds = list(hist["buckets"]) + [float("inf")]
+            cumulative = 0
+            for bound, count in zip(bounds, hist["counts"]):
+                cumulative += count
+                le = (("le", _prom_value(bound)),)
+                lines.append(
+                    f"{prom}_bucket{_prom_labels(labels, le)} {cumulative}"
+                )
+            lines.append(f"{prom}_sum{_prom_labels(labels)} {_prom_value(hist['sum'])}")
+            lines.append(f"{prom}_count{_prom_labels(labels)} {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_prom_line(line: str) -> Tuple[str, Dict[str, str], str]:
+    """Split one sample line into ``(prom_name, labels, value)``."""
+    brace = line.find("{")
+    if brace < 0:
+        name, _, value = line.partition(" ")
+        return name, {}, value.strip()
+    name = line[:brace]
+    close = line.rindex("}")
+    value = line[close + 1 :].strip()
+    labels: Dict[str, str] = {}
+    body = line[brace + 1 : close]
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq].strip()
+        start = body.index('"', eq) + 1
+        j = start
+        while body[j] != '"' or body[j - 1] == "\\":
+            j += 1
+        labels[key] = _prom_unescape(body[start:j])
+        i = j + 1
+        while i < len(body) and body[i] in ", ":
+            i += 1
+    return name, labels, value
+
+
+def parse_prometheus_text(text: str) -> Dict[str, object]:
+    """Parse :func:`prometheus_text` output back into a snapshot dict.
+
+    Original dotted names are recovered from the ``# HELP`` lines, label
+    sets re-flattened with :func:`~repro.obs.metrics.metric_key`, and
+    cumulative ``_bucket`` ladders de-cumulated back into the registry's
+    per-bucket counts (the ``+Inf`` series becomes the overflow slot).
+    The result compares equal to the snapshot that was rendered — the
+    exporter round-trip gate.
+    """
+    help_names: Dict[str, str] = {}
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], str]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            prom, _, original = rest.partition(" ")
+            help_names[prom] = _prom_unescape(original)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            prom, _, kind = rest.partition(" ")
+            types[prom] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        samples.append(_parse_prom_line(line))
+
+    def original_name(prom: str) -> str:
+        return help_names.get(prom, prom)
+
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    partial: Dict[str, Dict[str, object]] = {}
+    for prom, labels, raw in samples:
+        for family, suffix in ((prom, ""),) if prom in types else (
+            (prom[: -len(s)], s)
+            for s in ("_bucket", "_sum", "_count")
+            if prom.endswith(s) and prom[: -len(s)] in types
+        ):
+            kind = types.get(family)
+            break
+        else:  # pragma: no cover - malformed input
+            raise ValueError(f"sample {prom!r} has no TYPE header")
+        if kind == "counter":
+            counters[metric_key(original_name(family), labels)] = float(raw)
+        elif kind == "gauge":
+            gauges[metric_key(original_name(family), labels)] = float(raw)
+        elif kind == "histogram":
+            plain = {k: v for k, v in labels.items() if k != "le"}
+            key = metric_key(original_name(family), plain)
+            hist = partial.setdefault(
+                key, {"le": [], "cumulative": [], "sum": 0.0, "count": 0}
+            )
+            if suffix == "_bucket":
+                le = labels["le"]
+                hist["le"].append(float("inf") if le == "+Inf" else float(le))
+                hist["cumulative"].append(int(float(raw)))
+            elif suffix == "_sum":
+                hist["sum"] = float(raw)
+            elif suffix == "_count":
+                hist["count"] = int(float(raw))
+        else:  # pragma: no cover - malformed input
+            raise ValueError(f"unsupported TYPE {kind!r} for {family!r}")
+
+    histograms: Dict[str, object] = {}
+    for key, hist in partial.items():
+        ladder = sorted(zip(hist["le"], hist["cumulative"]))
+        counts, previous = [], 0
+        for _, cumulative in ladder:
+            counts.append(cumulative - previous)
+            previous = cumulative
+        histograms[key] = {
+            "buckets": [b for b, _ in ladder if b != float("inf")],
+            "counts": counts,
+            "sum": hist["sum"],
+            "count": hist["count"],
+        }
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+# ----------------------------------------------------------------------
+# OTLP-flavoured JSON document
+# ----------------------------------------------------------------------
+
+def metrics_document(
+    snapshot: Optional[Dict[str, object]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    resource: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Render a snapshot as the ``repro.metrics/v1`` JSON document.
+
+    OTLP-flavoured: one entry per metric family carrying typed data
+    points — monotonic ``sum`` for counters, ``gauge`` for gauges, and
+    ``histogram`` with ``explicit_bounds``/``bucket_counts`` (the last
+    count is the ``+Inf`` overflow).  Families and data points are
+    deterministically ordered, and the document is JSON-clean, so two
+    identical snapshots render byte-identical documents.
+    """
+    if snapshot is None:
+        snapshot = (registry if registry is not None else get_registry()).snapshot()
+    metrics: List[Dict[str, object]] = []
+    for key in sorted(snapshot.get("counters", {})):
+        name, labels = parse_metric_key(key)
+        _append_point(
+            metrics, name, "sum",
+            {"attributes": labels, "value": snapshot["counters"][key]},
+            extra={"is_monotonic": True},
+        )
+    for key in sorted(snapshot.get("gauges", {})):
+        name, labels = parse_metric_key(key)
+        _append_point(
+            metrics, name, "gauge",
+            {"attributes": labels, "value": snapshot["gauges"][key]},
+        )
+    for key in sorted(snapshot.get("histograms", {})):
+        name, labels = parse_metric_key(key)
+        hist = snapshot["histograms"][key]
+        _append_point(
+            metrics, name, "histogram",
+            {
+                "attributes": labels,
+                "explicit_bounds": list(hist["buckets"]),
+                "bucket_counts": list(hist["counts"]),
+                "sum": hist["sum"],
+                "count": hist["count"],
+            },
+        )
+    return {
+        "schema": METRICS_SCHEMA,
+        "resource": {"service.name": "repro", **(resource or {})},
+        "metrics": metrics,
+    }
+
+
+def _append_point(metrics, name, kind, point, extra=None) -> None:
+    if metrics and metrics[-1]["name"] == name and metrics[-1]["type"] == kind:
+        metrics[-1]["data_points"].append(point)
+        return
+    entry: Dict[str, object] = {"name": name, "type": kind}
+    entry.update(extra or {})
+    entry["data_points"] = [point]
+    metrics.append(entry)
+
+
+# ----------------------------------------------------------------------
+# Bounded JSONL event sink
+# ----------------------------------------------------------------------
+
+class JsonlEventSink:
+    """Append-only JSONL file for probe events, with size-capped rotation.
+
+    Each :meth:`write` appends one ``json.dumps(..., sort_keys=True)``
+    line stamped with the injectable ``clock`` (``time.time`` by
+    default).  When appending would push the file past ``max_bytes``,
+    the file rotates: the current file moves to ``<path>.1`` (replacing
+    any previous generation) and writing restarts on an empty file — so
+    on-disk usage is bounded by roughly ``2 * max_bytes`` however long
+    the process lives, the same bounded-ring discipline as the trace
+    module's recent-roots deque.
+
+    The sink is *not* the metrics path: counters stay in the registry.
+    It captures the event *stream* (which probe fired, with which
+    labels, when) for post-hoc debugging — attach it with
+    :func:`repro.obs.probes.add_event_sink` and detach with
+    :func:`repro.obs.probes.remove_event_sink`.
+    """
+
+    def __init__(
+        self,
+        path,
+        max_bytes: int = 1_000_000,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.path = os.fspath(path)
+        self.max_bytes = int(max_bytes)
+        self._clock = clock if clock is not None else time.time
+        self._size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        self.rotations = 0
+        self.events_written = 0
+
+    @property
+    def rotated_path(self) -> str:
+        """Where the previous generation lands on rotation."""
+        return self.path + ".1"
+
+    def write(self, record: Dict[str, object]) -> None:
+        """Append one event record (a ``ts`` stamp is added) as a JSON line."""
+        payload = {"ts": self._clock(), **record}
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        data = line.encode("utf-8")
+        if self._size > 0 and self._size + len(data) > self.max_bytes:
+            os.replace(self.path, self.rotated_path)
+            self._size = 0
+            self.rotations += 1
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+        self._size += len(data)
+        self.events_written += 1
+
+    def emit(self, event: str, amount: float = 1.0, **labels: object) -> None:
+        """Probe-shaped entry point (the signature probes fan out with)."""
+        self.write({"event": event, "amount": amount, **{k: str(v) for k, v in labels.items()}})

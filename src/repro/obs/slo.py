@@ -1,0 +1,315 @@
+"""Per-backend SLOs: windowed burn rates into actionable health verdicts.
+
+ROADMAP open item 3's last observability piece: the registry records
+what happened, the windows turn it into rates — this module decides
+what the rates *mean* for routing.  Each backend gets an
+:class:`SloObjective` (availability target plus an optional latency
+objective); :class:`SloPolicy` evaluates both over two windows — a fast
+one (5-minute analogue) that reacts to incidents and a slow one
+(1-hour analogue) that filters blips — using the standard burn-rate
+formulation:
+
+    ``burn = observed error rate / budgeted error rate``
+
+where the budgeted rate is ``1 - availability`` (and, for latency,
+``1 - latency_quantile`` of requests allowed past the objective).  A
+burn of 1.0 consumes the budget exactly as fast as the objective
+allows; the default thresholds (fast >= 14.4 *and* slow >= 1.0, the
+classic multi-window page rule) declare the budget **exhausted** only
+when both windows agree, so one bad request cannot open the gate and a
+recovered backend closes it as soon as the fast window cools.
+
+The verdict is a :class:`BackendHealth`, and the consumer is the
+failover layer: :func:`repro.resilience.failover.solve_with_failover`
+asks the active policy before trying each chain stage and *skips*
+backends whose budget is exhausted (unless it is the chain's last
+resort — degraded service beats no service), emitting an
+``slo.backend_skips`` probe event.  Install a policy process-wide with
+:func:`set_slo_policy` (mirroring the registry's process-global
+pattern) or per :class:`~repro.resilience.failover.FailoverPolicy` via
+its ``slo`` field.  Every report's ``telemetry()`` surfaces
+:meth:`SloPolicy.report` under the document's ``slo`` section.
+
+Both windows and the clock are injectable, so tests drive a backend's
+budget to exhaustion deterministically with a seeded fault plan and a
+stepped clock — no sleeping, no wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .windows import WindowDelta, WindowedAggregator
+
+__all__ = [
+    "BackendHealth",
+    "SloObjective",
+    "SloPolicy",
+    "get_slo_policy",
+    "set_slo_policy",
+]
+
+#: Counter names the availability verdict is computed from (emitted by
+#: :mod:`repro.obs.probes` at the service-backend boundary).
+SOLVES = "service.solves"
+SOLVE_ERRORS = "service.solve_errors"
+
+#: Histogram the latency verdict is computed from (one observation per
+#: service-backend solve, labelled by backend).
+SOLVE_SECONDS = "service.solve.seconds"
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One backend's objectives: availability and (optional) latency.
+
+    ``availability`` is the target fraction of solves that must succeed
+    (0.999 → a 0.1 % error budget).  ``latency_s`` (when set) requires
+    the ``latency_quantile`` of solves to finish within it; solves past
+    the objective consume the latency budget exactly like errors
+    consume the availability budget.
+    """
+
+    availability: float = 0.999
+    latency_s: Optional[float] = None
+    latency_quantile: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability < 1.0:
+            raise ValueError("availability target must lie in (0, 1)")
+        if not 0.0 < self.latency_quantile < 1.0:
+            raise ValueError("latency quantile must lie in (0, 1)")
+        if self.latency_s is not None and self.latency_s <= 0.0:
+            raise ValueError("latency objective must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        """Budgeted failure fraction (``1 - availability``)."""
+        return 1.0 - self.availability
+
+    @property
+    def latency_budget(self) -> float:
+        """Budgeted slow fraction (``1 - latency_quantile``)."""
+        return 1.0 - self.latency_quantile
+
+
+@dataclass(frozen=True)
+class BackendHealth:
+    """One backend's SLO verdict at one instant.
+
+    ``verdict`` is one of ``"healthy"`` (budget intact), ``"degraded"``
+    (the slow window is burning faster than sustainable — keep serving,
+    start worrying) or ``"exhausted"`` (both windows past their burn
+    thresholds: the budget is gone and the failover layer should route
+    around this backend).  ``should_skip`` is the routing reading of the
+    verdict.
+    """
+
+    backend: str
+    verdict: str
+    fast_burn: float
+    slow_burn: float
+    error_rate: float
+    budget_remaining: float
+    requests: int
+    latency_burn: float = 0.0
+    reason: str = ""
+
+    @property
+    def healthy(self) -> bool:
+        return self.verdict == "healthy"
+
+    @property
+    def should_skip(self) -> bool:
+        """Whether a chain walk should route around this backend."""
+        return self.verdict == "exhausted"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean row for the telemetry document's ``slo`` section."""
+        return {
+            "backend": self.backend,
+            "verdict": self.verdict,
+            "fast_burn": round(self.fast_burn, 4),
+            "slow_burn": round(self.slow_burn, 4),
+            "latency_burn": round(self.latency_burn, 4),
+            "error_rate": round(self.error_rate, 6),
+            "budget_remaining": round(self.budget_remaining, 6),
+            "requests": self.requests,
+            "reason": self.reason,
+        }
+
+
+class SloPolicy:
+    """Availability/latency objectives per backend, tracked over windows.
+
+    Parameters
+    ----------
+    objective:
+        Default :class:`SloObjective` for backends without an override.
+    per_backend:
+        Per-backend objective overrides (``{"analog": SloObjective(...)}``).
+    fast_window_s, slow_window_s:
+        The two burn windows (5-minute / 1-hour analogues by default).
+    fast_burn_threshold, slow_burn_threshold:
+        The multi-window exhaustion rule: the budget is exhausted when
+        the fast burn is at least ``fast_burn_threshold`` *and* the slow
+        burn at least ``slow_burn_threshold``.
+    min_requests:
+        Below this many window requests a backend is "unproven", never
+        exhausted — tiny samples must not open the gate.
+    registry, clock:
+        Injectables, both defaulting to process-global/monotonic; the
+        aggregator ring is built on them.
+
+    Call :meth:`observe` on a scrape/solve cadence so the ring has
+    baselines to difference against; :meth:`health` always reads the
+    live registry as the window head, so verdicts are current even
+    between samples.
+    """
+
+    def __init__(
+        self,
+        objective: Optional[SloObjective] = None,
+        per_backend: Optional[Dict[str, SloObjective]] = None,
+        fast_window_s: float = 300.0,
+        slow_window_s: float = 3600.0,
+        fast_burn_threshold: float = 14.4,
+        slow_burn_threshold: float = 1.0,
+        min_requests: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if fast_window_s <= 0.0 or slow_window_s < fast_window_s:
+            raise ValueError("windows must satisfy 0 < fast <= slow")
+        if min_requests < 1:
+            raise ValueError("min_requests must be >= 1")
+        self.objective = objective if objective is not None else SloObjective()
+        self.per_backend = dict(per_backend or {})
+        self.fast_window_s = float(fast_window_s)
+        self.slow_window_s = float(slow_window_s)
+        self.fast_burn_threshold = float(fast_burn_threshold)
+        self.slow_burn_threshold = float(slow_burn_threshold)
+        self.min_requests = int(min_requests)
+        self.aggregator = WindowedAggregator(registry=registry, clock=clock)
+
+    # -- data intake ----------------------------------------------------
+
+    def observe(self) -> None:
+        """Record one timestamped registry sample into the window ring."""
+        self.aggregator.sample()
+
+    def objective_for(self, backend: str) -> SloObjective:
+        return self.per_backend.get(backend, self.objective)
+
+    # -- verdicts -------------------------------------------------------
+
+    def _window_burns(self, window: WindowDelta, backend: str, objective: SloObjective):
+        ok = window.counter_delta(SOLVES, backend=backend)
+        errors = window.counter_delta(SOLVE_ERRORS, backend=backend)
+        total = ok + errors
+        error_rate = errors / total if total > 0 else 0.0
+        avail_burn = error_rate / objective.error_budget
+        latency_burn = 0.0
+        if objective.latency_s is not None:
+            slow_fraction = window.fraction_above(
+                SOLVE_SECONDS, objective.latency_s, backend=backend
+            )
+            latency_burn = slow_fraction / objective.latency_budget
+        return total, error_rate, avail_burn, latency_burn
+
+    def health(self, backend: str) -> BackendHealth:
+        """The multi-window SLO verdict for ``backend``, right now."""
+        objective = self.objective_for(backend)
+        fast = self.aggregator.window(self.fast_window_s)
+        slow = self.aggregator.window(self.slow_window_s)
+        f_total, f_rate, f_avail, f_lat = self._window_burns(fast, backend, objective)
+        s_total, s_rate, s_avail, s_lat = self._window_burns(slow, backend, objective)
+        fast_burn = max(f_avail, f_lat)
+        slow_burn = max(s_avail, s_lat)
+        requests = int(s_total)
+        budget_remaining = max(0.0, 1.0 - s_avail)
+
+        if requests < self.min_requests:
+            verdict, reason = "healthy", f"unproven ({requests} requests in window)"
+        elif (
+            fast_burn >= self.fast_burn_threshold
+            and slow_burn >= self.slow_burn_threshold
+        ):
+            what = "latency" if max(f_lat, s_lat) > max(f_avail, s_avail) else "availability"
+            verdict = "exhausted"
+            reason = (
+                f"{what} budget exhausted: fast burn {fast_burn:.1f} >= "
+                f"{self.fast_burn_threshold:g} and slow burn {slow_burn:.1f} >= "
+                f"{self.slow_burn_threshold:g}"
+            )
+        elif slow_burn >= self.slow_burn_threshold:
+            verdict = "degraded"
+            reason = f"burning budget at {slow_burn:.1f}x the sustainable rate"
+        else:
+            verdict, reason = "healthy", ""
+        return BackendHealth(
+            backend=backend,
+            verdict=verdict,
+            fast_burn=fast_burn,
+            slow_burn=slow_burn,
+            latency_burn=max(f_lat, s_lat),
+            error_rate=s_rate,
+            budget_remaining=budget_remaining,
+            requests=requests,
+            reason=reason,
+        )
+
+    def should_skip(self, backend: str) -> bool:
+        """Routing shorthand: is this backend's budget exhausted?"""
+        return self.health(backend).should_skip
+
+    def known_backends(self) -> List[str]:
+        """Backends with any solve/error traffic in the slow window."""
+        window = self.aggregator.window(self.slow_window_s)
+        names = set(window.label_values(SOLVES, "backend"))
+        names.update(window.label_values(SOLVE_ERRORS, "backend"))
+        return sorted(names)
+
+    def report(self) -> Dict[str, object]:
+        """The telemetry document's ``slo`` section: policy + verdicts."""
+        return {
+            "objective": {
+                "availability": self.objective.availability,
+                "latency_s": self.objective.latency_s,
+                "latency_quantile": self.objective.latency_quantile,
+            },
+            "windows": {
+                "fast_s": self.fast_window_s,
+                "slow_s": self.slow_window_s,
+                "fast_burn_threshold": self.fast_burn_threshold,
+                "slow_burn_threshold": self.slow_burn_threshold,
+            },
+            "backends": {
+                name: self.health(name).to_dict() for name in self.known_backends()
+            },
+        }
+
+
+#: The process-global policy the failover layer and telemetry consult;
+#: ``None`` (the default) keeps every chain walk SLO-blind.
+_ACTIVE_POLICY: Optional[SloPolicy] = None
+
+
+def set_slo_policy(policy: Optional[SloPolicy]) -> Optional[SloPolicy]:
+    """Install ``policy`` process-wide; returns the previous policy.
+
+    Mirrors :func:`repro.obs.trace.set_obs_enabled`: tests and services
+    install, run, and restore.  ``None`` uninstalls.
+    """
+    global _ACTIVE_POLICY
+    previous = _ACTIVE_POLICY
+    _ACTIVE_POLICY = policy
+    return previous
+
+
+def get_slo_policy() -> Optional[SloPolicy]:
+    """The process-global policy, or ``None`` when SLO routing is off."""
+    return _ACTIVE_POLICY

@@ -5,7 +5,8 @@
 :func:`build_telemetry` wraps any of them in one fixed JSON schema so a
 single document shape describes any solve:
 
-``{"schema", "service", "enabled", "summary", "cache", "metrics"}``
+``{"schema", "service", "enabled", "summary", "cache", "metrics",
+"slo", "trace"}``
 
 * ``summary`` is the service's own flat summary, unchanged — existing
   consumers keep their fields;
@@ -14,7 +15,13 @@ single document shape describes any solve:
   are mirrored into the registry as ``cache.*`` gauges when obs is on;
 * ``metrics`` is the process registry snapshot — probe counters and span
   latency histograms — so the one document also holds the solver-loop
-  tallies that used to be private to report objects.
+  tallies that used to be private to report objects;
+* ``slo`` is :meth:`repro.obs.slo.SloPolicy.report` for the active
+  process-global policy (``{}`` when none is installed) — per-backend
+  burn rates and verdicts ride along with every report;
+* ``trace`` is the embedded ``repro.trace/v1`` span document, so one
+  telemetry dump is enough for ``tools/trace_dump.py`` to render the
+  run's span tree.
 
 The schema is pinned by ``tests/test_obs_telemetry.py``: all four
 services must produce the same top-level key set and the document must
@@ -26,7 +33,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional
 
 from .metrics import get_registry
-from .trace import obs_enabled
+from .trace import obs_enabled, trace_document
 
 __all__ = ["TELEMETRY_KEYS", "TELEMETRY_SCHEMA", "build_telemetry"]
 
@@ -34,7 +41,9 @@ __all__ = ["TELEMETRY_KEYS", "TELEMETRY_SCHEMA", "build_telemetry"]
 TELEMETRY_SCHEMA = "repro.telemetry/v1"
 
 #: The fixed top-level key set every service's ``telemetry()`` shares.
-TELEMETRY_KEYS = ("schema", "service", "enabled", "summary", "cache", "metrics")
+TELEMETRY_KEYS = (
+    "schema", "service", "enabled", "summary", "cache", "metrics", "slo", "trace"
+)
 
 
 def build_telemetry(
@@ -48,12 +57,15 @@ def build_telemetry(
     ``cache.<stat>{service=...}`` gauges so they appear in *every*
     registry snapshot, not only in this service's document.
     """
+    from .slo import get_slo_policy  # late import: slo -> windows -> metrics
+
     cache_stats = dict(cache) if cache else {}
     if cache_stats and obs_enabled():
         registry = get_registry()
         for stat, value in cache_stats.items():
             if isinstance(value, (int, float)):
                 registry.gauge(f"cache.{stat}", value, service=service)
+    policy = get_slo_policy()
     return {
         "schema": TELEMETRY_SCHEMA,
         "service": service,
@@ -61,4 +73,6 @@ def build_telemetry(
         "summary": dict(summary),
         "cache": cache_stats,
         "metrics": get_registry().snapshot(),
+        "slo": policy.report() if policy is not None else {},
+        "trace": trace_document(),
     }

@@ -1,0 +1,252 @@
+"""Sliding-window aggregation: turning cumulative metrics into rates.
+
+The registry is cumulative by design — counters only grow, histograms
+only fill.  Health questions are about *windows*: how many solves failed
+in the last five minutes, what was the p99 solve latency over the last
+hour.  :class:`WindowedAggregator` answers them by keeping a bounded
+ring of timestamped ``snapshot()`` samples and differencing the live
+snapshot against the newest sample **at or before** the window start:
+
+* counters become per-window deltas and rates,
+* histograms become per-window bucket deltas, from which
+  :meth:`WindowDelta.quantile` interpolates quantile estimates the
+  same way ``histogram_quantile`` does over Prometheus buckets.
+
+The clock is injectable (the same discipline as
+:func:`repro.obs.trace.set_trace_clock`), so the SLO tests step through
+five-minute and one-hour windows deterministically without sleeping.
+Samples are cheap (one ``snapshot()`` each) and the ring is bounded, so
+a long-lived service can :meth:`~WindowedAggregator.sample` on every
+scrape without growing.
+
+Label matching sums across label sets: a query for
+``counter_delta("service.solve_errors", backend="analog")`` adds up
+every key whose name matches and whose labels *contain* the given
+pairs, whatever other labels (``error_type``, ...) ride along — the
+grouping the per-backend SLO verdicts need.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry, parse_metric_key
+
+__all__ = ["WindowDelta", "WindowedAggregator"]
+
+
+def _matches(key: str, name: str, match: Dict[str, object]) -> bool:
+    key_name, labels = parse_metric_key(key)
+    if key_name != name:
+        return False
+    return all(labels.get(k) == str(v) for k, v in match.items())
+
+
+class WindowDelta:
+    """The change in a registry between two snapshots, ``elapsed_s`` apart."""
+
+    def __init__(
+        self,
+        start: Dict[str, object],
+        end: Dict[str, object],
+        elapsed_s: float,
+    ) -> None:
+        self.start = start
+        self.end = end
+        self.elapsed_s = max(float(elapsed_s), 0.0)
+
+    def counter_delta(self, name: str, **match: object) -> float:
+        """Summed counter growth over the window, across matching label sets."""
+        start = self.start.get("counters", {})
+        total = 0.0
+        for key, value in self.end.get("counters", {}).items():
+            if _matches(key, name, match):
+                total += value - start.get(key, 0.0)
+        return max(total, 0.0)
+
+    def rate(self, name: str, **match: object) -> float:
+        """Counter growth per second over the window (0 for an empty window)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.counter_delta(name, **match) / self.elapsed_s
+
+    def label_values(self, name: str, label: str) -> List[str]:
+        """Sorted distinct values of ``label`` seen on ``name`` at window end."""
+        values = set()
+        for key in self.end.get("counters", {}):
+            key_name, labels = parse_metric_key(key)
+            if key_name == name and label in labels:
+                values.add(labels[label])
+        return sorted(values)
+
+    def histogram_delta(self, name: str, **match: object) -> Optional[Dict[str, object]]:
+        """Merged histogram growth over the window, across matching label sets.
+
+        Returns ``None`` when no matching histogram exists; otherwise a
+        snapshot-shaped dict whose counts are the per-window increments.
+        Merging requires identical bucket boundaries, which the registry
+        guarantees per metric name.
+        """
+        start = self.start.get("histograms", {})
+        merged: Optional[Dict[str, object]] = None
+        for key, hist in self.end.get("histograms", {}).items():
+            if not _matches(key, name, match):
+                continue
+            base = start.get(key)
+            counts = list(hist["counts"])
+            total, count = float(hist["sum"]), int(hist["count"])
+            if base is not None and list(base["buckets"]) == list(hist["buckets"]):
+                counts = [max(c - b, 0) for c, b in zip(counts, base["counts"])]
+                total -= float(base["sum"])
+                count -= int(base["count"])
+            if merged is None:
+                merged = {
+                    "buckets": list(hist["buckets"]),
+                    "counts": counts,
+                    "sum": total,
+                    "count": max(count, 0),
+                }
+            elif list(merged["buckets"]) == list(hist["buckets"]):
+                merged["counts"] = [a + b for a, b in zip(merged["counts"], counts)]
+                merged["sum"] += total
+                merged["count"] += max(count, 0)
+        return merged
+
+    def quantile(self, name: str, q: float, **match: object) -> Optional[float]:
+        """Estimated ``q``-quantile of the per-window histogram growth.
+
+        Linear interpolation within the winning bucket (Prometheus
+        ``histogram_quantile`` semantics); observations in the overflow
+        bucket report the top finite boundary, the most conservative
+        claim the data supports.  ``None`` when the window saw nothing.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        hist = self.histogram_delta(name, **match)
+        if hist is None or hist["count"] <= 0:
+            return None
+        bounds = list(hist["buckets"])
+        counts = list(hist["counts"])
+        rank = q * hist["count"]
+        cumulative = 0
+        for i, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                if i >= len(bounds):  # overflow bucket
+                    return bounds[-1] if bounds else float("inf")
+                lower = bounds[i - 1] if i > 0 else 0.0
+                fraction = (rank - previous) / count
+                return lower + (bounds[i] - lower) * min(max(fraction, 0.0), 1.0)
+        return bounds[-1] if bounds else float("inf")
+
+    def fraction_above(self, name: str, threshold_s: float, **match: object) -> float:
+        """Fraction of window observations above ``threshold_s``.
+
+        Buckets straddling the threshold count as *above* (conservative:
+        a latency objective is only declared met when the bucket proves
+        it).  Returns 0.0 when the window saw nothing.
+        """
+        hist = self.histogram_delta(name, **match)
+        if hist is None or hist["count"] <= 0:
+            return 0.0
+        within = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            if bound <= threshold_s:
+                within += count
+        return max(hist["count"] - within, 0) / hist["count"]
+
+
+class WindowedAggregator:
+    """Bounded ring of timestamped registry snapshots, queried by window.
+
+    Parameters
+    ----------
+    registry:
+        Source registry (the process-global one by default).
+    clock:
+        Injectable monotonic clock (``time.monotonic`` by default).
+    maxlen:
+        Ring capacity; old samples fall off the far end.
+    min_interval_s:
+        :meth:`sample` calls closer together than this are coalesced
+        (the newest sample wins), so scrape-per-request callers do not
+        flood the ring.
+
+    >>> reg = MetricsRegistry()
+    >>> ticks = iter(range(0, 1000, 10))
+    >>> agg = WindowedAggregator(registry=reg, clock=lambda: float(next(ticks)))
+    >>> agg.sample()                        # t=0, empty registry
+    >>> _ = reg.counter("service.solves", 5, backend="dinic")
+    >>> window = agg.window(60.0)           # t=10, live head
+    >>> window.counter_delta("service.solves", backend="dinic")
+    5.0
+    >>> round(window.rate("service.solves"), 2)
+    0.5
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        maxlen: int = 256,
+        min_interval_s: float = 0.0,
+    ) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be positive")
+        self.registry = registry if registry is not None else get_registry()
+        self._clock = clock
+        self.min_interval_s = float(min_interval_s)
+        self._samples: Deque[Tuple[float, Dict[str, object]]] = deque(maxlen=maxlen)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sample(self) -> None:
+        """Record ``(now, registry.snapshot())`` into the ring."""
+        now = self._clock()
+        if (
+            self._samples
+            and self.min_interval_s > 0.0
+            and now - self._samples[-1][0] < self.min_interval_s
+        ):
+            self._samples[-1] = (now, self.registry.snapshot())
+            return
+        self._samples.append((now, self.registry.snapshot()))
+
+    def clear(self) -> None:
+        """Drop every recorded sample (test isolation)."""
+        self._samples.clear()
+
+    def window(self, window_s: float, now: Optional[float] = None) -> WindowDelta:
+        """The registry's change over the trailing ``window_s`` seconds.
+
+        The head of the delta is a *live* snapshot taken now, so a
+        health check always sees the latest counts; the baseline is the
+        newest ring sample at or before ``now - window_s`` (or the
+        oldest available sample when the ring is younger than the
+        window).  With an empty ring the delta degrades to "everything
+        since process start", with the window length as the elapsed
+        time — the conservative reading for a process younger than its
+        own SLO window.
+        """
+        if window_s <= 0.0:
+            raise ValueError("window_s must be positive")
+        if now is None:
+            now = self._clock()
+        head = self.registry.snapshot()
+        cutoff = now - window_s
+        baseline: Optional[Tuple[float, Dict[str, object]]] = None
+        for ts, snap in self._samples:
+            if ts <= cutoff:
+                baseline = (ts, snap)
+            else:
+                break
+        if baseline is None and self._samples:
+            baseline = self._samples[0]
+        if baseline is None:
+            return WindowDelta({}, head, window_s)
+        ts, snap = baseline
+        return WindowDelta(snap, head, min(now - ts, window_s) or window_s)

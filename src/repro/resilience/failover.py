@@ -1,8 +1,9 @@
 """Declarative degradation chains with validation-gated fallback.
 
 When a backend fails — injected fault, genuine convergence failure, open
-circuit breaker — the request does not fail with it: it *degrades* along a
-declared chain of strictly-more-conservative backends::
+circuit breaker, exhausted SLO error budget — the request does not fail
+with it: it *degrades* along a declared chain of strictly-more-conservative
+backends::
 
     analog        →  kernel-dinic  →  dinic
     kernel-dinic  →  dinic
@@ -38,6 +39,7 @@ from ..errors import (
     SolveTimeoutError,
 )
 from ..obs import probes
+from ..obs.slo import SloPolicy, get_slo_policy
 from ..obs.trace import annotate_span
 from .policy import CircuitBreaker, RetryPolicy, active_deadline
 
@@ -143,6 +145,13 @@ class FailoverPolicy:
         fallback result are always validated when this is on.
     breaker_window, breaker_threshold, breaker_cooldown_s:
         Rolling-window parameters for the per-backend circuit breakers.
+    slo:
+        Optional :class:`~repro.obs.slo.SloPolicy` consulted before each
+        chain stage; a backend whose error budget is exhausted is skipped
+        (unless it is the chain's last resort).  ``None`` falls through to
+        the process-global policy from
+        :func:`~repro.obs.slo.get_slo_policy`, so installing one policy
+        makes every chain walk budget-aware.
     """
 
     retry: RetryPolicy = field(
@@ -153,9 +162,16 @@ class FailoverPolicy:
     breaker_window: int = 8
     breaker_threshold: int = 4
     breaker_cooldown_s: float = 30.0
+    slo: Optional["SloPolicy"] = None
     _breakers: Dict[str, CircuitBreaker] = field(
         default_factory=dict, repr=False, compare=False
     )
+
+    def slo_policy(self) -> Optional["SloPolicy"]:
+        """The SLO policy in force: this policy's own, else process-global."""
+        if self.slo is not None:
+            return self.slo
+        return get_slo_policy()
 
     def chain_for(self, backend: str) -> Tuple[str, ...]:
         chain = self.chains.get(backend)
@@ -197,8 +213,19 @@ def solve_with_failover(
     from ..service.api import SolveResult
 
     chain = policy.chain_for(request.backend)
+    slo = policy.slo_policy()
     trail: List[str] = []
     for stage, name in enumerate(chain):
+        if slo is not None and stage < len(chain) - 1:
+            # Budget-aware routing: an exhausted backend is skipped so the
+            # chain degrades pre-emptively — but never the last resort,
+            # because degraded service beats no service.
+            health = slo.health(name)
+            if health.should_skip:
+                trail.append(f"{name}: error budget exhausted ({health.reason})")
+                probes.slo_skip(name, health.verdict)
+                probes.failover_hop(name, "slo-exhausted")
+                continue
         breaker = policy.breaker_for(name)
         if not breaker.allow():
             trail.append(f"{name}: circuit breaker open")

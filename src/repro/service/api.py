@@ -264,8 +264,10 @@ class BatchReport:
         """The unified ``repro.telemetry/v1`` document for this batch.
 
         Same shape as every other service's ``telemetry()`` — the batch
-        ``summary()`` plus the compiled-circuit cache statistics and the
-        process metrics snapshot (see :mod:`repro.obs.telemetry`).
+        ``summary()`` plus the compiled-circuit cache statistics, the
+        process metrics snapshot, the active per-backend SLO report under
+        ``slo``, and the embedded span tree under ``trace`` (see
+        :mod:`repro.obs.telemetry`).
         """
         from ..obs.telemetry import build_telemetry
 

@@ -60,6 +60,11 @@ class SolveBackend:
         ambient deadline from an enclosing :func:`deadline_scope` stays in
         force if it is tighter.  Failures carry ``error_type`` (the
         exception class name) so callers can route on failure class.
+
+        Every attempt (success or typed failure) records its wall time
+        into the ``service.solve.seconds{backend=}`` histogram via
+        ``probes.solve_timed`` — the per-backend latency series the SLO
+        latency objectives in :mod:`repro.obs.slo` are computed from.
         """
         start = time.perf_counter()
         with span("backend.solve", backend=self.name) as sp:
@@ -69,22 +74,26 @@ class SolveBackend:
                     fault_point("batch-solve", self.name)
                     flow_value, edge_flows, detail, cache_hit = self._solve(request)
             except Exception as exc:  # noqa: BLE001 - per-instance fault isolation
+                wall_time = time.perf_counter() - start
                 sp.set(ok=False, error_type=type(exc).__name__)
                 probes.solve_error(self.name, type(exc).__name__)
+                probes.solve_timed(self.name, wall_time)
                 return SolveResult(
                     request=request,
                     ok=False,
                     error=f"{type(exc).__name__}: {exc}",
                     error_type=type(exc).__name__,
-                    wall_time_s=time.perf_counter() - start,
+                    wall_time_s=wall_time,
                 )
             sp.set(ok=True, cache_hit=cache_hit)
             probes.solve_finished(self.name, cache_hit)
+        wall_time = time.perf_counter() - start
+        probes.solve_timed(self.name, wall_time)
         return SolveResult(
             request=request,
             flow_value=flow_value,
             edge_flows=edge_flows,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=wall_time,
             cache_hit=cache_hit,
             relative_error=relative_error(flow_value, request.reference_value),
             detail=detail,

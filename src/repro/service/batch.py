@@ -383,6 +383,7 @@ class BatchSolveService:
                         probes.solve_finished(r.request.backend, r.cache_hit)
                     else:
                         probes.solve_error(r.request.backend, r.error_type or "")
+                    probes.solve_timed(r.request.backend, r.wall_time_s)
             else:
                 # Inline execution (serial, threads, or a degenerate process
                 # pool that would run one task at a time anyway) keeps the

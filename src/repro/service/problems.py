@@ -138,9 +138,10 @@ class ProblemReport:
     def telemetry(self) -> Dict[str, object]:
         """The unified ``repro.telemetry/v1`` document for this solve.
 
-        Same shape as :meth:`repro.service.api.BatchReport.telemetry`; the
-        problems layer owns no compiled-circuit cache, so the ``cache``
-        section is empty (see :mod:`repro.obs.telemetry`).
+        Same shape as :meth:`repro.service.api.BatchReport.telemetry` —
+        including the ``slo`` and ``trace`` sections; the problems layer
+        owns no compiled-circuit cache, so the ``cache`` section is empty
+        (see :mod:`repro.obs.telemetry`).
         """
         from ..obs.telemetry import build_telemetry
 

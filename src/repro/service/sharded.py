@@ -141,9 +141,10 @@ class ShardReport:
     def telemetry(self) -> Dict[str, object]:
         """The unified ``repro.telemetry/v1`` document for this solve.
 
-        Same shape as :meth:`repro.service.api.BatchReport.telemetry`; the
-        sharded path has no compiled-circuit cache of its own, so the
-        ``cache`` section is empty (see :mod:`repro.obs.telemetry`).
+        Same shape as :meth:`repro.service.api.BatchReport.telemetry` —
+        including the ``slo`` and ``trace`` sections; the sharded path has
+        no compiled-circuit cache of its own, so the ``cache`` section is
+        empty (see :mod:`repro.obs.telemetry`).
         """
         from ..obs.telemetry import build_telemetry
 

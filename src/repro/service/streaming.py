@@ -260,8 +260,9 @@ class StreamingSession:
         """The unified ``repro.telemetry/v1`` document for this session.
 
         Same shape as :meth:`repro.service.api.BatchReport.telemetry` —
-        the session ``summary()`` plus compiled-circuit cache statistics
-        and the process metrics snapshot (see :mod:`repro.obs.telemetry`).
+        the session ``summary()`` plus compiled-circuit cache statistics,
+        the process metrics snapshot, and the ``slo``/``trace`` sections
+        (see :mod:`repro.obs.telemetry`).
         """
         return build_telemetry("streaming", self.summary(), cache=self.cache.stats())
 

@@ -20,6 +20,9 @@ import repro.circuit.stamps
 import repro.flows.incremental
 import repro.flows.registry
 import repro.graph.updates
+import repro.obs.export
+import repro.obs.metrics
+import repro.obs.windows
 import repro.service.api
 import repro.service.backends
 import repro.service.batch
@@ -34,6 +37,9 @@ DOCUMENTED_MODULES = [
     repro.flows.incremental,
     repro.flows.registry,
     repro.graph.updates,
+    repro.obs.export,
+    repro.obs.metrics,
+    repro.obs.windows,
     repro.service.api,
     repro.service.backends,
     repro.service.batch,

@@ -1,0 +1,218 @@
+"""Exporter gates: Prometheus round-trip, metrics document, JSONL sink.
+
+The Prometheus exposition must be *reversible* — ``parse_prometheus_text``
+over ``prometheus_text`` must reproduce the exact ``snapshot()`` dict —
+because that equality is the only way to prove nothing (a label, a bucket
+count, an overflow observation) is lost on the way out.  The JSONL sink is
+pinned for bounded rotation and the probe fan-out contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    METRICS_SCHEMA,
+    JsonlEventSink,
+    MetricsRegistry,
+    clear_traces,
+    metrics_document,
+    parse_prometheus_text,
+    probes,
+    prometheus_text,
+    reset_metrics,
+    set_obs_enabled,
+)
+
+
+@pytest.fixture
+def obs_on():
+    previous = set_obs_enabled(True)
+    clear_traces()
+    reset_metrics()
+    yield
+    set_obs_enabled(previous)
+    clear_traces()
+    reset_metrics()
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry(latency_buckets_s=(0.001, 0.1, 1.0))
+    reg.counter("service.solves", 5, backend="dinic")
+    reg.counter("service.solves", 2, backend="kernel-dinic")
+    reg.counter("service.solve_errors", 1, backend="dinic", error_type="numerical")
+    reg.gauge("cache.hits", 7, service="batch")
+    reg.gauge("solver.depth", 3)
+    for value in (0.0005, 0.05, 0.5, 50.0):
+        reg.observe("service.solve.seconds", value, backend="dinic")
+    return reg
+
+
+class TestPrometheusText:
+    def test_counter_rendering_with_sorted_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("service.solves", 3, tag="x", backend="dinic")
+        text = prometheus_text(registry=reg)
+        assert "# TYPE repro_service_solves counter" in text
+        assert '# HELP repro_service_solves service.solves' in text
+        assert 'repro_service_solves{backend="dinic",tag="x"} 3.0' in text
+
+    def test_histogram_ladder_is_cumulative_and_ends_at_inf(self):
+        reg = MetricsRegistry(latency_buckets_s=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            reg.observe("lat", value)
+        text = prometheus_text(registry=reg)
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="1.0"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("ev", 1, detail='say "hi"\nplease')
+        text = prometheus_text(registry=reg)
+        assert '\\"hi\\"' in text and "\\n" in text
+        assert parse_prometheus_text(text) == reg.snapshot()
+
+    def test_round_trip_equality_on_mixed_registry(self):
+        snap = populated_registry().snapshot()
+        assert parse_prometheus_text(prometheus_text(snapshot=snap)) == snap
+
+    def test_empty_registry_round_trips(self):
+        snap = MetricsRegistry().snapshot()
+        assert parse_prometheus_text(prometheus_text(snapshot=snap)) == snap
+
+
+class TestMetricsDocument:
+    def test_schema_and_family_grouping(self):
+        doc = metrics_document(registry=populated_registry())
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["resource"]["service.name"] == "repro"
+        by_name = {m["name"]: m for m in doc["metrics"]}
+        solves = by_name["service.solves"]
+        assert solves["type"] == "sum" and solves["is_monotonic"] is True
+        assert len(solves["data_points"]) == 2  # one per backend label set
+        hist = by_name["service.solve.seconds"]
+        point = hist["data_points"][0]
+        assert len(point["bucket_counts"]) == len(point["explicit_bounds"]) + 1
+        assert sum(point["bucket_counts"]) == point["count"]
+
+    def test_document_is_json_clean_and_deterministic(self):
+        reg = populated_registry()
+        once = json.dumps(metrics_document(registry=reg))
+        again = json.dumps(metrics_document(registry=reg))
+        assert once == again
+
+    def test_resource_overrides_merge(self):
+        doc = metrics_document(
+            registry=MetricsRegistry(), resource={"host": "h1"}
+        )
+        assert doc["resource"] == {"service.name": "repro", "host": "h1"}
+
+
+class TestJsonlEventSink:
+    def test_writes_are_clock_stamped_jsonl(self, tmp_path):
+        ticks = iter([10.0, 11.0])
+        sink = JsonlEventSink(tmp_path / "events.jsonl", clock=lambda: next(ticks))
+        sink.emit("service.solves", backend="dinic")
+        sink.emit("service.solve_errors", 2.0, backend="analog")
+        lines = [json.loads(l) for l in
+                 (tmp_path / "events.jsonl").read_text().splitlines()]
+        assert lines[0] == {"ts": 10.0, "event": "service.solves",
+                            "amount": 1.0, "backend": "dinic"}
+        assert lines[1]["ts"] == 11.0 and lines[1]["amount"] == 2.0
+        assert sink.events_written == 2
+
+    def test_rotation_caps_disk_usage(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, max_bytes=200, clock=lambda: 0.0)
+        for i in range(50):
+            sink.write({"event": "e", "i": i})
+        assert sink.rotations > 0
+        assert path.stat().st_size <= 200
+        assert (tmp_path / "events.jsonl.1").stat().st_size <= 200
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlEventSink(tmp_path / "x.jsonl", max_bytes=0)
+
+    def test_probe_fanout_mirrors_enabled_emissions(self, obs_on, tmp_path):
+        sink = JsonlEventSink(tmp_path / "events.jsonl", clock=lambda: 1.0)
+        probes.add_event_sink(sink.emit)
+        try:
+            probes.solve_finished("dinic", cache_hit=False)
+        finally:
+            probes.remove_event_sink(sink.emit)
+        events = [json.loads(l)["event"] for l in
+                  (tmp_path / "events.jsonl").read_text().splitlines()]
+        assert probes.EVENT_SOLVE in events
+
+    def test_probe_fanout_silent_when_disabled(self, tmp_path):
+        set_obs_enabled(False)
+        sink = JsonlEventSink(tmp_path / "events.jsonl")
+        probes.add_event_sink(sink.emit)
+        try:
+            probes.solve_finished("dinic", cache_hit=False)
+        finally:
+            probes.remove_event_sink(sink.emit)
+        assert not (tmp_path / "events.jsonl").exists()
+
+    def test_sink_errors_never_propagate(self, obs_on):
+        def broken(event, amount=1.0, **labels):
+            raise OSError("disk full")
+
+        probes.add_event_sink(broken)
+        try:
+            probes.solve_finished("dinic", cache_hit=False)  # must not raise
+        finally:
+            probes.remove_event_sink(broken)
+
+
+class TestTraceDumpAcceptsTelemetry:
+    """tools/trace_dump.py unwraps a full telemetry document."""
+
+    @pytest.fixture(scope="class")
+    def trace_dump(self):
+        import importlib.util
+        import sys
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "tools" / "trace_dump.py"
+        spec = importlib.util.spec_from_file_location("trace_dump_under_test", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            yield module
+        finally:
+            sys.modules.pop(spec.name, None)
+
+    def _span(self):
+        return {"name": "batch.solve", "duration_s": 0.002,
+                "self_time_s": 0.002, "attributes": {}, "children": []}
+
+    def test_telemetry_document_unwraps_to_embedded_trace(self, trace_dump):
+        document = {
+            "schema": "repro.telemetry/v1",
+            "service": "batch",
+            "trace": {"schema": "repro.trace/v1", "spans": [self._span()]},
+        }
+        assert "batch.solve" in trace_dump.render_document(document)
+
+    def test_plain_trace_document_still_renders(self, trace_dump):
+        document = {"schema": "repro.trace/v1", "spans": [self._span()]}
+        assert "batch.solve" in trace_dump.render_document(document)
+
+    def test_error_names_both_schemas(self, trace_dump):
+        with pytest.raises(ValueError) as excinfo:
+            trace_dump.load_spans({"unrelated": 1})
+        message = str(excinfo.value)
+        assert "repro.trace/v1" in message
+        assert "repro.telemetry/v1" in message
+
+    def test_unknown_wrapper_schema_rejected(self, trace_dump):
+        document = {"schema": "other/v9", "trace": {"spans": []}}
+        with pytest.raises(ValueError):
+            trace_dump.load_spans(document)

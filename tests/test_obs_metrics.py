@@ -180,3 +180,72 @@ class TestExecutorAggregation:
         )
         # Every worker thread bumps the same process-local registry.
         assert get_registry().get_counter(probes.EVENT_KERNEL_SWEEP) > 0
+
+
+class TestHistogramOverflowInvariant:
+    """The +Inf slot keeps every observation accounted for."""
+
+    def test_counts_cover_every_observation(self):
+        hist = Histogram(bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 50.0, 1e9):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert len(snap["counts"]) == len(snap["buckets"]) + 1
+        assert sum(snap["counts"]) == snap["count"] == 4
+        assert snap["counts"][-1] == 2  # both > 1.0 land in overflow
+
+    def test_default_buckets_env_override(self):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S; "
+            "print(DEFAULT_LATENCY_BUCKETS_S)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src", "REPRO_OBS_BUCKETS": "0.5, 1.5,9"},
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == "(0.5, 1.5, 9.0)"
+
+
+class TestSolveLatencyHistogram:
+    """service.solve.seconds{backend=} exists under every executor."""
+
+    REQUESTS = 3
+
+    @pytest.mark.parametrize("executor,workers", [
+        ("serial", 1),
+        ("thread", 2),
+        ("process", 2),
+    ])
+    def test_per_backend_latency_histogram(self, obs_on, executor, workers):
+        service = BatchSolveService(executor=executor, max_workers=workers)
+        report = service.solve_batch([
+            SolveRequest(network=tiny_network(), backend="dinic", tag=f"r{i}")
+            for i in range(self.REQUESTS)
+        ])
+        assert report.num_ok == self.REQUESTS
+        snap = get_registry().snapshot()
+        key = metric_key(probes.METRIC_SOLVE_SECONDS, {"backend": "dinic"})
+        hist = snap["histograms"][key]
+        assert hist["count"] == self.REQUESTS
+        assert sum(hist["counts"]) == hist["count"]
+        assert hist["sum"] > 0.0
+
+
+class TestExporterRoundTrip:
+    """Prometheus text from a live batch parses back to the exact snapshot."""
+
+    def test_live_snapshot_survives_prometheus_round_trip(self, obs_on):
+        from repro.obs import parse_prometheus_text, prometheus_text
+
+        BatchSolveService(executor="serial").solve_batch([
+            SolveRequest(network=tiny_network(), backend="dinic"),
+            SolveRequest(network=tiny_network(), backend="kernel-dinic"),
+        ])
+        snap = get_registry().snapshot()
+        assert snap["counters"], "live run produced no counters"
+        assert snap["histograms"], "live run produced no histograms"
+        assert parse_prometheus_text(prometheus_text(snapshot=snap)) == snap

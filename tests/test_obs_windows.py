@@ -1,0 +1,170 @@
+"""Windowed aggregation gates: deltas, rates, quantiles, ring behaviour.
+
+Everything runs on an injected clock so windows are exact: the tests step
+time explicitly and assert the deltas the SLO layer will compute from the
+same machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, WindowedAggregator
+
+
+def stepped_clock(start: float = 0.0):
+    state = {"now": start}
+
+    def clock() -> float:
+        return state["now"]
+
+    def advance(dt: float) -> None:
+        state["now"] += dt
+
+    return clock, advance
+
+
+class TestWindowDelta:
+    def test_counter_delta_and_rate(self):
+        reg = MetricsRegistry()
+        clock, advance = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        reg.counter("service.solves", 10, backend="dinic")
+        agg.sample()
+        advance(50.0)
+        reg.counter("service.solves", 5, backend="dinic")
+        window = agg.window(100.0)
+        assert window.counter_delta("service.solves", backend="dinic") == 5.0
+        # The ring is younger than the window, so the rate denominator is
+        # the actual observed span (50 s), not the full window length.
+        assert window.rate("service.solves", backend="dinic") == pytest.approx(0.1)
+
+    def test_label_sets_sum_across_extra_labels(self):
+        reg = MetricsRegistry()
+        clock, _ = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        agg.sample()
+        reg.counter("service.solve_errors", 2, backend="a", error_type="x")
+        reg.counter("service.solve_errors", 3, backend="a", error_type="y")
+        reg.counter("service.solve_errors", 7, backend="b", error_type="x")
+        window = agg.window(60.0)
+        assert window.counter_delta("service.solve_errors", backend="a") == 5.0
+        assert window.counter_delta("service.solve_errors") == 12.0
+
+    def test_label_values_enumerates_backends(self):
+        reg = MetricsRegistry()
+        clock, _ = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        reg.counter("service.solves", backend="b")
+        reg.counter("service.solves", backend="a")
+        window = agg.window(60.0)
+        assert window.label_values("service.solves", "backend") == ["a", "b"]
+
+    def test_histogram_delta_subtracts_baseline(self):
+        reg = MetricsRegistry(latency_buckets_s=(0.1, 1.0))
+        clock, advance = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        reg.observe("lat", 0.05, backend="d")
+        agg.sample()
+        advance(10.0)
+        reg.observe("lat", 0.5, backend="d")
+        reg.observe("lat", 5.0, backend="d")
+        hist = agg.window(60.0).histogram_delta("lat", backend="d")
+        assert hist["count"] == 2
+        assert hist["counts"] == [0, 1, 1]
+        assert hist["sum"] == pytest.approx(5.5)
+
+    def test_quantile_interpolates_within_bucket(self):
+        reg = MetricsRegistry(latency_buckets_s=(1.0, 2.0, 4.0))
+        clock, _ = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        agg.sample()
+        for value in (0.5, 1.5, 1.5, 3.0):
+            reg.observe("lat", value)
+        window = agg.window(60.0)
+        # Median rank 2.0 lands in the (1.0, 2.0] bucket.
+        assert 1.0 <= window.quantile("lat", 0.5) <= 2.0
+        assert window.quantile("lat", 0.0) == pytest.approx(0.5, abs=0.5)
+
+    def test_quantile_overflow_reports_top_finite_bound(self):
+        reg = MetricsRegistry(latency_buckets_s=(1.0, 2.0))
+        clock, _ = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        agg.sample()
+        reg.observe("lat", 100.0)
+        assert agg.window(60.0).quantile("lat", 0.99) == 2.0
+
+    def test_quantile_none_when_window_empty(self):
+        reg = MetricsRegistry()
+        clock, _ = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        assert agg.window(60.0).quantile("lat", 0.5) is None
+
+    def test_fraction_above_is_conservative_on_straddling_buckets(self):
+        reg = MetricsRegistry(latency_buckets_s=(1.0, 2.0))
+        clock, _ = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        agg.sample()
+        for value in (0.5, 1.5, 3.0, 3.0):
+            reg.observe("lat", value)
+        window = agg.window(60.0)
+        # Threshold 1.5 sits inside the (1.0, 2.0] bucket: that bucket's
+        # observation counts as above.
+        assert window.fraction_above("lat", 1.5) == pytest.approx(0.75)
+        assert window.fraction_above("lat", 2.0) == pytest.approx(0.5)
+
+
+class TestWindowedAggregator:
+    def test_baseline_is_newest_sample_at_or_before_cutoff(self):
+        reg = MetricsRegistry()
+        clock, advance = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        for growth in (1, 10, 100):
+            reg.counter("n", growth)
+            agg.sample()
+            advance(30.0)
+        # t=90 now; a 60 s window must baseline at the t=30 sample
+        # (counter value 11), not the t=0 or t=60 ones.
+        window = agg.window(60.0)
+        assert window.counter_delta("n") == 100.0
+
+    def test_empty_ring_degrades_to_since_process_start(self):
+        reg = MetricsRegistry()
+        clock, _ = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        reg.counter("n", 5)
+        window = agg.window(60.0)
+        assert window.counter_delta("n") == 5.0
+        assert window.elapsed_s == 60.0
+
+    def test_ring_is_bounded(self):
+        reg = MetricsRegistry()
+        clock, advance = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock, maxlen=4)
+        for _ in range(10):
+            agg.sample()
+            advance(1.0)
+        assert len(agg) == 4
+
+    def test_min_interval_coalesces_bursts(self):
+        reg = MetricsRegistry()
+        clock, advance = stepped_clock()
+        agg = WindowedAggregator(
+            registry=reg, clock=clock, min_interval_s=5.0
+        )
+        agg.sample()
+        advance(1.0)
+        agg.sample()  # coalesced into the previous slot
+        assert len(agg) == 1
+        advance(10.0)
+        agg.sample()
+        assert len(agg) == 2
+
+    def test_invalid_parameters_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            WindowedAggregator(registry=reg, maxlen=0)
+        clock, _ = stepped_clock()
+        agg = WindowedAggregator(registry=reg, clock=clock)
+        with pytest.raises(ValueError):
+            agg.window(0.0)

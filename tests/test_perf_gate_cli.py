@@ -175,3 +175,64 @@ class TestObsSuiteSmoke:
             assert isinstance(over[key], float)
         summary = capsys.readouterr().out
         assert "wrote" in summary and "obs cost" in summary
+
+
+class TestHistoryAppend:
+    """Every run appends itself to the record's bounded history list."""
+
+    def _run(self, perf_gate, output, extra=()):
+        return perf_gate.main([
+            "--suite", "problems", "--scale", "0.1", "--repeats", "1",
+            "--output", str(output), *extra,
+        ])
+
+    def test_first_run_creates_single_entry_history(self, perf_gate, tmp_path):
+        output = tmp_path / "BENCH_problems.json"
+        assert self._run(perf_gate, output) == 0
+        record = json.loads(output.read_text())
+        assert len(record["history"]) == 1
+        entry = record["history"][0]
+        assert "recorded_at" in entry
+        assert "history" not in entry  # entries never nest
+        # The flat latest-run keys mirror the entry (minus the stamp).
+        assert record["classes"] == entry["classes"]
+        assert record["scale"] == entry["scale"] == 0.1
+
+    def test_reruns_accumulate_and_flat_keys_track_latest(self, perf_gate, tmp_path):
+        output = tmp_path / "BENCH_problems.json"
+        self._run(perf_gate, output)
+        self._run(perf_gate, output)
+        record = json.loads(output.read_text())
+        assert len(record["history"]) == 2
+        assert record["classes"] == record["history"][-1]["classes"]
+
+    def test_history_only_preserves_flat_keys(self, perf_gate, tmp_path):
+        output = tmp_path / "BENCH_problems.json"
+        self._run(perf_gate, output)
+        first_flat = {
+            k: v for k, v in json.loads(output.read_text()).items()
+            if k != "history"
+        }
+        assert self._run(perf_gate, output, extra=("--history-only",)) == 0
+        record = json.loads(output.read_text())
+        assert len(record["history"]) == 2
+        flat = {k: v for k, v in record.items() if k != "history"}
+        assert flat == first_flat  # headline record untouched
+
+    def test_history_is_bounded(self, perf_gate):
+        existing = {"scale": 0.1, "history": [
+            {"scale": 0.1, "n": i} for i in range(perf_gate.HISTORY_LIMIT)
+        ]}
+        merged = perf_gate._merge_history(
+            existing, {"scale": 0.1, "n": "new"}, history_only=False
+        )
+        assert len(merged["history"]) == perf_gate.HISTORY_LIMIT
+        assert merged["history"][-1]["n"] == "new"
+        assert merged["history"][0]["n"] == 1  # oldest entry fell off
+
+    def test_corrupt_existing_record_is_replaced(self, perf_gate, tmp_path):
+        output = tmp_path / "BENCH_problems.json"
+        output.write_text("{not json")
+        assert self._run(perf_gate, output) == 0
+        record = json.loads(output.read_text())
+        assert len(record["history"]) == 1

@@ -66,6 +66,16 @@ default no-op path), and with obs enabled (live spans + per-sweep probe
 counters), plus both overhead fractions against raw.  The ceilings
 (disabled <2 %, enabled <10 %) are enforced by ``benchmarks/bench_obs.py``.
 
+Every run also *appends* itself to a bounded ``history`` list inside the
+output file (each entry is the run's report plus a ``recorded_at`` UTC
+timestamp; the newest :data:`HISTORY_LIMIT` entries are kept).  The flat
+top-level keys always describe the latest full run, so existing consumers
+keep reading them unchanged; ``tools/bench_watch.py`` reads the history to
+compare a fresh run against the committed trajectory.  ``--history-only``
+appends the run to the history *without* replacing the flat latest-run
+keys — useful for recording extra scales (e.g. smoke-scale entries for
+``make bench-check``) without disturbing the headline record.
+
 The gate only *records*; regression thresholds live in the corresponding
 ``benchmarks/bench_*.py`` where pytest can enforce them.
 """
@@ -76,6 +86,7 @@ import argparse
 import json
 import statistics
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -353,6 +364,41 @@ def _obs_report(args) -> dict:
     }
 
 
+#: Newest history entries kept per BENCH file; older runs fall off so the
+#: committed records stay reviewably small.
+HISTORY_LIMIT = 50
+
+
+def _load_existing(output: Path) -> dict:
+    """The committed record at ``output``, or ``{}`` when absent/corrupt."""
+    if not output.exists():
+        return {}
+    try:
+        existing = json.loads(output.read_text())
+    except (OSError, ValueError):
+        return {}
+    return existing if isinstance(existing, dict) else {}
+
+
+def _merge_history(existing: dict, report: dict, history_only: bool) -> dict:
+    """Fold ``report`` into ``existing``: flat latest-run keys + history.
+
+    The returned document is ``report``'s flat keys (or, under
+    ``history_only`` with a pre-existing record, the *existing* flat keys)
+    with a ``history`` list whose final entry is this run stamped with
+    ``recorded_at``.  History entries never nest their own ``history``.
+    """
+    history = [e for e in existing.get("history", []) if isinstance(e, dict)]
+    entry = {k: v for k, v in report.items() if k != "history"}
+    entry["recorded_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    history.append(entry)
+    history = history[-HISTORY_LIMIT:]
+    flat = existing if history_only and existing else report
+    merged = {k: v for k, v in flat.items() if k != "history"}
+    merged["history"] = history
+    return merged
+
+
 #: Registered suites: name -> (report builder, default output file name).
 SUITES = {
     "assembly": (_assembly_report, "BENCH_assembly.json"),
@@ -457,6 +503,9 @@ def main(argv=None) -> int:
                         help="timing repetitions / update steps (median is kept)")
     parser.add_argument("--output", type=Path, default=None,
                         help="override the output path (single-suite runs only)")
+    parser.add_argument("--history-only", action="store_true",
+                        help="append this run to the record's history without "
+                             "replacing the flat latest-run keys")
     args = parser.parse_args(argv)
 
     if args.list_suites:
@@ -481,8 +530,10 @@ def main(argv=None) -> int:
         builder, default_output = SUITES[suite]
         report = builder(args)
         output = args.output or REPO_ROOT / default_output
-        output.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {output}")
+        merged = _merge_history(_load_existing(output), report, args.history_only)
+        output.write_text(json.dumps(merged, indent=2) + "\n")
+        runs = len(merged["history"])
+        print(f"wrote {output} ({runs} history run{'s' if runs != 1 else ''})")
         _print_suite_summary(suite, report)
     return 0
 

@@ -4,7 +4,10 @@
 Reads the ``repro.trace/v1`` JSON produced by
 ``repro.obs.trace_document()`` (a bare span dict or a list of span dicts
 is also accepted) and prints one line per span: cumulative time, self
-time (cumulative minus children), and the span's attributes.
+time (cumulative minus children), and the span's attributes.  A full
+``repro.telemetry/v1`` document — any report's ``telemetry()`` dumped to
+JSON — also works: the embedded ``trace`` section is extracted, so one
+telemetry dump is enough to render the run's span tree.
 
 Usage::
 
@@ -41,6 +44,7 @@ import sys
 from typing import Dict, List
 
 TRACE_SCHEMA = "repro.trace/v1"
+TELEMETRY_SCHEMA = "repro.telemetry/v1"
 
 
 def _fmt_time(seconds: float) -> str:
@@ -75,9 +79,21 @@ def render_span(node: Dict[str, object], depth: int = 0) -> List[str]:
 
 
 def load_spans(document) -> List[Dict[str, object]]:
-    """Accept a trace document, a bare span dict, or a list of spans."""
+    """Accept a trace/telemetry document, a bare span dict, or a span list.
+
+    A ``repro.telemetry/v1`` document (or any dict carrying a ``trace``
+    sub-document) is unwrapped to its embedded trace first.
+    """
     if isinstance(document, list):
         return document
+    if isinstance(document, dict) and isinstance(document.get("trace"), dict):
+        schema = document.get("schema")
+        if schema not in (None, TELEMETRY_SCHEMA):
+            raise ValueError(
+                f"unsupported schema {schema!r} (expected {TELEMETRY_SCHEMA!r} "
+                f"for documents embedding a trace, or {TRACE_SCHEMA!r})"
+            )
+        return load_spans(document["trace"])
     if isinstance(document, dict) and "spans" in document:
         schema = document.get("schema")
         if schema not in (None, TRACE_SCHEMA):
@@ -85,7 +101,11 @@ def load_spans(document) -> List[Dict[str, object]]:
         return list(document["spans"])
     if isinstance(document, dict) and "name" in document:
         return [document]
-    raise ValueError("not a trace document (expected 'spans' or a span dict)")
+    raise ValueError(
+        "not a trace document (expected a span dict, a 'spans' list "
+        f"({TRACE_SCHEMA}), or a telemetry document embedding one "
+        f"({TELEMETRY_SCHEMA}))"
+    )
 
 
 def render_document(document) -> str:
