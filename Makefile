@@ -16,7 +16,7 @@ DOCTEST_MODULES := src/repro/service \
 	src/repro/obs/trace.py \
 	src/repro/obs/windows.py
 
-.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience perf-gate-obs perf-gate-all bench-check ci
+.PHONY: test test-conformance bench-smoke docs-check perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience perf-gate-obs perf-gate-serving perf-gate-all bench-serving bench-check serve-demo ci
 
 ## tier-1 suite plus the documented-API doctests
 test:
@@ -34,7 +34,7 @@ test-conformance:
 
 ## fast benchmark smoke at a small scale (service batch + Fig. 8 + assembly
 ## + streaming + sharding + problem reductions + flow kernel + resilience
-## + telemetry overhead)
+## + telemetry overhead + serving front door)
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest \
 		benchmarks/bench_service_batch.py \
@@ -46,6 +46,7 @@ bench-smoke:
 		benchmarks/bench_kernel.py \
 		benchmarks/bench_resilience.py \
 		benchmarks/bench_obs.py \
+		benchmarks/bench_serving.py \
 		-o python_files='bench_*.py' -q -s
 
 ## record assembly/DC-iteration medians to BENCH_assembly.json (perf trajectory)
@@ -87,9 +88,24 @@ perf-gate-resilience:
 perf-gate-obs:
 	$(PYTHON) tools/perf_gate.py --suite obs
 
+## record the serving front door's mixed-workload RPS / latency percentiles
+## and the coalescing on-vs-off speedup to BENCH_serving.json (the >=2x
+## coalescing floor is enforced by bench_serving.py)
+perf-gate-serving:
+	$(PYTHON) tools/perf_gate.py --suite serving
+
 ## refresh every registered BENCH_*.json record at its canonical scale
 ## (minutes of wall clock; run before committing a perf-relevant change)
-perf-gate-all: perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience perf-gate-obs
+perf-gate-all: perf-gate perf-gate-streaming perf-gate-shard perf-gate-problems perf-gate-kernel perf-gate-resilience perf-gate-obs perf-gate-serving
+
+## serving perf sentinel alone: fresh smoke-scale serving run judged
+## against the committed BENCH_serving.json history
+bench-serving:
+	$(PYTHON) tools/bench_watch.py --suite serving --run --scale 0.05 --repeats 1
+
+## demo client: seeded mixed load with deadlines through the async server
+serve-demo:
+	$(PYTHON) tools/load_gen.py --requests 60 --scale 0.1
 
 ## perf-regression sentinel: judge a fresh smoke-scale run of every suite
 ## against the same-scale entries committed in the BENCH_*.json histories

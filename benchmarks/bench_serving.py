@@ -1,0 +1,94 @@
+"""Serving benchmark: sustained mixed-workload RPS and coalescing gates.
+
+Measures, via the shared :mod:`repro.bench.serving` harness, the asyncio
+front door (:class:`~repro.service.server.AsyncSolveServer`) end to end:
+
+* **Mixed workload** — a seeded duplicate-heavy request plan (four grid
+  topologies, four tenants, mixed priorities, loose deadlines) in
+  concurrent waves: sustained RPS plus p50/p99 end-to-end latency, with
+  zero failed/shed requests required (the queues are provisioned for the
+  wave size, so any shed is a server bug, not a workload property).
+
+* **Coalescing speedup** — the acceptance gate: the identical
+  duplicate-heavy workload with coalescing on must beat coalescing off
+  by at least ``REPRO_SERVING_MIN_COALESCE`` (default 2x) wall-clock,
+  and the solve counts must prove *why*: one backend solve per wave when
+  on, ``waves * duplicates`` when off.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import (
+    format_table,
+    measure_coalescing_speedup,
+    measure_serving_mixed,
+)
+from conftest import bench_scale
+
+
+def _min_coalesce_speedup() -> float:
+    return float(os.environ.get("REPRO_SERVING_MIN_COALESCE", "2.0"))
+
+
+def test_serving_mixed_workload_sustains_rps(benchmark):
+    mixed = benchmark.pedantic(
+        lambda: measure_serving_mixed(bench_scale(), repeats=2),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(format_table(
+        [{
+            "workload": mixed["workload"],
+            "requests": mixed["requests"],
+            "workers": mixed["workers"],
+            "rps": round(mixed["rps"], 1),
+            "p50_ms": round(mixed["p50_ms"], 2),
+            "p99_ms": round(mixed["p99_ms"], 2),
+            "coalesced": mixed["coalesced"],
+            "shed": mixed["shed"],
+        }],
+        title="Serving front door, mixed workload",
+    ))
+
+    assert mixed["failed"] == 0, f"{mixed['failed']} non-200 responses"
+    assert mixed["shed"] == 0, "provisioned queues must not shed"
+    assert mixed["rps"] > 0.0
+    assert mixed["p99_ms"] >= mixed["p50_ms"]
+    assert mixed["coalesced"] > 0, (
+        "duplicate-heavy plan produced no coalescing"
+    )
+
+
+def test_coalescing_doubles_duplicate_heavy_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure_coalescing_speedup(bench_scale()),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(format_table(
+        [{
+            "workload": result["workload"],
+            "waves": result["waves"],
+            "dup": result["duplicates"],
+            "on_ms": round(result["on_s"] * 1e3, 1),
+            "off_ms": round(result["off_s"] * 1e3, 1),
+            "on_solves": result["on_solves"],
+            "off_solves": result["off_solves"],
+            "speedup": f"{result['speedup']:.1f}x",
+        }],
+        title="Request coalescing, duplicate-heavy workload",
+    ))
+
+    # The mechanism must be real: coalescing-off solves every duplicate,
+    # coalescing-on solves one request per wave.
+    assert result["off_solves"] == result["waves"] * result["duplicates"]
+    assert result["on_solves"] == result["waves"]
+    floor = _min_coalesce_speedup()
+    assert result["speedup"] >= floor, (
+        f"coalescing speedup {result['speedup']:.2f}x below {floor:g}x "
+        f"on {result['workload']}"
+    )

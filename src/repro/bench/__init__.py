@@ -27,6 +27,7 @@ from .resilience import (
     measure_recovery_class,
     measure_resilience_overhead,
 )
+from .serving import measure_coalescing_speedup, measure_serving_mixed
 from .shard import (
     SHARD_CLASSES,
     measure_shard_class,
@@ -48,6 +49,8 @@ __all__ = [
     "RESILIENCE_FAULT_CLASSES",
     "measure_recovery_class",
     "measure_resilience_overhead",
+    "measure_coalescing_speedup",
+    "measure_serving_mixed",
     "measure_shard_class",
     "measure_shard_rmat",
     "measure_streaming_class",

@@ -169,9 +169,21 @@ def _parse_prom_line(line: str) -> Tuple[str, Dict[str, str], str]:
         eq = body.index("=", i)
         key = body[i:eq].strip()
         start = body.index('"', eq) + 1
+        # Scan to the closing quote with explicit escape-state tracking: a
+        # backslash always consumes the next character, so a value ending in
+        # an escaped backslash (rendered ``...\\"``) terminates correctly —
+        # the lookbehind ``body[j-1] == "\\"`` this replaced misread that
+        # closing quote as escaped and overran the line.
         j = start
-        while body[j] != '"' or body[j - 1] == "\\":
+        while j < len(body):
+            if body[j] == "\\":
+                j += 2
+                continue
+            if body[j] == '"':
+                break
             j += 1
+        if j >= len(body):
+            raise ValueError(f"unterminated label value in sample line {line!r}")
         labels[key] = _prom_unescape(body[start:j])
         i = j + 1
         while i < len(body) and body[i] in ", ":

@@ -32,6 +32,7 @@ from .metrics import get_registry
 __all__ = [
     "EVENT_BREAKER_TRANSITION",
     "EVENT_CACHE_HIT",
+    "EVENT_COALESCE_HIT",
     "EVENT_DC_ITERATION",
     "EVENT_DINIC_PHASE",
     "EVENT_FAILOVER_HOP",
@@ -39,6 +40,8 @@ __all__ = [
     "EVENT_INCREMENTAL_COLD",
     "EVENT_INCREMENTAL_REPAIR",
     "EVENT_KERNEL_SWEEP",
+    "EVENT_REQUEST",
+    "EVENT_REQUEST_SHED",
     "EVENT_RETRY_ATTEMPT",
     "EVENT_SHARD_ITERATION",
     "EVENT_SHARD_SOLVE",
@@ -46,6 +49,8 @@ __all__ = [
     "EVENT_SOLVE",
     "EVENT_SOLVE_ERROR",
     "EVENT_STREAMING_PUSH",
+    "METRIC_QUEUE_DEPTH",
+    "METRIC_REQUEST_SECONDS",
     "METRIC_SOLVE_SECONDS",
     "add_event_sink",
     "emit",
@@ -76,9 +81,22 @@ EVENT_FAULT_INJECTED = "resilience.faults_injected"
 # SLO routing --------------------------------------------------------------
 EVENT_SLO_SKIP = "slo.backend_skips"
 
+# Serving front door (repro.service.server) --------------------------------
+EVENT_REQUEST = "service.requests"
+EVENT_REQUEST_SHED = "service.request_sheds"
+EVENT_COALESCE_HIT = "service.coalesce_hits"
+
 #: Per-backend solve-latency histogram the SLO latency objectives read.
 #: (A histogram name, not an event — observed via :func:`solve_timed`.)
 METRIC_SOLVE_SECONDS = "service.solve.seconds"
+
+#: End-to-end request latency histogram of the async front door (admission
+#: through response, queueing included) — observed via :func:`request_timed`.
+METRIC_REQUEST_SECONDS = "service.request.seconds"
+
+#: Pending-request gauge of the async front door: the unlabelled key is the
+#: global queue depth, per-tenant keys carry a ``tenant`` label.
+METRIC_QUEUE_DEPTH = "service.queue.depth"
 
 #: Attached event sinks (see :func:`add_event_sink`).  A plain list read
 #: without a lock: attachment happens at service setup, not in hot loops,
@@ -190,6 +208,47 @@ def shard_solve(backend: str, warm: bool) -> None:
 def streaming_push(backend: str, warm: bool) -> None:
     """One streaming revision applied (warm = incremental repair path)."""
     emit(EVENT_STREAMING_PUSH, backend=backend, warm=warm)
+
+
+# -- serving front door -----------------------------------------------------
+
+def request_admitted(tenant: str, backend: str) -> None:
+    """The async front door admitted one request into its queue."""
+    emit(EVENT_REQUEST, tenant=tenant, backend=backend)
+
+
+def request_shed(tenant: str, reason: str) -> None:
+    """Admission control rejected or evicted one request (503-style)."""
+    emit(EVENT_REQUEST_SHED, tenant=tenant, reason=reason)
+
+
+def coalesce_hit(backend: str) -> None:
+    """A request joined an identical in-flight solve instead of running."""
+    emit(EVENT_COALESCE_HIT, backend=backend)
+
+
+def request_timed(backend: str, status: int, seconds: float) -> None:
+    """Record one front-door request's end-to-end latency (queueing included).
+
+    The serving counterpart of :func:`solve_timed`: ``service.request.seconds``
+    is what the serving SLOs and ``BENCH_serving.json`` percentiles read,
+    while ``service.solve.seconds`` keeps measuring backend time alone.
+    """
+    if not trace._ENABLED:
+        return
+    get_registry().observe(
+        METRIC_REQUEST_SECONDS, seconds, backend=backend, status=status
+    )
+
+
+def queue_depth(depth: int, tenant: str = "") -> None:
+    """Set the front door's pending-request gauge (global or per-tenant)."""
+    if not trace._ENABLED:
+        return
+    if tenant:
+        get_registry().gauge(METRIC_QUEUE_DEPTH, depth, tenant=tenant)
+    else:
+        get_registry().gauge(METRIC_QUEUE_DEPTH, depth)
 
 
 # -- resilience transitions ------------------------------------------------

@@ -216,6 +216,25 @@ def solve_with_failover(
     slo = policy.slo_policy()
     trail: List[str] = []
     for stage, name in enumerate(chain):
+        deadline = active_deadline()
+        if deadline is not None and deadline.expired():
+            # The ambient budget (a server deadline, a batch deadline) is
+            # already spent: attempting this stage could only time out
+            # again, so the walk aborts with the same terminal semantics
+            # as an in-solve SolveTimeoutError.
+            trail.append(f"{name}: not attempted, deadline expired")
+            probes.failover_hop(name, "deadline-expired")
+            timeout = SolveTimeoutError(
+                f"deadline expired before stage {stage} "
+                f"({name!r}) of chain {' -> '.join(chain)}"
+            )
+            return SolveResult(
+                request=request,
+                ok=False,
+                error=f"{type(timeout).__name__}: {timeout}",
+                error_type=type(timeout).__name__,
+                failover_trail=trail,
+            )
         if slo is not None and stage < len(chain) - 1:
             # Budget-aware routing: an exhausted backend is skipped so the
             # chain degrades pre-emptively — but never the last resort,

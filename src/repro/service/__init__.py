@@ -19,7 +19,10 @@ package turns the reproduction into a serving system:
 * :mod:`~repro.service.problems` — :class:`ProblemSolveService`, the
   problem→flow reduction front door: solve matchings, disjoint paths,
   segmentations and closures on any backend, with certified decoding
-  (:mod:`repro.problems`).
+  (:mod:`repro.problems`);
+* :mod:`~repro.service.server` — :class:`AsyncSolveServer`, the asyncio
+  traffic front door: request coalescing, per-tenant admission control
+  with load shedding, and deadline-aware analog-vs-exact routing.
 
 Every service is resilience-aware (:mod:`repro.resilience`): solves accept
 wall-clock deadlines, failed backends degrade along validated failover
@@ -49,6 +52,7 @@ from .backends import (
 from .batch import BatchSolveService, ParallelMap
 from .cache import CompiledCircuitCache, network_signature
 from .problems import ProblemReport, ProblemSolve, ProblemSolveService
+from .server import AsyncSolveServer, ServerResponse
 from .sharded import ShardReport, ShardedSolve, ShardedSolveService
 from .streaming import StreamingDelta, StreamingSession, push_all
 
@@ -65,6 +69,8 @@ __all__ = [
     "register_backend",
     "BatchSolveService",
     "ParallelMap",
+    "AsyncSolveServer",
+    "ServerResponse",
     "CompiledCircuitCache",
     "network_signature",
     "ProblemReport",

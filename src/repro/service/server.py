@@ -1,0 +1,547 @@
+"""Asyncio serving front door: coalescing, admission control, deadline routing.
+
+:class:`AsyncSolveServer` is the layer that absorbs *traffic*: everything
+below it (:class:`~repro.service.batch.BatchSolveService` and the backend
+registry) solves whatever it is handed, so under duplicate-heavy,
+bursty, deadline-bound load the server — not the solvers — must decide
+what actually runs.  Three mechanisms, all deterministic under an
+injected clock and injectable ``solve_fn`` so every concurrency property
+is pinned by ``tests/test_server.py`` without sleeps:
+
+* **Request coalescing.**  Concurrent requests with the identical
+  ``(topology signature, backend, options)`` key share one in-flight
+  solve through a future map: the first arrival (the *leader*) occupies
+  a queue slot, later arrivals await the leader's shared future and are
+  counted via ``service.coalesce_hits``.  Production max-flow traffic is
+  many instances of few topologies (the same observation behind the
+  compiled-circuit cache), so on a duplicate-heavy workload coalescing
+  multiplies throughput (gated at >=2x by ``benchmarks/bench_serving.py``).
+
+* **Admission control and backpressure.**  The queue is bounded globally
+  (``max_pending``) and per tenant (``per_tenant_queue``).  On overflow
+  the *lowest-priority* queued request is shed — resolved immediately
+  with a 503-style :class:`ServerResponse` — unless the incoming request
+  is itself lowest, in which case it is rejected instead.  Every shed is
+  counted in ``service.request_sheds{tenant=,reason=}`` and queue depths
+  are exported as ``service.queue.depth`` gauges.
+
+* **Deadline-aware backend selection.**  A request without an explicit
+  backend routes on its deadline: tight budgets
+  (``deadline_s <= analog_deadline_s``) go to the fast approximate
+  analog backend *while its SLO error budget is healthy* (the same
+  :class:`~repro.obs.slo.SloPolicy` verdicts the failover chain
+  consults); exhausted budgets or loose deadlines take the exact
+  classical default.  This is the paper's analog-vs-exact latency
+  trade-off made into a routing decision, and the deadline itself rides
+  into the solver (``deadline_s`` option → cooperative
+  :func:`~repro.resilience.policy.deadline_scope`) and into any failover
+  chain walk, which now aborts between stages once the budget is spent.
+
+Statuses follow HTTP conventions: 200 served (the result may still be a
+typed ``ok=False`` failure-free report), 500 typed solve failure, 503
+shed by admission control, 504 deadline expired (in queue or in solve).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import inspect
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import AlgorithmError, SolveTimeoutError
+from ..graph.network import FlowNetwork
+from ..obs import probes
+from ..obs.slo import SloPolicy, get_slo_policy
+from .api import SolveRequest, SolveResult
+from .batch import BatchSolveService
+from .cache import network_signature
+
+__all__ = ["AsyncSolveServer", "ServerResponse"]
+
+#: Response statuses (HTTP-flavoured; see the module docstring).
+STATUS_OK = 200
+STATUS_FAILED = 500
+STATUS_SHED = 503
+STATUS_DEADLINE = 504
+
+
+@dataclass
+class ServerResponse:
+    """Outcome of one :meth:`AsyncSolveServer.submit` call.
+
+    Attributes
+    ----------
+    status:
+        200 served, 500 typed solve failure, 503 shed, 504 deadline.
+    tenant:
+        The submitting tenant (echoed back).
+    backend:
+        The backend the deadline router selected (or the explicit one).
+    result:
+        The underlying :class:`~repro.service.api.SolveResult` when the
+        request reached a backend; ``None`` for shed/expired requests.
+    coalesced:
+        ``True`` when this request shared another request's in-flight
+        solve instead of occupying a queue slot.
+    detail:
+        Why a non-200 response happened (shed reason, deadline message).
+    queued_s:
+        Time the winning solve spent queued (server clock).
+    wall_time_s:
+        End-to-end latency of this submit, admission through response
+        (server clock).
+    """
+
+    status: int
+    tenant: str
+    backend: str
+    result: Optional[SolveResult] = None
+    coalesced: bool = False
+    detail: str = ""
+    queued_s: float = 0.0
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Served with a successful solve."""
+        return self.status == STATUS_OK
+
+
+class _Shared:
+    """One in-flight solve shared by a leader and its coalesced followers.
+
+    ``future`` resolves to an outcome tuple ``(kind, payload)`` with
+    ``kind`` in ``{"result", "shed", "deadline"}``; it is resolved exactly
+    once, by the worker (or by admission control when the leader is shed),
+    and waiters await it through :func:`asyncio.shield` so a cancelled
+    caller can never drop it for the others.
+    """
+
+    __slots__ = ("future", "queued_s", "waiters")
+
+    def __init__(self, future: "asyncio.Future") -> None:
+        self.future = future
+        self.queued_s = 0.0
+        self.waiters = 0
+
+
+class _Pending:
+    """One queued (leader) request plus its bookkeeping."""
+
+    __slots__ = (
+        "seq", "priority", "tenant", "request", "key",
+        "enqueued_at", "deadline_at", "deadline_s", "shared", "shed",
+    )
+
+    def __init__(self, seq, priority, tenant, request, key,
+                 enqueued_at, deadline_at, deadline_s, shared) -> None:
+        self.seq = seq
+        self.priority = priority
+        self.tenant = tenant
+        self.request = request
+        self.key = key
+        self.enqueued_at = enqueued_at
+        self.deadline_at = deadline_at
+        self.deadline_s = deadline_s
+        self.shared = shared
+        self.shed = False
+
+
+class AsyncSolveServer:
+    """Asyncio front door over the batch solving service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.batch.BatchSolveService` that executes
+        admitted requests (a failover-enabled one by default, so degraded
+        answers beat shed requests).  Ignored when ``solve_fn`` is given.
+    workers:
+        Number of concurrent worker tasks draining the priority queue.
+    max_pending:
+        Global bound on queued (not yet executing) requests.
+    per_tenant_queue:
+        Per-tenant bound on queued requests; one noisy tenant cannot
+        occupy the whole queue.
+    coalesce:
+        Share one in-flight solve between identical concurrent requests
+        (on by default; the benchmark's control arm turns it off).
+    exact_backend:
+        Classical backend for loose-deadline / routed traffic.
+    analog_deadline_s:
+        Deadline at or under which an auto-routed request prefers the
+        analog backend (while its SLO budget is healthy).
+    slo:
+        :class:`~repro.obs.slo.SloPolicy` consulted by the deadline
+        router; ``None`` falls through to the process-global policy.
+    clock:
+        Monotonic clock for queueing/latency bookkeeping — injectable so
+        the concurrency tests run on a virtual clock.
+    solve_fn:
+        Override for the backend call: ``solve_fn(request) -> SolveResult``,
+        sync (dispatched to a thread) or async (awaited on the loop).
+        Tests inject counting/gated fakes here.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> from repro import FlowNetwork
+    >>> from repro.service import AsyncSolveServer
+    >>> g = FlowNetwork()
+    >>> _ = g.add_edge("s", "t", 3.0)
+    >>> async def demo():
+    ...     async with AsyncSolveServer(workers=1) as server:
+    ...         response = await server.submit(g, backend="dinic", deadline_s=30.0)
+    ...         return response.status, round(response.result.flow_value, 2)
+    >>> asyncio.run(demo())
+    (200, 3.0)
+    """
+
+    def __init__(
+        self,
+        service: Optional[BatchSolveService] = None,
+        *,
+        workers: int = 4,
+        max_pending: int = 64,
+        per_tenant_queue: int = 16,
+        coalesce: bool = True,
+        exact_backend: str = "dinic",
+        analog_deadline_s: float = 0.25,
+        slo: Optional[SloPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        solve_fn: Optional[Callable[[SolveRequest], Any]] = None,
+    ) -> None:
+        if workers < 1:
+            raise AlgorithmError("workers must be at least 1")
+        if max_pending < 1 or per_tenant_queue < 1:
+            raise AlgorithmError("queue bounds must be at least 1")
+        self.service = service
+        self.workers = workers
+        self.max_pending = max_pending
+        self.per_tenant_queue = per_tenant_queue
+        self.coalesce = coalesce
+        self.exact_backend = exact_backend
+        self.analog_deadline_s = float(analog_deadline_s)
+        self.slo = slo
+        self._clock = clock
+        self._solve_fn = solve_fn
+        self._heap: List[Tuple[int, int, _Pending]] = []
+        self._inflight: Dict[tuple, _Shared] = {}
+        self._tasks: List["asyncio.Task"] = []
+        self._work_available: Optional[asyncio.Event] = None
+        self._seq = 0
+        self._queued = 0
+        self._tenant_counts: Dict[str, int] = {}
+        self._closed = False
+        self._started = False
+        self._stats = {
+            "admitted": 0, "coalesced": 0, "shed": 0,
+            "served": 0, "failed": 0, "expired": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker tasks (idempotent; needs a running loop)."""
+        if self._started:
+            return
+        if self.service is None and self._solve_fn is None:
+            self.service = BatchSolveService(failover=True)
+        self._work_available = asyncio.Event()
+        self._tasks = [
+            asyncio.ensure_future(self._worker_loop())
+            for _ in range(self.workers)
+        ]
+        self._started = True
+
+    async def aclose(self) -> None:
+        """Drain the queue, stop the workers, resolve everything pending."""
+        self._closed = True
+        if not self._started:
+            return
+        self._work_available.set()
+        await asyncio.gather(*self._tasks)
+        # Anything still queued after the workers exited (they drain the
+        # heap before returning, so this is belt-and-braces) is shed so no
+        # caller is ever left awaiting an unresolved future.
+        for _, _, entry in self._heap:
+            if not entry.shed:
+                self._shed_entry(entry, "server-closed")
+        self._heap.clear()
+
+    async def __aenter__(self) -> "AsyncSolveServer":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- submission ----------------------------------------------------
+
+    async def submit(
+        self,
+        network: FlowNetwork,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+        backend: Optional[str] = None,
+        tag: Optional[str] = None,
+        **options: Any,
+    ) -> ServerResponse:
+        """Admit, route and solve one request; never raises on overload.
+
+        Higher ``priority`` values win queue slots under overflow.  An
+        omitted ``backend`` engages the deadline router (see the class
+        docstring); an explicit one is honoured as-is.  ``deadline_s``
+        bounds the whole journey: requests still queued past it answer
+        504, and the remaining budget rides into the solver cooperatively.
+        """
+        if self._closed:
+            raise AlgorithmError("server is closed")
+        if not self._started:
+            self.start()
+        start = self._clock()
+        routed = self._route(backend, deadline_s)
+        opts = dict(options)
+        if deadline_s is not None:
+            opts["deadline_s"] = float(deadline_s)
+        request = SolveRequest(
+            network=network, backend=routed, options=opts, tag=tag
+        )
+        key = (
+            network_signature(network),
+            routed,
+            repr(sorted(opts.items())),
+        )
+
+        shared = self._inflight.get(key) if self.coalesce else None
+        if shared is not None:
+            probes.coalesce_hit(routed)
+            self._stats["coalesced"] += 1
+            return await self._await_outcome(
+                shared, tenant, routed, start, coalesced=True
+            )
+
+        admitted, victim, reason = self._admission_verdict(tenant, priority)
+        if not admitted:
+            probes.request_shed(tenant, reason)
+            self._stats["shed"] += 1
+            response = ServerResponse(
+                status=STATUS_SHED, tenant=tenant, backend=routed,
+                detail=reason, wall_time_s=self._clock() - start,
+            )
+            probes.request_timed(routed, STATUS_SHED, response.wall_time_s)
+            return response
+        if victim is not None:
+            self._shed_entry(victim, reason)
+
+        loop = asyncio.get_running_loop()
+        shared = _Shared(loop.create_future())
+        if self.coalesce:
+            self._inflight[key] = shared
+        self._seq += 1
+        now = self._clock()
+        entry = _Pending(
+            seq=self._seq, priority=priority, tenant=tenant,
+            request=request, key=key, enqueued_at=now,
+            deadline_at=(None if deadline_s is None else now + deadline_s),
+            deadline_s=deadline_s, shared=shared,
+        )
+        heapq.heappush(self._heap, (-priority, entry.seq, entry))
+        self._queued += 1
+        self._tenant_counts[tenant] = self._tenant_counts.get(tenant, 0) + 1
+        self._export_queue_gauges(tenant)
+        probes.request_admitted(tenant, routed)
+        self._stats["admitted"] += 1
+        self._work_available.set()
+        return await self._await_outcome(
+            shared, tenant, routed, start, coalesced=False
+        )
+
+    async def _await_outcome(
+        self, shared: _Shared, tenant: str, backend: str,
+        start: float, coalesced: bool,
+    ) -> ServerResponse:
+        shared.waiters += 1
+        try:
+            # shield: cancelling one waiter must not cancel the shared
+            # solve out from under the other waiters (or the leader).
+            kind, payload = await asyncio.shield(shared.future)
+        finally:
+            shared.waiters -= 1
+        wall = self._clock() - start
+        if kind == "result":
+            result: SolveResult = payload
+            if result.ok:
+                status = STATUS_OK
+                self._stats["served"] += 1
+            elif result.error_type == SolveTimeoutError.__name__:
+                status = STATUS_DEADLINE
+                self._stats["expired"] += 1
+            else:
+                status = STATUS_FAILED
+                self._stats["failed"] += 1
+            response = ServerResponse(
+                status=status, tenant=tenant, backend=backend,
+                result=result, coalesced=coalesced,
+                detail=result.error or "",
+                queued_s=shared.queued_s, wall_time_s=wall,
+            )
+        elif kind == "deadline":
+            self._stats["expired"] += 1
+            response = ServerResponse(
+                status=STATUS_DEADLINE, tenant=tenant, backend=backend,
+                coalesced=coalesced, detail=payload,
+                queued_s=shared.queued_s, wall_time_s=wall,
+            )
+        else:  # "shed"
+            self._stats["shed"] += 1
+            response = ServerResponse(
+                status=STATUS_SHED, tenant=tenant, backend=backend,
+                coalesced=coalesced, detail=payload,
+                queued_s=shared.queued_s, wall_time_s=wall,
+            )
+        probes.request_timed(backend, response.status, wall)
+        return response
+
+    # -- routing and admission -----------------------------------------
+
+    def _route(self, backend: Optional[str], deadline_s: Optional[float]) -> str:
+        """Pick a backend: explicit wins, else deadline + SLO health."""
+        if backend is not None:
+            return backend
+        if deadline_s is not None and deadline_s <= self.analog_deadline_s:
+            policy = self.slo if self.slo is not None else get_slo_policy()
+            if policy is None or not policy.health("analog").should_skip:
+                return "analog"
+        return self.exact_backend
+
+    def _admission_verdict(
+        self, tenant: str, priority: int
+    ) -> Tuple[bool, Optional[_Pending], str]:
+        """Decide admit/shed: ``(admitted, victim_to_shed, reason)``."""
+        if self._tenant_counts.get(tenant, 0) >= self.per_tenant_queue:
+            pool = [
+                e for _, _, e in self._heap
+                if not e.shed and e.tenant == tenant
+            ]
+            reason = "tenant-queue-full"
+        elif self._queued >= self.max_pending:
+            pool = [e for _, _, e in self._heap if not e.shed]
+            reason = "queue-full"
+        else:
+            return True, None, ""
+        if not pool:  # pragma: no cover - counts and heap always agree
+            return True, None, ""
+        # Shed the lowest priority; among equals the newest arrival loses
+        # (oldest requests have waited longest and are closest to service).
+        victim = min(pool, key=lambda e: (e.priority, -e.seq))
+        if priority > victim.priority:
+            return True, victim, reason
+        return False, None, reason
+
+    def _shed_entry(self, entry: _Pending, reason: str) -> None:
+        """Evict a queued entry: resolve its future 503, free its slot."""
+        entry.shed = True
+        self._queued -= 1
+        self._tenant_counts[entry.tenant] -= 1
+        self._inflight.pop(entry.key, None)
+        probes.request_shed(entry.tenant, reason)
+        self._export_queue_gauges(entry.tenant)
+        if not entry.shared.future.done():
+            entry.shared.future.set_result(("shed", reason))
+
+    def _export_queue_gauges(self, tenant: str) -> None:
+        probes.queue_depth(self._queued)
+        probes.queue_depth(self._tenant_counts.get(tenant, 0), tenant=tenant)
+
+    # -- execution -----------------------------------------------------
+
+    def _pop_live(self) -> Optional[_Pending]:
+        while self._heap:
+            _, _, entry = heapq.heappop(self._heap)
+            if entry.shed:
+                continue  # lazily dropped by admission control
+            self._queued -= 1
+            self._tenant_counts[entry.tenant] -= 1
+            self._export_queue_gauges(entry.tenant)
+            return entry
+        return None
+
+    async def _worker_loop(self) -> None:
+        while True:
+            entry = self._pop_live()
+            if entry is None:
+                if self._closed:
+                    return
+                # Single-threaded event loop: no submit can interleave
+                # between the failed pop and this clear, so no lost wakeup.
+                self._work_available.clear()
+                await self._work_available.wait()
+                continue
+            await self._run_entry(entry)
+
+    async def _run_entry(self, entry: _Pending) -> None:
+        shared = entry.shared
+        shared.queued_s = self._clock() - entry.enqueued_at
+        if entry.deadline_at is not None and self._clock() >= entry.deadline_at:
+            self._inflight.pop(entry.key, None)
+            if not shared.future.done():
+                shared.future.set_result((
+                    "deadline",
+                    f"deadline of {entry.deadline_s:.4g} s expired after "
+                    f"{shared.queued_s:.4g} s in queue",
+                ))
+            return
+        try:
+            result = await self._invoke(entry.request)
+        except asyncio.CancelledError:
+            self._inflight.pop(entry.key, None)
+            if not shared.future.done():
+                shared.future.set_result(("shed", "server-closed"))
+            raise
+        except Exception as exc:  # noqa: BLE001 - front door never raises
+            result = SolveResult(
+                request=entry.request, ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+                error_type=type(exc).__name__,
+            )
+        # Unregister *before* resolving: a submit racing in after this
+        # point must start a fresh solve, not join a finished future.
+        self._inflight.pop(entry.key, None)
+        if not shared.future.done():
+            shared.future.set_result(("result", result))
+
+    async def _invoke(self, request: SolveRequest) -> SolveResult:
+        if self._solve_fn is not None:
+            outcome = self._solve_fn(request)
+            if inspect.isawaitable(outcome):
+                return await outcome
+            return outcome
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._solve_sync, request)
+
+    def _solve_sync(self, request: SolveRequest) -> SolveResult:
+        # The deadline travels as the plain ``deadline_s`` option: the
+        # backend re-opens a cooperative deadline_scope in the executor
+        # thread (contextvars do not cross run_in_executor).
+        return self.service.solve(
+            request.network, backend=request.backend, **request.options
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters plus live queue/inflight depths (one flat dict)."""
+        return {
+            **self._stats,
+            "queue_depth": self._queued,
+            "inflight": len(self._inflight),
+            # Callers currently awaiting a shared in-flight future — the
+            # deterministic tests synchronize on this instead of sleeping.
+            "waiting": sum(s.waiters for s in self._inflight.values()),
+        }

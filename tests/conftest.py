@@ -19,6 +19,8 @@ by default to keep the tier-1 suite fast; ``--runslow`` (used by
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import random
 
 import pytest
@@ -39,6 +41,33 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: heavy randomized case; skipped unless --runslow is given"
     )
+    config.addinivalue_line(
+        "markers", "asyncio: coroutine test run on a fresh event loop (built-in plumbing)"
+    )
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    """Run ``async def`` tests without a pytest-asyncio dependency.
+
+    Each coroutine test gets a fresh event loop via :func:`asyncio.run`,
+    so the server suites stay inside the tier-1 command with zero new
+    hard deps.  Sync tests fall through to pytest's default caller.
+    """
+    fn = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(fn):
+        return None
+    argnames = pyfuncitem._fixtureinfo.argnames
+    kwargs = {name: pyfuncitem.funcargs[name] for name in argnames}
+
+    async def _bounded():
+        # Backstop only (never hit on a passing run): an assertion that
+        # fires while a gated fake backend is still blocked would
+        # otherwise deadlock the server's draining close forever.
+        await asyncio.wait_for(fn(**kwargs), timeout=120.0)
+
+    asyncio.run(_bounded())
+    return True
 
 
 def pytest_addoption(parser):

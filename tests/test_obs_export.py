@@ -85,6 +85,102 @@ class TestPrometheusText:
         assert parse_prometheus_text(prometheus_text(snapshot=snap)) == snap
 
 
+class TestPrometheusRoundTripProperty:
+    """Seeded property gate: every expressible registry must round-trip.
+
+    Label values draw from an adversarial pool (trailing backslashes,
+    embedded quotes, newlines, spaces — everything the escape table
+    handles; structural registry-key characters ``, = { }`` are out of
+    the registry's own key grammar, not the exporter's).  This is the
+    test that caught the parser's escape-lookbehind bug: a label value
+    *ending* in a backslash renders as ``...\\\\\"`` and the old scanner
+    treated the escaped backslash as escaping the closing quote.
+    """
+
+    #: Every escape-table edge plus benign fillers.
+    LABEL_VALUES = (
+        "plain",
+        "",
+        "with space",
+        'say "hi"',
+        "line\nbreak",
+        "tab\tis-literal",
+        "back\\slash\\middle",
+        "tail\\",
+        '\\"',
+        "\\n-literal",
+        'mix \\ "q" \nend\\',
+    )
+
+    def _random_registry(self, rng) -> MetricsRegistry:
+        reg = MetricsRegistry(latency_buckets_s=(0.001, 0.1, 1.0))
+        for _ in range(rng.randrange(1, 6)):
+            name = rng.choice(["service.solves", "a.b.c", "ev", "x.y"])
+            labels = {
+                key: rng.choice(self.LABEL_VALUES)
+                for key in rng.sample(["backend", "tenant", "detail"],
+                                      rng.randrange(0, 3))
+            }
+            reg.counter(name, rng.randrange(1, 50), **labels)
+        for _ in range(rng.randrange(0, 4)):
+            reg.gauge(rng.choice(["depth", "q.d"]),
+                      rng.uniform(-10, 10),
+                      detail=rng.choice(self.LABEL_VALUES))
+        for _ in range(rng.randrange(0, 4)):
+            name = rng.choice(["lat.seconds", "service.solve.seconds"])
+            labels = {}
+            if rng.random() < 0.7:
+                labels["backend"] = rng.choice(self.LABEL_VALUES)
+            for _ in range(rng.randrange(0, 6)):
+                # Values straddle every bucket including the +Inf overflow.
+                reg.observe(name, rng.choice([0.0005, 0.05, 0.5, 50.0]),
+                            **labels)
+        return reg
+
+    def test_random_registries_round_trip(self, rng):
+        for case in range(25):
+            snap = self._random_registry(rng).snapshot()
+            parsed = parse_prometheus_text(prometheus_text(snapshot=snap))
+            assert parsed == snap, f"case {case} diverged"
+
+    def test_label_value_ending_in_backslash_round_trips(self):
+        # Regression: the escaped trailing backslash must not swallow the
+        # closing quote (old parser ran off the end of the line).
+        reg = MetricsRegistry()
+        reg.counter("ev", 1, path="C:\\temp\\")
+        snap = reg.snapshot()
+        assert parse_prometheus_text(prometheus_text(snapshot=snap)) == snap
+
+    def test_unterminated_label_value_is_a_typed_error(self):
+        with pytest.raises(ValueError, match="unterminated label value"):
+            parse_prometheus_text('repro_ev{detail="oops\\"} 1.0\n')
+
+    def test_empty_histogram_round_trips(self):
+        # A histogram family that exists but has zero observations is
+        # expressible in snapshots (e.g. hand-built baselines): the text
+        # form must preserve its bucket ladder and zero counts.
+        snap = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "lat": {"buckets": [0.1, 1.0], "counts": [0, 0, 0],
+                        "sum": 0.0, "count": 0},
+            },
+        }
+        assert parse_prometheus_text(prometheus_text(snapshot=snap)) == snap
+
+    def test_plus_inf_only_histogram_round_trips(self):
+        # Every observation past the last bound: the +Inf overflow slot
+        # carries the whole count.
+        reg = MetricsRegistry(latency_buckets_s=(0.1, 1.0))
+        for _ in range(3):
+            reg.observe("lat", 99.0)
+        snap = reg.snapshot()
+        key = next(iter(snap["histograms"]))
+        assert snap["histograms"][key]["counts"][-1] == 3
+        assert parse_prometheus_text(prometheus_text(snapshot=snap)) == snap
+
+
 class TestMetricsDocument:
     def test_schema_and_family_grouping(self):
         doc = metrics_document(registry=populated_registry())

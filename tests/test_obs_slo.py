@@ -248,6 +248,81 @@ class TestFailoverIntegration:
             probes.EVENT_SLO_SKIP, backend="kernel-dinic", reason="exhausted"
         ) == 1.0
 
+    def test_fully_exhausted_chain_tries_last_element_and_records_skips(
+        self, obs_slo
+    ):
+        """Every chain member exhausted: skips land in trail + counters,
+        and the last resort is still genuinely *attempted*."""
+        clock, advance = stepped_clock()
+        slo_policy = SloPolicy(
+            objective=SloObjective(availability=0.95),
+            clock=clock, min_requests=5,
+        )
+        slo_policy.observe()
+        for backend in ("analog", "kernel-dinic", "dinic"):
+            get_registry().counter("service.solve_errors", 20,
+                                   backend=backend, error_type="e")
+        advance(60.0)
+        for backend in ("analog", "kernel-dinic", "dinic"):
+            assert slo_policy.should_skip(backend), backend
+
+        solves_before = get_registry().get_counter(
+            probes.EVENT_SOLVE, backend="dinic"
+        )
+        policy = FailoverPolicy(slo=slo_policy)
+        result = solve_with_failover(
+            SolveRequest(network=tiny_network(), backend="analog"),
+            policy,
+            create_backend,
+        )
+        assert result.ok and result.degraded
+        assert result.request.backend == "dinic"
+        # Both non-last stages were skipped, in chain order, with the
+        # exhaustion verdict recorded verbatim in the trail...
+        assert len(result.failover_trail) == 2
+        for step, name in zip(result.failover_trail,
+                              ("analog", "kernel-dinic")):
+            assert step.startswith(f"{name}: error budget exhausted")
+        # ...and in the skip counters — but never for the last resort.
+        reg = get_registry()
+        for name in ("analog", "kernel-dinic"):
+            assert reg.get_counter(
+                probes.EVENT_SLO_SKIP, backend=name, reason="exhausted"
+            ) == 1.0
+        assert reg.get_counter(
+            probes.EVENT_SLO_SKIP, backend="dinic", reason="exhausted"
+        ) == 0.0
+        # "still try the last element": dinic's solve counter moved.
+        assert reg.get_counter(
+            probes.EVENT_SOLVE, backend="dinic"
+        ) == solves_before + 1.0
+
+    def test_expired_deadline_aborts_chain_before_any_attempt(self, obs_slo):
+        import time
+
+        from repro.resilience import Deadline, deadline_scope
+
+        deadline = Deadline(5.0)
+        # Rewind the absolute expiry: the budget is already spent, with no
+        # sleeping and no dependence on how fast this test runs.
+        deadline._expires_at = time.monotonic() - 1.0
+        assert deadline.expired()
+        with deadline_scope(deadline):
+            result = solve_with_failover(
+                SolveRequest(network=tiny_network(), backend="kernel-dinic"),
+                FailoverPolicy(),
+                create_backend,
+            )
+        assert not result.ok
+        assert result.error_type == "SolveTimeoutError"
+        assert result.failover_trail == [
+            "kernel-dinic: not attempted, deadline expired"
+        ]
+        assert get_registry().get_counter(
+            probes.EVENT_FAILOVER_HOP, backend="kernel-dinic",
+            outcome="deadline-expired",
+        ) == 1.0
+
     def test_last_resort_is_never_skipped(self, obs_slo):
         clock, advance = stepped_clock()
         slo_policy = SloPolicy(

@@ -56,11 +56,13 @@ class TestListSuites:
             "kernel",
             "resilience",
             "obs",
+            "serving",
         }
         assert perf_gate.SUITES["problems"][1] == "BENCH_problems.json"
         assert perf_gate.SUITES["kernel"][1] == "BENCH_kernel.json"
         assert perf_gate.SUITES["resilience"][1] == "BENCH_resilience.json"
         assert perf_gate.SUITES["obs"][1] == "BENCH_obs.json"
+        assert perf_gate.SUITES["serving"][1] == "BENCH_serving.json"
 
 
 class TestErrorPaths:

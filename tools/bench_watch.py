@@ -59,6 +59,7 @@ TRACKED_METRICS: Dict[str, List[str]] = {
     "kernel": ["classes.*.kernel_ms"],
     "resilience": ["overhead.resilient_ms"],
     "obs": ["overhead.disabled_ms", "overhead.enabled_ms"],
+    "serving": ["mixed.p50_ms", "mixed.p99_ms"],
 }
 
 #: Default regression tolerance: candidate/baseline ratios above this fail.

@@ -66,6 +66,12 @@ default no-op path), and with obs enabled (live spans + per-sweep probe
 counters), plus both overhead fractions against raw.  The ceilings
 (disabled <2 %, enabled <10 %) are enforced by ``benchmarks/bench_obs.py``.
 
+``--suite serving`` writes ``BENCH_serving.json`` with the asyncio front
+door's sustained RPS and p50/p99 end-to-end latency under the seeded mixed
+workload (duplicate-heavy grids, four tenants, mixed priorities), plus the
+coalescing on-vs-off wall-clock speedup with actual backend-solve counts.
+The >=2x coalescing floor is enforced by ``benchmarks/bench_serving.py``.
+
 Every run also *appends* itself to a bounded ``history`` list inside the
 output file (each entry is the run's report plus a ``recorded_at`` UTC
 timestamp; the newest :data:`HISTORY_LIMIT` entries are kept).  The flat
@@ -102,6 +108,8 @@ from repro.bench import (  # noqa: E402
     measure_problems_class,
     measure_recovery_class,
     measure_resilience_overhead,
+    measure_coalescing_speedup,
+    measure_serving_mixed,
     measure_shard_class,
     measure_shard_rmat,
     measure_streaming_class,
@@ -364,6 +372,40 @@ def _obs_report(args) -> dict:
     }
 
 
+def _serving_report(args) -> dict:
+    mixed = measure_serving_mixed(args.scale, repeats=args.repeats)
+    coalesce = measure_coalescing_speedup(args.scale)
+    return {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "mixed": {
+            "workload": mixed["workload"],
+            "num_vertices": mixed["num_vertices"],
+            "num_edges": mixed["num_edges"],
+            "requests": mixed["requests"],
+            "workers": mixed["workers"],
+            "wall_s": round(mixed["wall_s"], 4),
+            "rps": round(mixed["rps"], 1),
+            "p50_ms": round(mixed["p50_ms"], 3),
+            "p99_ms": round(mixed["p99_ms"], 3),
+            "coalesced": mixed["coalesced"],
+            "shed": mixed["shed"],
+            "failed": mixed["failed"],
+        },
+        "coalesce": {
+            "workload": coalesce["workload"],
+            "num_edges": coalesce["num_edges"],
+            "waves": coalesce["waves"],
+            "duplicates": coalesce["duplicates"],
+            "on_ms": round(coalesce["on_s"] * 1e3, 2),
+            "off_ms": round(coalesce["off_s"] * 1e3, 2),
+            "on_solves": coalesce["on_solves"],
+            "off_solves": coalesce["off_solves"],
+            "speedup": round(coalesce["speedup"], 2),
+        },
+    }
+
+
 #: Newest history entries kept per BENCH file; older runs fall off so the
 #: committed records stay reviewably small.
 HISTORY_LIMIT = 50
@@ -408,10 +450,27 @@ SUITES = {
     "kernel": (_kernel_report, "BENCH_kernel.json"),
     "resilience": (_resilience_report, "BENCH_resilience.json"),
     "obs": (_obs_report, "BENCH_obs.json"),
+    "serving": (_serving_report, "BENCH_serving.json"),
 }
 
 
 def _print_suite_summary(suite: str, report: dict) -> None:
+    if suite == "serving":
+        mixed = report["mixed"]
+        coalesce = report["coalesce"]
+        print(
+            f"  mixed ({mixed['workload']}, {mixed['requests']} requests, "
+            f"{mixed['workers']} workers): {mixed['rps']} rps, "
+            f"p50 {mixed['p50_ms']} ms, p99 {mixed['p99_ms']} ms, "
+            f"{mixed['coalesced']} coalesced, {mixed['shed']} shed, "
+            f"{mixed['failed']} failed"
+        )
+        print(
+            f"  coalescing ({coalesce['workload']}): on {coalesce['on_ms']} ms "
+            f"({coalesce['on_solves']} solves) vs off {coalesce['off_ms']} ms "
+            f"({coalesce['off_solves']} solves) = {coalesce['speedup']}x"
+        )
+        return
     if suite == "obs":
         over = report["overhead"]
         print(
